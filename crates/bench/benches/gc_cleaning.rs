@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks of cleaning (garbage collection) under churn,
+//! comparing the default and informed-cleaning FTLs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ossd_flash::{FlashGeometry, FlashTiming};
+use ossd_ftl::{Ftl, FtlConfig, Lpn, PageFtl, WriteContext};
+
+fn geometry() -> FlashGeometry {
+    FlashGeometry {
+        packages: 2,
+        dies_per_package: 1,
+        planes_per_die: 1,
+        blocks_per_plane: 128,
+        pages_per_block: 64,
+        page_bytes: 4096,
+    }
+}
+
+fn churned_ftl(honor_free: bool) -> (PageFtl, u64) {
+    let config = FtlConfig::default()
+        .with_overprovisioning(0.15)
+        .with_honor_free(honor_free);
+    let mut ftl = PageFtl::new(geometry(), FlashTiming::slc(), config).unwrap();
+    let logical = ftl.logical_pages();
+    for lpn in 0..logical {
+        ftl.write(Lpn(lpn), 4096, &WriteContext::idle()).unwrap();
+    }
+    if honor_free {
+        // The host frees a third of the space (deleted files).
+        for lpn in 0..logical / 3 {
+            ftl.free(Lpn(lpn)).unwrap();
+        }
+    }
+    (ftl, logical)
+}
+
+fn bench_cleaning(c: &mut Criterion) {
+    for honor_free in [false, true] {
+        let label = if honor_free {
+            "gc_overwrite_churn_informed"
+        } else {
+            "gc_overwrite_churn_default"
+        };
+        c.bench_function(label, |b| {
+            let (mut ftl, logical) = churned_ftl(honor_free);
+            let hot_base = logical / 3;
+            let mut i = 0u64;
+            b.iter(|| {
+                let lpn = hot_base + ((i * 13) % (logical - hot_base));
+                ftl.write(Lpn(lpn), 4096, &WriteContext::idle()).unwrap();
+                i += 1;
+            });
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cleaning
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion micro-benchmarks of the controller schedulers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ossd_sim::{Server, SimDuration, SimTime};
+use ossd_ssd::SchedulerKind;
+
+fn busy_elements(n: usize) -> Vec<Server> {
+    let mut servers = vec![Server::new(); n];
+    for (i, s) in servers.iter_mut().enumerate() {
+        s.serve(SimTime::ZERO, SimDuration::from_micros(10 * i as u64));
+    }
+    servers
+}
+
+fn queue(len: usize, elements: usize) -> Vec<(SimTime, usize)> {
+    (0..len)
+        .map(|i| (SimTime::from_micros(i as u64), i % elements))
+        .collect()
+}
+
+fn bench_pick(c: &mut Criterion) {
+    let elements = busy_elements(16);
+    for &qlen in &[8usize, 64, 256] {
+        let q = queue(qlen, 16);
+        c.bench_function(&format!("fcfs_pick_q{qlen}"), |b| {
+            b.iter(|| SchedulerKind::Fcfs.pick(&q, &elements, SimTime::from_millis(1)))
+        });
+        c.bench_function(&format!("swtf_pick_q{qlen}"), |b| {
+            b.iter(|| SchedulerKind::Swtf.pick(&q, &elements, SimTime::from_millis(1)))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_pick
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Regenerates Figure 3 and Table 6: priority-aware cleaning.
+
+use ossd_bench::{print_header, scale_from_args};
+use ossd_core::experiments::figure3;
+
+fn main() {
+    let scale = scale_from_args();
+    print_header(
+        "Figure 3 / Table 6: Priority-Aware Cleaning (response time, ms)",
+        scale,
+    );
+    let points = figure3::run(scale).expect("experiment runs");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14} {:>14} {:>12}",
+        "writes%", "agnostic fg", "agnostic bg", "aware fg", "aware bg", "improvement"
+    );
+    for p in &points {
+        println!(
+            "{:>8} {:>14.2} {:>14.2} {:>14.2} {:>14.2} {:>11.2}%",
+            p.write_pct,
+            p.agnostic_foreground_ms,
+            p.agnostic_background_ms,
+            p.aware_foreground_ms,
+            p.aware_background_ms,
+            p.improvement_pct()
+        );
+    }
+    println!();
+    println!("Paper reference (Table 6, improvement %): 0, 9.56, 10.27, 9.61, 9.47");
+    println!("for 20/40/50/60/80% writes; background requests pay the price.");
+}

@@ -1,0 +1,99 @@
+//! Runs every table/figure regeneration in sequence (the full evaluation).
+
+use ossd_bench::{print_header, scale_from_args};
+use ossd_core::contract::ContractTerm;
+use ossd_core::experiments::{figure2, figure3, swtf, table1, table2, table3, table4, table5};
+
+fn main() {
+    let scale = scale_from_args();
+
+    print_header("Table 1: Unwritten Contract", scale);
+    let t1 = table1::run(scale).expect("table 1");
+    println!("{:<22} 1  2  3  4  5  6", "device");
+    for report in [&t1.hdd, &t1.ssd_page_mapped, &t1.ssd_stripe_mapped] {
+        let marks: Vec<&str> = report
+            .verdicts
+            .iter()
+            .map(|v| if v.holds { "T" } else { "F" })
+            .collect();
+        println!("{:<22} {}", report.device, marks.join("  "));
+    }
+    let _ = ContractTerm::all();
+
+    print_header("Table 2: Sequential vs Random Bandwidth (MB/s)", scale);
+    for r in table2::run(scale).expect("table 2") {
+        println!(
+            "{:<12} seqR {:>8.1} randR {:>8.2} (x{:>6.1})  seqW {:>8.1} randW {:>8.2} (x{:>6.1})",
+            r.device,
+            r.seq_read,
+            r.rand_read,
+            r.read_ratio(),
+            r.seq_write,
+            r.rand_write,
+            r.write_ratio()
+        );
+    }
+
+    print_header("Section 3.2: SWTF vs FCFS", scale);
+    let s = swtf::run(scale).expect("swtf");
+    println!(
+        "FCFS {:.3} ms, SWTF {:.3} ms, improvement {:.2}%",
+        s.fcfs_mean_ms,
+        s.swtf_mean_ms,
+        s.improvement_pct()
+    );
+
+    print_header("Figure 2: Write Amplification Saw-tooth", scale);
+    for p in figure2::run(scale).expect("figure 2") {
+        println!("{:>6.2} MB -> {:>8.2} MB/s", p.write_mb, p.bandwidth_mbps);
+    }
+
+    print_header("Table 3: Write Alignment vs Sequentiality", scale);
+    for r in table3::run(scale).expect("table 3") {
+        println!(
+            "P(seq)={:.1}  unaligned {:>8.2} ms  aligned {:>8.2} ms  improvement {:>6.1}%",
+            r.sequential_prob,
+            r.unaligned_ms,
+            r.aligned_ms,
+            r.improvement_pct()
+        );
+    }
+
+    print_header("Table 4: Macro Benchmarks with Stripe-aligned Writes", scale);
+    for r in table4::run(scale).expect("table 4") {
+        println!(
+            "{:<10} unaligned {:>10.2} ms  aligned {:>10.2} ms  improvement {:>6.2}%",
+            r.workload,
+            r.unaligned_ms,
+            r.aligned_ms,
+            r.improvement_pct()
+        );
+    }
+
+    print_header("Table 5: Informed Cleaning", scale);
+    for r in table5::run(scale).expect("table 5") {
+        println!(
+            "{:>6} txns  pages {:>9} -> {:>9} (x{:.2})   cleaning {:>8.2}s -> {:>8.2}s (x{:.2})",
+            r.transactions,
+            r.default_pages_moved,
+            r.informed_pages_moved,
+            r.relative_pages_moved(),
+            r.default_cleaning_secs,
+            r.informed_cleaning_secs,
+            r.relative_cleaning_time()
+        );
+    }
+
+    print_header("Figure 3 / Table 6: Priority-Aware Cleaning", scale);
+    for p in figure3::run(scale).expect("figure 3") {
+        println!(
+            "{:>3}% writes  fg {:>7.2} -> {:>7.2} ms ({:>6.2}%)   bg {:>7.2} -> {:>7.2} ms",
+            p.write_pct,
+            p.agnostic_foreground_ms,
+            p.aware_foreground_ms,
+            p.improvement_pct(),
+            p.agnostic_background_ms,
+            p.aware_background_ms
+        );
+    }
+}

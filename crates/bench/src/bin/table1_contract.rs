@@ -1,0 +1,34 @@
+//! Regenerates Table 1: the unwritten contract for Disk vs SSD.
+
+use ossd_bench::{print_header, scale_from_args};
+use ossd_core::contract::ContractTerm;
+use ossd_core::experiments::table1;
+
+fn main() {
+    let scale = scale_from_args();
+    print_header("Table 1: Unwritten Contract (Disk vs SSD)", scale);
+    let result = table1::run(scale).expect("experiment runs");
+    for (i, term) in ContractTerm::all().iter().enumerate() {
+        println!("  {}. {}", i + 1, term.description());
+    }
+    println!();
+    println!("{:<22} 1  2  3  4  5  6", "device");
+    for report in [&result.hdd, &result.ssd_page_mapped, &result.ssd_stripe_mapped] {
+        let marks: Vec<&str> = report
+            .verdicts
+            .iter()
+            .map(|v| if v.holds { "T" } else { "F" })
+            .collect();
+        println!("{:<22} {}", report.device, marks.join("  "));
+    }
+    println!();
+    println!("Evidence:");
+    for report in [&result.hdd, &result.ssd_page_mapped, &result.ssd_stripe_mapped] {
+        println!("{}:", report.device);
+        for v in &report.verdicts {
+            println!("  [{}] {}", if v.holds { "T" } else { "F" }, v.evidence);
+        }
+    }
+    println!();
+    println!("Paper reference (Table 1): Disk = T T F T T T, SSD = F F F F F F");
+}

@@ -1,0 +1,29 @@
+//! Regenerates Table 2: ratio of sequential to random bandwidth.
+
+use ossd_bench::{print_header, scale_from_args};
+use ossd_core::experiments::table2;
+
+fn main() {
+    let scale = scale_from_args();
+    print_header("Table 2: Ratio of Sequential to Random Bandwidth (MB/s)", scale);
+    let rows = table2::run(scale).expect("experiment runs");
+    println!(
+        "{:<12} {:>9} {:>9} {:>8} {:>9} {:>9} {:>8}",
+        "Device", "SeqRead", "RandRead", "Ratio", "SeqWrite", "RandWrite", "Ratio"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:>9.1} {:>9.2} {:>8.1} {:>9.1} {:>9.2} {:>8.1}",
+            r.device,
+            r.seq_read,
+            r.rand_read,
+            r.read_ratio(),
+            r.seq_write,
+            r.rand_write,
+            r.write_ratio()
+        );
+    }
+    println!();
+    println!("Paper reference (Table 2, ratios): HDD 143.7/66.8, S1slc 11.0/3.1,");
+    println!("S2slc 9.2/328.0, S3slc 2.4/151.6, S4slc_sim 1.1/1.3, S5mlc 3.2/1.5");
+}

@@ -1,0 +1,171 @@
+//! The block-device trait implemented by the HDD and SSD simulators.
+
+use std::fmt;
+
+use crate::request::{BlockRequest, Completion};
+
+/// Errors a block device can report for a request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeviceError {
+    /// The request addressed bytes beyond the device capacity.
+    OutOfBounds {
+        /// Requested end offset.
+        end: u64,
+        /// Device capacity in bytes.
+        capacity: u64,
+    },
+    /// The request kind is not supported by this device (e.g. `Free` on a
+    /// device without TRIM support).
+    Unsupported {
+        /// Description of the unsupported feature.
+        what: &'static str,
+    },
+    /// The request was malformed (zero length where data was required).
+    EmptyRequest,
+    /// The device's internal state machine reported an error; this indicates
+    /// a simulator bug and carries the underlying description.
+    Internal(String),
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::OutOfBounds { end, capacity } => {
+                write!(f, "request end {end} exceeds device capacity {capacity}")
+            }
+            DeviceError::Unsupported { what } => write!(f, "unsupported operation: {what}"),
+            DeviceError::EmptyRequest => write!(f, "request transfers zero bytes"),
+            DeviceError::Internal(msg) => write!(f, "internal device error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// Descriptive information about a device, used in reports.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeviceInfo {
+    /// Human-readable device name (e.g. `"S4slc_sim"` or `"HDD 7200rpm"`).
+    pub name: String,
+    /// Usable capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Whether the device accepts `Free` (TRIM-style) notifications.
+    pub supports_free: bool,
+}
+
+/// A simulated block device.
+///
+/// Submitting a request advances the device's internal clock model and
+/// returns the completion record for that request.  Requests must be
+/// submitted in non-decreasing arrival order; devices may reorder *service*
+/// internally (scheduling) but the trace is replayed in arrival order.
+pub trait BlockDevice {
+    /// Descriptive information about the device.
+    fn info(&self) -> DeviceInfo;
+
+    /// Usable capacity in bytes.
+    fn capacity_bytes(&self) -> u64 {
+        self.info().capacity_bytes
+    }
+
+    /// Submits one request and returns its completion.
+    fn submit(&mut self, request: &BlockRequest) -> Result<Completion, DeviceError>;
+
+    /// Validates a request against the device capacity; devices call this at
+    /// the top of `submit`.
+    fn check_bounds(&self, request: &BlockRequest) -> Result<(), DeviceError> {
+        let capacity = self.capacity_bytes();
+        if request.range.end() > capacity {
+            return Err(DeviceError::OutOfBounds {
+                end: request.range.end(),
+                capacity,
+            });
+        }
+        if request.is_empty() && request.kind.transfers_data() {
+            return Err(DeviceError::EmptyRequest);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::BlockOpKind;
+    use ossd_sim::SimTime;
+
+    /// A trivial device that completes everything instantly; used to test
+    /// the trait's provided methods.
+    struct NullDevice {
+        capacity: u64,
+    }
+
+    impl BlockDevice for NullDevice {
+        fn info(&self) -> DeviceInfo {
+            DeviceInfo {
+                name: "null".to_string(),
+                capacity_bytes: self.capacity,
+                supports_free: false,
+            }
+        }
+
+        fn submit(&mut self, request: &BlockRequest) -> Result<Completion, DeviceError> {
+            self.check_bounds(request)?;
+            if request.kind == BlockOpKind::Free {
+                return Err(DeviceError::Unsupported { what: "free" });
+            }
+            Ok(Completion {
+                request_id: request.id,
+                arrival: request.arrival,
+                start: request.arrival,
+                finish: request.arrival,
+            })
+        }
+    }
+
+    #[test]
+    fn bounds_checking() {
+        let mut d = NullDevice { capacity: 1024 };
+        let ok = BlockRequest::read(1, 0, 1024, SimTime::ZERO);
+        assert!(d.submit(&ok).is_ok());
+        let too_big = BlockRequest::read(2, 512, 1024, SimTime::ZERO);
+        assert!(matches!(
+            d.submit(&too_big),
+            Err(DeviceError::OutOfBounds { capacity: 1024, .. })
+        ));
+        let empty = BlockRequest::write(3, 0, 0, SimTime::ZERO);
+        assert_eq!(d.submit(&empty), Err(DeviceError::EmptyRequest));
+    }
+
+    #[test]
+    fn unsupported_free() {
+        let mut d = NullDevice { capacity: 1024 };
+        let f = BlockRequest::free(1, 0, 512, SimTime::ZERO);
+        assert!(matches!(
+            d.submit(&f),
+            Err(DeviceError::Unsupported { what: "free" })
+        ));
+    }
+
+    #[test]
+    fn capacity_defaults_to_info() {
+        let d = NullDevice { capacity: 4096 };
+        assert_eq!(d.capacity_bytes(), 4096);
+        assert_eq!(d.info().name, "null");
+        assert!(!d.info().supports_free);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = DeviceError::OutOfBounds {
+            end: 10,
+            capacity: 5,
+        };
+        assert!(e.to_string().contains("capacity"));
+        assert!(DeviceError::EmptyRequest.to_string().contains("zero"));
+        assert!(DeviceError::Unsupported { what: "x" }
+            .to_string()
+            .contains("unsupported"));
+        assert!(DeviceError::Internal("boom".into()).to_string().contains("boom"));
+    }
+}

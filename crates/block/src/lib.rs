@@ -1,0 +1,30 @@
+//! Block-level storage interface shared by the HDD and SSD simulators.
+//!
+//! The paper argues that the narrow block interface (reads and writes of
+//! logical block numbers) hides too much from the device and too much from
+//! the file system.  This crate defines that interface as the simulators see
+//! it — requests, priorities, free-space (TRIM-like) notifications, traces —
+//! so that the richer object interface in `ossd-core` can be compared
+//! against it on equal footing.
+//!
+//! * [`BlockRequest`] / [`BlockOpKind`] / [`Priority`] — a single I/O.
+//! * [`ByteRange`] — offset/length arithmetic with alignment helpers.
+//! * [`BlockDevice`] — the trait both simulators implement.
+//! * [`trace`] — serializable traces of block operations, including the
+//!   `Free` records the informed-cleaning study depends on.
+//! * [`replay`] — a trace runner that collects latency and throughput.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod range;
+pub mod replay;
+pub mod request;
+pub mod trace;
+
+pub use device::{BlockDevice, DeviceError, DeviceInfo};
+pub use range::ByteRange;
+pub use replay::{replay_closed, replay_open, ReplayReport};
+pub use request::{BlockOpKind, BlockRequest, Completion, Priority, SECTOR_BYTES};
+pub use trace::{Trace, TraceOp, TraceStats};

@@ -1,0 +1,203 @@
+//! Byte ranges with the alignment arithmetic the device-side write-merging
+//! logic needs.
+
+use serde::{Deserialize, Serialize};
+
+/// A half-open byte range `[offset, offset + len)` on a device's logical
+/// address space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ByteRange {
+    /// Starting byte offset.
+    pub offset: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+impl ByteRange {
+    /// Creates a range.
+    pub fn new(offset: u64, len: u64) -> Self {
+        ByteRange { offset, len }
+    }
+
+    /// Exclusive end offset.
+    pub fn end(&self) -> u64 {
+        self.offset + self.len
+    }
+
+    /// Whether the range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `other` starts exactly where this range ends (so the two can
+    /// be merged into one sequential access).
+    pub fn is_followed_by(&self, other: &ByteRange) -> bool {
+        self.end() == other.offset
+    }
+
+    /// Whether the two ranges overlap.
+    pub fn overlaps(&self, other: &ByteRange) -> bool {
+        self.offset < other.end() && other.offset < self.end()
+    }
+
+    /// Whether this range fully contains `other`.
+    pub fn contains(&self, other: &ByteRange) -> bool {
+        self.offset <= other.offset && other.end() <= self.end()
+    }
+
+    /// Merges two ranges into their bounding range (callers should first
+    /// check adjacency/overlap if a gap-free merge is required).
+    pub fn union(&self, other: &ByteRange) -> ByteRange {
+        let start = self.offset.min(other.offset);
+        let end = self.end().max(other.end());
+        ByteRange::new(start, end - start)
+    }
+
+    /// The range aligned outward to `unit`-byte boundaries (the smallest
+    /// aligned range containing this one). Returns the range unchanged when
+    /// `unit` is zero or one.
+    pub fn align_outward(&self, unit: u64) -> ByteRange {
+        if unit <= 1 || self.is_empty() {
+            return *self;
+        }
+        let start = (self.offset / unit) * unit;
+        let end = self.end().div_ceil(unit) * unit;
+        ByteRange::new(start, end - start)
+    }
+
+    /// Index of the first `unit`-sized chunk touched by this range.
+    pub fn first_chunk(&self, unit: u64) -> u64 {
+        if unit == 0 {
+            0
+        } else {
+            self.offset / unit
+        }
+    }
+
+    /// Index of the last `unit`-sized chunk touched by this range (equal to
+    /// `first_chunk` for ranges within one chunk); zero for empty ranges.
+    pub fn last_chunk(&self, unit: u64) -> u64 {
+        if unit == 0 || self.is_empty() {
+            return self.first_chunk(unit);
+        }
+        (self.end() - 1) / unit
+    }
+
+    /// Number of `unit`-sized chunks touched by this range.
+    pub fn chunks_touched(&self, unit: u64) -> u64 {
+        if unit == 0 || self.is_empty() {
+            return 0;
+        }
+        self.last_chunk(unit) - self.first_chunk(unit) + 1
+    }
+
+    /// Splits the range at `unit`-byte boundaries, yielding sub-ranges that
+    /// each lie within a single chunk.
+    pub fn split_by_chunk(&self, unit: u64) -> Vec<ByteRange> {
+        if self.is_empty() {
+            return Vec::new();
+        }
+        if unit == 0 {
+            return vec![*self];
+        }
+        let mut out = Vec::new();
+        let mut cursor = self.offset;
+        let end = self.end();
+        while cursor < end {
+            let chunk_end = ((cursor / unit) + 1) * unit;
+            let piece_end = chunk_end.min(end);
+            out.push(ByteRange::new(cursor, piece_end - cursor));
+            cursor = piece_end;
+        }
+        out
+    }
+
+    /// Whether the range starts and ends on `unit` boundaries.
+    pub fn is_aligned_to(&self, unit: u64) -> bool {
+        if unit <= 1 {
+            return true;
+        }
+        self.offset % unit == 0 && self.len % unit == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let r = ByteRange::new(4096, 8192);
+        assert_eq!(r.end(), 12288);
+        assert!(!r.is_empty());
+        assert!(ByteRange::new(0, 0).is_empty());
+    }
+
+    #[test]
+    fn adjacency_and_overlap() {
+        let a = ByteRange::new(0, 100);
+        let b = ByteRange::new(100, 50);
+        let c = ByteRange::new(120, 10);
+        assert!(a.is_followed_by(&b));
+        assert!(!a.is_followed_by(&c));
+        assert!(!a.overlaps(&b));
+        assert!(b.overlaps(&c));
+        assert!(b.contains(&c));
+        assert!(!c.contains(&b));
+    }
+
+    #[test]
+    fn union_is_bounding_range() {
+        let a = ByteRange::new(10, 10);
+        let b = ByteRange::new(30, 5);
+        assert_eq!(a.union(&b), ByteRange::new(10, 25));
+        assert_eq!(b.union(&a), ByteRange::new(10, 25));
+    }
+
+    #[test]
+    fn align_outward_snaps_to_unit() {
+        let r = ByteRange::new(4100, 100);
+        let a = r.align_outward(4096);
+        assert_eq!(a, ByteRange::new(4096, 4096));
+        let r = ByteRange::new(4095, 2);
+        assert_eq!(r.align_outward(4096), ByteRange::new(0, 8192));
+        // Degenerate units leave the range unchanged.
+        assert_eq!(r.align_outward(0), r);
+        assert_eq!(r.align_outward(1), r);
+    }
+
+    #[test]
+    fn chunk_accounting() {
+        let unit = 1 << 20; // 1 MB stripe
+        let r = ByteRange::new(0, unit);
+        assert_eq!(r.chunks_touched(unit), 1);
+        let r2 = ByteRange::new(unit - 512, 1024);
+        assert_eq!(r2.chunks_touched(unit), 2);
+        assert_eq!(r2.first_chunk(unit), 0);
+        assert_eq!(r2.last_chunk(unit), 1);
+        assert_eq!(ByteRange::new(5, 0).chunks_touched(unit), 0);
+    }
+
+    #[test]
+    fn split_by_chunk_covers_range_exactly() {
+        let unit = 4096;
+        let r = ByteRange::new(1000, 10_000);
+        let parts = r.split_by_chunk(unit);
+        assert_eq!(parts.iter().map(|p| p.len).sum::<u64>(), r.len);
+        assert_eq!(parts.first().unwrap().offset, 1000);
+        assert_eq!(parts.last().unwrap().end(), r.end());
+        for p in &parts {
+            assert_eq!(p.first_chunk(unit), p.last_chunk(unit));
+        }
+        assert!(ByteRange::new(0, 0).split_by_chunk(unit).is_empty());
+        assert_eq!(r.split_by_chunk(0), vec![r]);
+    }
+
+    #[test]
+    fn alignment_predicate() {
+        assert!(ByteRange::new(8192, 4096).is_aligned_to(4096));
+        assert!(!ByteRange::new(8192, 4000).is_aligned_to(4096));
+        assert!(!ByteRange::new(100, 4096).is_aligned_to(4096));
+        assert!(ByteRange::new(100, 37).is_aligned_to(1));
+    }
+}

@@ -1,0 +1,307 @@
+//! Serializable block traces.
+//!
+//! The paper's informed-cleaning study (§3.5, Table 5) replays block-level
+//! traces that contain read, write, and *block-free* operations collected
+//! beneath a file system.  [`Trace`] is the in-memory and on-disk
+//! representation of such traces: a list of [`TraceOp`]s with arrival times
+//! relative to the start of the trace, serialized as JSON lines.
+
+use std::io::{BufRead, Write};
+
+use ossd_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::range::ByteRange;
+use crate::request::{BlockOpKind, BlockRequest, Priority};
+
+/// One record of a block trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceOp {
+    /// Arrival time relative to the start of the trace, in microseconds.
+    pub at_micros: u64,
+    /// Operation kind.
+    pub kind: BlockOpKind,
+    /// Starting byte offset.
+    pub offset: u64,
+    /// Length in bytes.
+    pub len: u64,
+    /// Request priority.
+    #[serde(default)]
+    pub priority: Priority,
+}
+
+impl TraceOp {
+    /// Converts the record into a [`BlockRequest`] with the given id.
+    pub fn to_request(&self, id: u64) -> BlockRequest {
+        BlockRequest {
+            id,
+            kind: self.kind,
+            range: ByteRange::new(self.offset, self.len),
+            arrival: SimTime::from_micros(self.at_micros),
+            priority: self.priority,
+        }
+    }
+}
+
+/// Aggregate statistics of a trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Number of read operations.
+    pub reads: u64,
+    /// Number of write operations.
+    pub writes: u64,
+    /// Number of free notifications.
+    pub frees: u64,
+    /// Bytes read.
+    pub read_bytes: u64,
+    /// Bytes written.
+    pub write_bytes: u64,
+    /// Bytes freed.
+    pub free_bytes: u64,
+    /// Highest byte offset touched plus one (minimum device capacity).
+    pub max_offset: u64,
+    /// Number of high-priority operations.
+    pub high_priority: u64,
+}
+
+/// A named sequence of trace operations.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Human-readable trace name (e.g. `"postmark-5000"`).
+    pub name: String,
+    /// The operations, in arrival order.
+    pub ops: Vec<TraceOp>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new(name: impl Into<String>) -> Self {
+        Trace {
+            name: name.into(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// Appends an operation.
+    pub fn push(&mut self, op: TraceOp) {
+        self.ops.push(op);
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Converts the trace into submit-ready requests with sequential ids.
+    pub fn to_requests(&self) -> Vec<BlockRequest> {
+        self.ops
+            .iter()
+            .enumerate()
+            .map(|(i, op)| op.to_request(i as u64))
+            .collect()
+    }
+
+    /// Computes aggregate statistics.
+    pub fn stats(&self) -> TraceStats {
+        let mut s = TraceStats::default();
+        for op in &self.ops {
+            match op.kind {
+                BlockOpKind::Read => {
+                    s.reads += 1;
+                    s.read_bytes += op.len;
+                }
+                BlockOpKind::Write => {
+                    s.writes += 1;
+                    s.write_bytes += op.len;
+                }
+                BlockOpKind::Free => {
+                    s.frees += 1;
+                    s.free_bytes += op.len;
+                }
+            }
+            s.max_offset = s.max_offset.max(op.offset + op.len);
+            if op.priority.is_high() {
+                s.high_priority += 1;
+            }
+        }
+        s
+    }
+
+    /// Whether arrival times are non-decreasing (devices require this).
+    pub fn is_time_ordered(&self) -> bool {
+        self.ops
+            .windows(2)
+            .all(|w| w[0].at_micros <= w[1].at_micros)
+    }
+
+    /// Sorts the operations by arrival time (stable, preserving the relative
+    /// order of simultaneous operations).
+    pub fn sort_by_time(&mut self) {
+        self.ops.sort_by_key(|op| op.at_micros);
+    }
+
+    /// Serializes the trace as JSON lines: a header line with the name
+    /// followed by one line per operation.
+    pub fn write_jsonl<W: Write>(&self, mut writer: W) -> std::io::Result<()> {
+        writeln!(writer, "{}", serde_json::to_string(&self.name)?)?;
+        for op in &self.ops {
+            writeln!(writer, "{}", serde_json::to_string(op)?)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a trace previously written by [`Trace::write_jsonl`].
+    pub fn read_jsonl<R: BufRead>(reader: R) -> std::io::Result<Self> {
+        let mut lines = reader.lines();
+        let name: String = match lines.next() {
+            Some(line) => serde_json::from_str(&line?)?,
+            None => String::new(),
+        };
+        let mut ops = Vec::new();
+        for line in lines {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            ops.push(serde_json::from_str(&line)?);
+        }
+        Ok(Trace { name, ops })
+    }
+
+    /// Returns a copy of the trace keeping only operations of `kind`.
+    pub fn filter_kind(&self, kind: BlockOpKind) -> Trace {
+        Trace {
+            name: self.name.clone(),
+            ops: self.ops.iter().copied().filter(|o| o.kind == kind).collect(),
+        }
+    }
+
+    /// Returns a copy of the trace with free notifications removed, which
+    /// is how the "default SSD (without free-page information)" baseline of
+    /// Table 5 is produced.
+    pub fn without_frees(&self) -> Trace {
+        Trace {
+            name: format!("{}-no-free", self.name),
+            ops: self
+                .ops
+                .iter()
+                .copied()
+                .filter(|o| o.kind != BlockOpKind::Free)
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new("sample");
+        t.push(TraceOp {
+            at_micros: 0,
+            kind: BlockOpKind::Write,
+            offset: 0,
+            len: 4096,
+            priority: Priority::Normal,
+        });
+        t.push(TraceOp {
+            at_micros: 100,
+            kind: BlockOpKind::Read,
+            offset: 0,
+            len: 4096,
+            priority: Priority::High,
+        });
+        t.push(TraceOp {
+            at_micros: 200,
+            kind: BlockOpKind::Free,
+            offset: 0,
+            len: 4096,
+            priority: Priority::Normal,
+        });
+        t
+    }
+
+    #[test]
+    fn stats_aggregate_by_kind() {
+        let t = sample_trace();
+        let s = t.stats();
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.frees, 1);
+        assert_eq!(s.read_bytes, 4096);
+        assert_eq!(s.write_bytes, 4096);
+        assert_eq!(s.free_bytes, 4096);
+        assert_eq!(s.max_offset, 4096);
+        assert_eq!(s.high_priority, 1);
+    }
+
+    #[test]
+    fn to_requests_assigns_sequential_ids() {
+        let t = sample_trace();
+        let reqs = t.to_requests();
+        assert_eq!(reqs.len(), 3);
+        assert_eq!(reqs[0].id, 0);
+        assert_eq!(reqs[2].id, 2);
+        assert_eq!(reqs[1].arrival, SimTime::from_micros(100));
+        assert_eq!(reqs[1].priority, Priority::High);
+        assert_eq!(reqs[2].kind, BlockOpKind::Free);
+    }
+
+    #[test]
+    fn time_ordering_checks_and_sorting() {
+        let mut t = sample_trace();
+        assert!(t.is_time_ordered());
+        t.push(TraceOp {
+            at_micros: 50,
+            kind: BlockOpKind::Read,
+            offset: 8192,
+            len: 512,
+            priority: Priority::Normal,
+        });
+        assert!(!t.is_time_ordered());
+        t.sort_by_time();
+        assert!(t.is_time_ordered());
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        t.write_jsonl(&mut buf).unwrap();
+        let back = Trace::read_jsonl(std::io::BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn jsonl_empty_input() {
+        let back = Trace::read_jsonl(std::io::BufReader::new(&b""[..])).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.name, "");
+    }
+
+    #[test]
+    fn filters() {
+        let t = sample_trace();
+        let frees = t.filter_kind(BlockOpKind::Free);
+        assert_eq!(frees.len(), 1);
+        let no_free = t.without_frees();
+        assert_eq!(no_free.len(), 2);
+        assert!(no_free.ops.iter().all(|o| o.kind != BlockOpKind::Free));
+        assert!(no_free.name.contains("no-free"));
+    }
+
+    #[test]
+    fn priority_default_when_missing_in_json() {
+        // A record without the priority field should parse with Normal.
+        let json = r#"{"at_micros":5,"kind":"Read","offset":0,"len":512}"#;
+        let op: TraceOp = serde_json::from_str(json).unwrap();
+        assert_eq!(op.priority, Priority::Normal);
+    }
+}

@@ -1,0 +1,72 @@
+//! Drivers that regenerate the paper's tables and figures.
+//!
+//! Every experiment is a pure function of a [`Scale`] (and, internally, of
+//! fixed seeds), so the benchmark binaries in `ossd-bench`, the integration
+//! tests and the documentation all report the same numbers.
+//!
+//! | Paper result | Module | Driver |
+//! |---|---|---|
+//! | Table 1 (unwritten contract) | [`crate::contract`] | [`table1::run`] |
+//! | Table 2 (seq/rand bandwidth) | [`table2`] | [`table2::run`] |
+//! | §3.2 (SWTF vs FCFS) | [`swtf`] | [`swtf::run`] |
+//! | Figure 2 (write-amplification saw-tooth) | [`figure2`] | [`figure2::run`] |
+//! | Table 3 (aligned vs unaligned writes) | [`table3`] | [`table3::run`] |
+//! | Table 4 (macro benchmarks with alignment) | [`table4`] | [`table4::run`] |
+//! | Table 5 (informed cleaning) | [`table5`] | [`table5::run`] |
+//! | Figure 3 / Table 6 (priority-aware cleaning) | [`figure3`] | [`figure3::run`] |
+
+pub mod figure2;
+pub mod figure3;
+pub mod swtf;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+
+/// How much work an experiment does.
+///
+/// The shapes the paper reports (ratios, orderings, crossovers) are already
+/// visible at `Quick` scale; `Paper` scale uses larger devices, regions and
+/// request counts and is what the benchmark binaries run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Scale {
+    /// Small devices and short workloads; suitable for unit/integration
+    /// tests (runs in seconds).
+    Quick,
+    /// The full experiment configuration used by the bench harness.
+    #[default]
+    Paper,
+}
+
+impl Scale {
+    /// Scales a request/transaction count.
+    pub fn count(&self, quick: usize, paper: usize) -> usize {
+        match self {
+            Scale::Quick => quick,
+            Scale::Paper => paper,
+        }
+    }
+
+    /// Scales a byte size.
+    pub fn bytes(&self, quick: u64, paper: u64) -> u64 {
+        match self {
+            Scale::Quick => quick,
+            Scale::Paper => paper,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_selectors() {
+        assert_eq!(Scale::Quick.count(10, 100), 10);
+        assert_eq!(Scale::Paper.count(10, 100), 100);
+        assert_eq!(Scale::Quick.bytes(1, 2), 1);
+        assert_eq!(Scale::Paper.bytes(1, 2), 2);
+        assert_eq!(Scale::default(), Scale::Paper);
+    }
+}

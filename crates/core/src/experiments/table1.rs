@@ -1,0 +1,95 @@
+//! Table 1: the unwritten contract, evaluated against a disk and an SSD.
+//!
+//! This driver wraps [`crate::contract`] so the bench harness and tests can
+//! regenerate the Disk and SSD columns of Table 1 (the RAID and MEMS
+//! columns of the paper are literature summaries, not measurements, and are
+//! out of scope).
+
+use ossd_block::DeviceError;
+use ossd_flash::FlashGeometry;
+use ossd_ftl::FtlConfig;
+use ossd_hdd::HddConfig;
+use ossd_ssd::{MappingKind, SsdConfig};
+
+use crate::contract::{evaluate_hdd, evaluate_ssd, ContractReport};
+
+use super::Scale;
+
+/// The Disk and SSD columns of Table 1.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table1Result {
+    /// Contract evaluation for the simulated disk.
+    pub hdd: ContractReport,
+    /// Contract evaluation for a page-mapped SSD.
+    pub ssd_page_mapped: ContractReport,
+    /// Contract evaluation for a low-end stripe-mapped SSD (shows the
+    /// write-amplification violation most clearly).
+    pub ssd_stripe_mapped: ContractReport,
+}
+
+fn ssd_config(scale: Scale, mapping: MappingKind) -> SsdConfig {
+    let mut config = SsdConfig::tiny_page_mapped();
+    config.geometry = FlashGeometry {
+        packages: 4,
+        dies_per_package: 1,
+        planes_per_die: 1,
+        blocks_per_plane: scale.bytes(128, 256) as u32,
+        pages_per_block: 64,
+        page_bytes: 4096,
+    };
+    config.gangs = 2;
+    config.mapping = mapping;
+    config.ftl = FtlConfig::default();
+    config.name = match mapping {
+        MappingKind::PageMapped => "SSD (page-mapped)".to_string(),
+        MappingKind::StripeMapped { .. } => "SSD (stripe-mapped)".to_string(),
+    };
+    config
+}
+
+/// Runs the Table 1 evaluation.
+pub fn run(scale: Scale) -> Result<Table1Result, DeviceError> {
+    let hdd = evaluate_hdd(HddConfig::barracuda_7200())?;
+    let ssd_page_mapped = evaluate_ssd(ssd_config(scale, MappingKind::PageMapped))?;
+    let ssd_stripe_mapped = evaluate_ssd(ssd_config(
+        scale,
+        MappingKind::StripeMapped {
+            stripe_bytes: 64 * 1024,
+            coalesce: true,
+        },
+    ))?;
+    Ok(Table1Result {
+        hdd,
+        ssd_page_mapped,
+        ssd_stripe_mapped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contract::ContractTerm;
+
+    #[test]
+    fn disk_mostly_satisfies_ssd_mostly_violates() {
+        let result = run(Scale::Quick).unwrap();
+        assert!(result.hdd.satisfied_count() >= 5);
+        assert!(result.ssd_page_mapped.satisfied_count() <= 4);
+        // The headline violations the paper highlights:
+        assert!(!result
+            .ssd_page_mapped
+            .verdict(ContractTerm::SequentialFasterThanRandom)
+            .unwrap()
+            .holds);
+        assert!(!result
+            .ssd_page_mapped
+            .verdict(ContractTerm::MediaDoesNotWear)
+            .unwrap()
+            .holds);
+        assert!(!result
+            .ssd_stripe_mapped
+            .verdict(ContractTerm::NoWriteAmplification)
+            .unwrap()
+            .holds);
+    }
+}

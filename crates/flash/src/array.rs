@@ -1,0 +1,280 @@
+//! The whole flash array: every element plus aggregate wear statistics.
+
+use crate::element::{ElementCounters, FlashElement};
+use crate::error::FlashError;
+use crate::geometry::{ElementId, FlashGeometry, PhysPageAddr};
+use crate::timing::FlashTiming;
+
+/// Aggregate wear statistics across all blocks of the array.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WearSummary {
+    /// Lowest per-block erase count.
+    pub min_erases: u32,
+    /// Highest per-block erase count.
+    pub max_erases: u32,
+    /// Mean per-block erase count.
+    pub mean_erases: f64,
+    /// Total block erases performed.
+    pub total_erases: u64,
+    /// Number of blocks whose erase count exceeds the part's endurance.
+    pub worn_out_blocks: u64,
+}
+
+impl WearSummary {
+    /// Difference between the most- and least-worn blocks; the quantity
+    /// wear-leveling tries to bound.
+    pub fn spread(&self) -> u32 {
+        self.max_erases - self.min_erases
+    }
+}
+
+/// The complete flash array of an SSD.
+#[derive(Clone, Debug)]
+pub struct FlashArray {
+    geometry: FlashGeometry,
+    timing: FlashTiming,
+    elements: Vec<FlashElement>,
+}
+
+impl FlashArray {
+    /// Builds an erased array for the given geometry and timing.
+    pub fn new(geometry: FlashGeometry, timing: FlashTiming) -> Result<Self, FlashError> {
+        geometry.validate()?;
+        let elements = (0..geometry.elements())
+            .map(|i| {
+                FlashElement::new(
+                    ElementId(i),
+                    geometry.blocks_per_element(),
+                    geometry.pages_per_block,
+                )
+            })
+            .collect();
+        Ok(FlashArray {
+            geometry,
+            timing,
+            elements,
+        })
+    }
+
+    /// The array geometry.
+    pub fn geometry(&self) -> &FlashGeometry {
+        &self.geometry
+    }
+
+    /// The flash timing parameters.
+    pub fn timing(&self) -> &FlashTiming {
+        &self.timing
+    }
+
+    /// Number of elements.
+    pub fn element_count(&self) -> u32 {
+        self.elements.len() as u32
+    }
+
+    /// Immutable access to an element.
+    pub fn element(&self, id: ElementId) -> Result<&FlashElement, FlashError> {
+        self.elements
+            .get(id.index())
+            .ok_or(FlashError::OutOfRange {
+                what: "element",
+                index: id.0 as u64,
+                bound: self.elements.len() as u64,
+            })
+    }
+
+    /// Mutable access to an element.
+    pub fn element_mut(&mut self, id: ElementId) -> Result<&mut FlashElement, FlashError> {
+        let bound = self.elements.len() as u64;
+        self.elements
+            .get_mut(id.index())
+            .ok_or(FlashError::OutOfRange {
+                what: "element",
+                index: id.0 as u64,
+                bound,
+            })
+    }
+
+    /// Reads the page at `addr`.
+    pub fn read(&mut self, addr: PhysPageAddr) -> Result<(), FlashError> {
+        self.geometry.check_addr(addr)?;
+        self.element_mut(addr.element)?.read(addr.block, addr.page)
+    }
+
+    /// Programs the next sequential page of `block` on `element`.
+    pub fn program(&mut self, element: ElementId, block: u32) -> Result<PhysPageAddr, FlashError> {
+        self.element_mut(element)?.program(block)
+    }
+
+    /// Invalidates the page at `addr`.
+    pub fn invalidate(&mut self, addr: PhysPageAddr) -> Result<(), FlashError> {
+        self.geometry.check_addr(addr)?;
+        self.element_mut(addr.element)?
+            .invalidate(addr.block, addr.page)
+    }
+
+    /// Erases `block` on `element`.
+    pub fn erase(&mut self, element: ElementId, block: u32) -> Result<(), FlashError> {
+        self.element_mut(element)?.erase(block)
+    }
+
+    /// Total free pages across the array.
+    pub fn free_pages(&self) -> u64 {
+        self.elements.iter().map(|e| e.free_pages()).sum()
+    }
+
+    /// Total valid pages across the array.
+    pub fn valid_pages(&self) -> u64 {
+        self.elements.iter().map(|e| e.valid_pages()).sum()
+    }
+
+    /// Total stale pages across the array.
+    pub fn invalid_pages(&self) -> u64 {
+        self.elements.iter().map(|e| e.invalid_pages()).sum()
+    }
+
+    /// Total physical pages in the array.
+    pub fn total_pages(&self) -> u64 {
+        self.geometry.total_pages()
+    }
+
+    /// Sums the per-element operation counters.
+    pub fn counters(&self) -> ElementCounters {
+        let mut total = ElementCounters::default();
+        for e in &self.elements {
+            let c = e.counters();
+            total.page_reads += c.page_reads;
+            total.page_programs += c.page_programs;
+            total.block_erases += c.block_erases;
+        }
+        total
+    }
+
+    /// Computes aggregate wear statistics.
+    pub fn wear_summary(&self) -> WearSummary {
+        let mut min = u32::MAX;
+        let mut max = 0u32;
+        let mut total = 0u64;
+        let mut count = 0u64;
+        let mut worn = 0u64;
+        for e in &self.elements {
+            for c in e.erase_counts() {
+                min = min.min(c);
+                max = max.max(c);
+                total += c as u64;
+                count += 1;
+                if c >= self.timing.endurance {
+                    worn += 1;
+                }
+            }
+        }
+        if count == 0 {
+            return WearSummary::default();
+        }
+        WearSummary {
+            min_erases: min,
+            max_erases: max,
+            mean_erases: total as f64 / count as f64,
+            total_erases: total,
+            worn_out_blocks: worn,
+        }
+    }
+
+    /// Iterates over all elements.
+    pub fn iter_elements(&self) -> impl Iterator<Item = &FlashElement> + '_ {
+        self.elements.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::FlashGeometry;
+    use crate::timing::FlashTiming;
+
+    fn array() -> FlashArray {
+        FlashArray::new(FlashGeometry::tiny(), FlashTiming::slc()).unwrap()
+    }
+
+    #[test]
+    fn new_array_matches_geometry() {
+        let a = array();
+        assert_eq!(a.element_count(), 2);
+        assert_eq!(a.total_pages(), 128);
+        assert_eq!(a.free_pages(), 128);
+        assert_eq!(a.valid_pages(), 0);
+    }
+
+    #[test]
+    fn invalid_geometry_is_rejected() {
+        let mut g = FlashGeometry::tiny();
+        g.blocks_per_plane = 0;
+        assert!(FlashArray::new(g, FlashTiming::slc()).is_err());
+    }
+
+    #[test]
+    fn cross_element_operations() {
+        let mut a = array();
+        let p0 = a.program(ElementId(0), 0).unwrap();
+        let p1 = a.program(ElementId(1), 3).unwrap();
+        assert_eq!(p0.element, ElementId(0));
+        assert_eq!(p1.element, ElementId(1));
+        a.read(p0).unwrap();
+        a.read(p1).unwrap();
+        a.invalidate(p0).unwrap();
+        a.erase(ElementId(0), 0).unwrap();
+        let c = a.counters();
+        assert_eq!(c.page_programs, 2);
+        assert_eq!(c.page_reads, 2);
+        assert_eq!(c.block_erases, 1);
+        assert_eq!(a.valid_pages(), 1);
+    }
+
+    #[test]
+    fn addresses_are_validated() {
+        let mut a = array();
+        let bad = PhysPageAddr {
+            element: ElementId(5),
+            block: 0,
+            page: 0,
+        };
+        assert!(a.read(bad).is_err());
+        assert!(a.invalidate(bad).is_err());
+        assert!(a.program(ElementId(5), 0).is_err());
+        assert!(a.erase(ElementId(0), 99).is_err());
+        assert!(a.element(ElementId(9)).is_err());
+    }
+
+    #[test]
+    fn wear_summary_tracks_spread() {
+        let mut a = array();
+        // Erase block 0 of element 0 three times, block 1 once.
+        for _ in 0..3 {
+            a.erase(ElementId(0), 0).unwrap();
+        }
+        a.erase(ElementId(0), 1).unwrap();
+        let w = a.wear_summary();
+        assert_eq!(w.min_erases, 0);
+        assert_eq!(w.max_erases, 3);
+        assert_eq!(w.total_erases, 4);
+        assert_eq!(w.spread(), 3);
+        assert_eq!(w.worn_out_blocks, 0);
+        assert!(w.mean_erases > 0.0);
+    }
+
+    #[test]
+    fn page_accounting_sums_across_elements() {
+        let mut a = array();
+        for _ in 0..5 {
+            a.program(ElementId(0), 2).unwrap();
+        }
+        for _ in 0..3 {
+            a.program(ElementId(1), 2).unwrap();
+        }
+        assert_eq!(a.valid_pages(), 8);
+        assert_eq!(a.free_pages(), 120);
+        assert_eq!(
+            a.valid_pages() + a.invalid_pages() + a.free_pages(),
+            a.total_pages()
+        );
+    }
+}

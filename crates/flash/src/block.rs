@@ -1,0 +1,314 @@
+//! Per-block page state tracking.
+//!
+//! A block is the erase unit.  Pages inside a block must be programmed
+//! sequentially (a constraint of real NAND that log-structured FTLs rely
+//! on), may be invalidated when the logical data they hold is overwritten
+//! or freed, and all return to the free state when the block is erased.
+
+use crate::error::FlashError;
+use crate::geometry::{ElementId, PhysPageAddr};
+
+/// The lifecycle state of one physical page.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PageState {
+    /// Erased and ready to be programmed.
+    Free,
+    /// Programmed and holding live data.
+    Valid,
+    /// Programmed but holding stale data (superseded or freed).
+    Invalid,
+}
+
+/// One erase block: a vector of page states plus a sequential write pointer
+/// and an erase counter.
+#[derive(Clone, Debug)]
+pub struct Block {
+    states: Vec<PageState>,
+    write_ptr: u32,
+    erase_count: u32,
+    valid: u32,
+}
+
+impl Block {
+    /// Creates an erased block with `pages_per_block` free pages.
+    pub fn new(pages_per_block: u32) -> Self {
+        Block {
+            states: vec![PageState::Free; pages_per_block as usize],
+            write_ptr: 0,
+            erase_count: 0,
+            valid: 0,
+        }
+    }
+
+    /// Number of pages in the block.
+    pub fn pages(&self) -> u32 {
+        self.states.len() as u32
+    }
+
+    /// State of page `page`, or an out-of-range error.
+    pub fn state(&self, page: u32) -> Result<PageState, FlashError> {
+        self.states
+            .get(page as usize)
+            .copied()
+            .ok_or(FlashError::OutOfRange {
+                what: "page",
+                index: page as u64,
+                bound: self.states.len() as u64,
+            })
+    }
+
+    /// Programs the next free page in sequence and returns its index.
+    ///
+    /// Fails with [`FlashError::BlockFull`] when all pages are programmed.
+    /// The `element`/`block` coordinates are only used to build error values.
+    pub fn program_next(&mut self, element: ElementId, block: u32) -> Result<u32, FlashError> {
+        if self.write_ptr as usize >= self.states.len() {
+            return Err(FlashError::BlockFull {
+                element: element.0,
+                block,
+            });
+        }
+        let page = self.write_ptr;
+        debug_assert_eq!(self.states[page as usize], PageState::Free);
+        self.states[page as usize] = PageState::Valid;
+        self.write_ptr += 1;
+        self.valid += 1;
+        Ok(page)
+    }
+
+    /// Marks a previously programmed page as stale.
+    pub fn invalidate(
+        &mut self,
+        element: ElementId,
+        block: u32,
+        page: u32,
+    ) -> Result<(), FlashError> {
+        let addr = PhysPageAddr {
+            element,
+            block,
+            page,
+        };
+        match self.state(page)? {
+            PageState::Free => Err(FlashError::InvalidateFreePage { addr }),
+            PageState::Invalid => Ok(()), // Idempotent: already stale.
+            PageState::Valid => {
+                self.states[page as usize] = PageState::Invalid;
+                self.valid -= 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Checks that reading `page` would return defined data.
+    pub fn check_readable(
+        &self,
+        element: ElementId,
+        block: u32,
+        page: u32,
+    ) -> Result<(), FlashError> {
+        let addr = PhysPageAddr {
+            element,
+            block,
+            page,
+        };
+        match self.state(page)? {
+            PageState::Free => Err(FlashError::ReadFreePage { addr }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Erases the block, returning all pages to the free state.
+    ///
+    /// Fails if valid pages remain (`force` is deliberately not offered: an
+    /// FTL that erases live data has a bug the simulator should expose).
+    pub fn erase(&mut self, element: ElementId, block: u32) -> Result<(), FlashError> {
+        if self.valid > 0 {
+            return Err(FlashError::EraseWithValidPages {
+                element: element.0,
+                block,
+                valid: self.valid,
+            });
+        }
+        for s in &mut self.states {
+            *s = PageState::Free;
+        }
+        self.write_ptr = 0;
+        self.erase_count += 1;
+        Ok(())
+    }
+
+    /// Number of valid pages.
+    pub fn valid_count(&self) -> u32 {
+        self.valid
+    }
+
+    /// Number of stale (invalid) pages.
+    pub fn invalid_count(&self) -> u32 {
+        self.write_ptr - self.valid
+    }
+
+    /// Number of still-free (programmable) pages.
+    pub fn free_count(&self) -> u32 {
+        self.pages() - self.write_ptr
+    }
+
+    /// Whether every page has been programmed since the last erase.
+    pub fn is_full(&self) -> bool {
+        self.write_ptr as usize == self.states.len()
+    }
+
+    /// Whether the block is entirely erased.
+    pub fn is_erased(&self) -> bool {
+        self.write_ptr == 0
+    }
+
+    /// Index of the next page that `program_next` would use.
+    pub fn write_ptr(&self) -> u32 {
+        self.write_ptr
+    }
+
+    /// Number of times this block has been erased.
+    pub fn erase_count(&self) -> u32 {
+        self.erase_count
+    }
+
+    /// Whether the block has exceeded the given endurance.
+    pub fn is_worn_out(&self, endurance: u32) -> bool {
+        self.erase_count >= endurance
+    }
+
+    /// Iterates over `(page_index, state)` pairs.
+    pub fn iter_states(&self) -> impl Iterator<Item = (u32, PageState)> + '_ {
+        self.states.iter().enumerate().map(|(i, s)| (i as u32, *s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const E: ElementId = ElementId(0);
+
+    #[test]
+    fn new_block_is_erased() {
+        let b = Block::new(8);
+        assert_eq!(b.pages(), 8);
+        assert_eq!(b.valid_count(), 0);
+        assert_eq!(b.invalid_count(), 0);
+        assert_eq!(b.free_count(), 8);
+        assert!(b.is_erased());
+        assert!(!b.is_full());
+        assert_eq!(b.erase_count(), 0);
+    }
+
+    #[test]
+    fn program_is_sequential() {
+        let mut b = Block::new(4);
+        assert_eq!(b.program_next(E, 0).unwrap(), 0);
+        assert_eq!(b.program_next(E, 0).unwrap(), 1);
+        assert_eq!(b.program_next(E, 0).unwrap(), 2);
+        assert_eq!(b.program_next(E, 0).unwrap(), 3);
+        assert!(b.is_full());
+        assert!(matches!(
+            b.program_next(E, 0),
+            Err(FlashError::BlockFull { .. })
+        ));
+    }
+
+    #[test]
+    fn invalidate_transitions() {
+        let mut b = Block::new(4);
+        b.program_next(E, 0).unwrap();
+        b.program_next(E, 0).unwrap();
+        assert_eq!(b.valid_count(), 2);
+        b.invalidate(E, 0, 0).unwrap();
+        assert_eq!(b.valid_count(), 1);
+        assert_eq!(b.invalid_count(), 1);
+        // Idempotent on already-invalid pages.
+        b.invalidate(E, 0, 0).unwrap();
+        assert_eq!(b.valid_count(), 1);
+        // Invalidating a free page is an error.
+        assert!(matches!(
+            b.invalidate(E, 0, 3),
+            Err(FlashError::InvalidateFreePage { .. })
+        ));
+        // Out of range.
+        assert!(b.invalidate(E, 0, 9).is_err());
+    }
+
+    #[test]
+    fn readable_check() {
+        let mut b = Block::new(2);
+        assert!(matches!(
+            b.check_readable(E, 0, 0),
+            Err(FlashError::ReadFreePage { .. })
+        ));
+        b.program_next(E, 0).unwrap();
+        assert!(b.check_readable(E, 0, 0).is_ok());
+        b.invalidate(E, 0, 0).unwrap();
+        // Stale pages are still physically readable.
+        assert!(b.check_readable(E, 0, 0).is_ok());
+    }
+
+    #[test]
+    fn erase_requires_no_valid_pages() {
+        let mut b = Block::new(2);
+        b.program_next(E, 0).unwrap();
+        assert!(matches!(
+            b.erase(E, 0),
+            Err(FlashError::EraseWithValidPages { valid: 1, .. })
+        ));
+        b.invalidate(E, 0, 0).unwrap();
+        b.erase(E, 0).unwrap();
+        assert!(b.is_erased());
+        assert_eq!(b.erase_count(), 1);
+        assert_eq!(b.free_count(), 2);
+        // Pages can be programmed again after the erase.
+        assert_eq!(b.program_next(E, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn wear_tracking() {
+        let mut b = Block::new(1);
+        for _ in 0..5 {
+            b.program_next(E, 0).unwrap();
+            b.invalidate(E, 0, 0).unwrap();
+            b.erase(E, 0).unwrap();
+        }
+        assert_eq!(b.erase_count(), 5);
+        assert!(b.is_worn_out(5));
+        assert!(!b.is_worn_out(6));
+    }
+
+    #[test]
+    fn iter_states_reports_all_pages() {
+        let mut b = Block::new(3);
+        b.program_next(E, 0).unwrap();
+        b.program_next(E, 0).unwrap();
+        b.invalidate(E, 0, 0).unwrap();
+        let states: Vec<(u32, PageState)> = b.iter_states().collect();
+        assert_eq!(
+            states,
+            vec![
+                (0, PageState::Invalid),
+                (1, PageState::Valid),
+                (2, PageState::Free)
+            ]
+        );
+    }
+
+    #[test]
+    fn counts_always_sum_to_block_size() {
+        let mut b = Block::new(16);
+        for i in 0..16 {
+            b.program_next(E, 0).unwrap();
+            if i % 3 == 0 {
+                b.invalidate(E, 0, i).unwrap();
+            }
+            assert_eq!(
+                b.valid_count() + b.invalid_count() + b.free_count(),
+                b.pages()
+            );
+        }
+    }
+}

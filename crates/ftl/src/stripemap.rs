@@ -1,0 +1,809 @@
+//! Coarse-grained, stripe-mapped FTL.
+//!
+//! Low-end SSDs (the paper's S2slc and S3slc engineering samples) keep their
+//! mapping tables small by mapping at the granularity of a large *logical
+//! page* — the stripe that spans a whole gang of packages (1 MB on S2slc,
+//! §3.4).  The consequence is the paper's write-amplification story:
+//!
+//! * a host write smaller than the stripe triggers a read-modify-write of
+//!   the entire stripe (Figure 2's saw-tooth, Table 2's catastrophic random
+//!   write bandwidth);
+//! * only writes that are merged and aligned to stripe boundaries achieve
+//!   full bandwidth, which is why the paper argues the *device* (which knows
+//!   the stripe size) should perform that merging.
+//!
+//! The FTL keeps a one-stripe coalescing buffer: sequential writes into the
+//! same stripe accumulate in controller RAM and are flushed as a single
+//! full-stripe program; touching a different stripe forces the partial
+//! stripe out with a read-modify-write.
+
+use ossd_flash::{ElementId, FlashArray, FlashGeometry, FlashTiming};
+
+use crate::config::FtlConfig;
+use crate::error::FtlError;
+use crate::types::{FlashOp, FlashOpKind, Ftl, FtlStats, Lpn, OpPurpose, WriteContext};
+
+const UNMAPPED: u64 = u64::MAX;
+
+/// A stripe held in controller RAM waiting to be flushed.
+#[derive(Clone, Copy, Debug)]
+struct OpenStripe {
+    lpn: Lpn,
+    covered_bytes: u64,
+}
+
+/// State of one superblock (the same block index across every element).
+#[derive(Clone, Debug)]
+struct SuperBlock {
+    /// Per-slot logical page, `UNMAPPED` when the slot is stale or unused.
+    slot_lpns: Vec<u64>,
+    /// Next slot to program.
+    write_ptr: u32,
+    /// Number of slots holding live data.
+    valid: u32,
+    /// Erase count (applies to every element's block in lockstep).
+    erase_count: u32,
+}
+
+impl SuperBlock {
+    fn new(slots: u32) -> Self {
+        SuperBlock {
+            slot_lpns: vec![UNMAPPED; slots as usize],
+            write_ptr: 0,
+            valid: 0,
+            erase_count: 0,
+        }
+    }
+
+    fn slots(&self) -> u32 {
+        self.slot_lpns.len() as u32
+    }
+
+    fn is_full(&self) -> bool {
+        self.write_ptr == self.slots()
+    }
+
+    fn is_erased(&self) -> bool {
+        self.write_ptr == 0
+    }
+
+    fn invalid(&self) -> u32 {
+        self.write_ptr - self.valid
+    }
+}
+
+/// A stripe-mapped FTL over a [`FlashArray`].
+///
+/// Every logical page (stripe) occupies `chunk_pages` consecutive flash
+/// pages on *each* element; all elements are programmed and erased in
+/// lockstep, so the mapping is per-superblock-slot rather than per flash
+/// page.
+#[derive(Clone, Debug)]
+pub struct StripeFtl {
+    flash: FlashArray,
+    config: FtlConfig,
+    /// Flash pages per element that one stripe occupies.
+    chunk_pages: u32,
+    /// Slots (stripes) per superblock.
+    slots_per_superblock: u32,
+    logical_pages: u64,
+    /// Logical stripe -> global slot index, or `UNMAPPED`.
+    map: Vec<u64>,
+    superblocks: Vec<SuperBlock>,
+    free_superblocks: Vec<u32>,
+    active_superblock: Option<u32>,
+    open: Option<OpenStripe>,
+    /// Whether sequential sub-stripe writes are coalesced in controller RAM
+    /// before being flushed (the device-side merge-and-align scheme of
+    /// §3.4).  When disabled, every write is issued to flash as it arrives.
+    coalesce: bool,
+    free_slots: u64,
+    total_slots: u64,
+    stats: FtlStats,
+}
+
+impl StripeFtl {
+    /// Builds a stripe-mapped FTL.  `stripe_bytes` must be a multiple of
+    /// `elements × page_bytes`; the common configurations are 32 KB (one
+    /// flash page per element on an 8-package gang, Table 3) and 1 MB
+    /// (32 pages per element, S2slc in Figure 2).
+    pub fn new(
+        geometry: FlashGeometry,
+        timing: FlashTiming,
+        config: FtlConfig,
+        stripe_bytes: u64,
+    ) -> Result<Self, FtlError> {
+        config.validate()?;
+        let flash = FlashArray::new(geometry, timing)?;
+        let elements = geometry.elements() as u64;
+        let row_bytes = elements * geometry.page_bytes as u64;
+        if stripe_bytes == 0 || stripe_bytes % row_bytes != 0 {
+            return Err(FtlError::InvalidConfig {
+                reason: format!(
+                    "stripe size {stripe_bytes} must be a positive multiple of \
+                     elements × page size ({row_bytes})"
+                ),
+            });
+        }
+        let chunk_pages = (stripe_bytes / row_bytes) as u32;
+        if chunk_pages > geometry.pages_per_block {
+            return Err(FtlError::InvalidConfig {
+                reason: format!(
+                    "stripe chunk of {chunk_pages} pages exceeds block size of {} pages",
+                    geometry.pages_per_block
+                ),
+            });
+        }
+        let slots_per_superblock = geometry.pages_per_block / chunk_pages;
+        let superblock_count = geometry.blocks_per_element();
+        let total_slots = superblock_count as u64 * slots_per_superblock as u64;
+        let logical_pages =
+            ((total_slots as f64) * (1.0 - config.overprovisioning)).floor() as u64;
+        if logical_pages == 0 {
+            return Err(FtlError::InvalidConfig {
+                reason: "geometry too small: no logical stripes exported".to_string(),
+            });
+        }
+        Ok(StripeFtl {
+            flash,
+            config,
+            chunk_pages,
+            slots_per_superblock,
+            logical_pages,
+            map: vec![UNMAPPED; logical_pages as usize],
+            superblocks: (0..superblock_count)
+                .map(|_| SuperBlock::new(slots_per_superblock))
+                .collect(),
+            free_superblocks: (0..superblock_count).rev().collect(),
+            active_superblock: None,
+            open: None,
+            coalesce: true,
+            free_slots: total_slots,
+            total_slots,
+            stats: FtlStats::default(),
+        })
+    }
+
+    /// Enables or disables write coalescing.  With coalescing off, every
+    /// sub-stripe write is flushed to flash as it arrives ("issuing the
+    /// writes as they arrive", the Table 3 baseline); with it on, the FTL
+    /// merges sequential writes and aligns flushes to stripe boundaries.
+    pub fn set_coalescing(&mut self, coalesce: bool) {
+        self.coalesce = coalesce;
+    }
+
+    /// Whether write coalescing is enabled.
+    pub fn coalescing(&self) -> bool {
+        self.coalesce
+    }
+
+    /// Stripe (logical page) size in bytes.
+    pub fn stripe_bytes(&self) -> u64 {
+        self.flash.geometry().elements() as u64
+            * self.chunk_pages as u64
+            * self.flash.geometry().page_bytes as u64
+    }
+
+    /// The FTL configuration.
+    pub fn config(&self) -> &FtlConfig {
+        &self.config
+    }
+
+    /// Read-only access to the underlying flash array.
+    pub fn flash(&self) -> &FlashArray {
+        &self.flash
+    }
+
+    fn check_lpn(&self, lpn: Lpn) -> Result<(), FtlError> {
+        if lpn.0 >= self.logical_pages {
+            Err(FtlError::LpnOutOfRange {
+                lpn,
+                logical_pages: self.logical_pages,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn slot_superblock(&self, slot: u64) -> u32 {
+        (slot / self.slots_per_superblock as u64) as u32
+    }
+
+    fn slot_row(&self, slot: u64) -> u32 {
+        (slot % self.slots_per_superblock as u64) as u32
+    }
+
+    /// Emits the flash-state mutations and ops for reading `pages` physical
+    /// pages of the stripe stored in `slot`, starting at element 0.
+    fn read_slot_pages(
+        &mut self,
+        slot: u64,
+        pages: u32,
+        purpose: OpPurpose,
+        ops: &mut Vec<FlashOp>,
+    ) -> Result<(), FtlError> {
+        let superblock = self.slot_superblock(slot);
+        let row = self.slot_row(slot);
+        let elements = self.flash.geometry().elements();
+        let mut remaining = pages;
+        'outer: for chunk in 0..self.chunk_pages {
+            for element in 0..elements {
+                if remaining == 0 {
+                    break 'outer;
+                }
+                let page = row * self.chunk_pages + chunk;
+                self.flash.read(ossd_flash::PhysPageAddr {
+                    element: ElementId(element),
+                    block: superblock,
+                    page,
+                })?;
+                self.stats.pages_read_host += 1;
+                ops.push(FlashOp {
+                    element: ElementId(element),
+                    kind: FlashOpKind::ReadPage,
+                    purpose,
+                });
+                remaining -= 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Invalidates every physical page of the stripe stored in `slot`.
+    fn invalidate_slot(&mut self, slot: u64) -> Result<(), FtlError> {
+        let superblock = self.slot_superblock(slot);
+        let row = self.slot_row(slot);
+        let elements = self.flash.geometry().elements();
+        for chunk in 0..self.chunk_pages {
+            for element in 0..elements {
+                let page = row * self.chunk_pages + chunk;
+                self.flash.invalidate(ossd_flash::PhysPageAddr {
+                    element: ElementId(element),
+                    block: superblock,
+                    page,
+                })?;
+            }
+        }
+        let sb = &mut self.superblocks[superblock as usize];
+        sb.slot_lpns[row as usize] = UNMAPPED;
+        sb.valid -= 1;
+        Ok(())
+    }
+
+    fn ensure_active_superblock(&mut self, allow_reserve: bool) -> Result<u32, FtlError> {
+        let need_new = match self.active_superblock {
+            Some(sb) => self.superblocks[sb as usize].is_full(),
+            None => true,
+        };
+        if !need_new {
+            return Ok(self.active_superblock.expect("checked above"));
+        }
+        let reserve = if allow_reserve {
+            0
+        } else {
+            self.config.gc_reserved_blocks as usize
+        };
+        if self.free_superblocks.len() <= reserve {
+            return Err(FtlError::NoFreeBlocks { element: 0 });
+        }
+        // Lowest erase count first.
+        let mut best_idx = 0usize;
+        let mut best_erases = u32::MAX;
+        for (i, &sb) in self.free_superblocks.iter().enumerate() {
+            let erases = self.superblocks[sb as usize].erase_count;
+            if erases < best_erases {
+                best_erases = erases;
+                best_idx = i;
+            }
+        }
+        let sb = self.free_superblocks.swap_remove(best_idx);
+        self.active_superblock = Some(sb);
+        Ok(sb)
+    }
+
+    /// Programs a whole stripe for `lpn` into the active superblock and
+    /// updates the mapping.  Emits one program op per physical page.
+    fn program_stripe(
+        &mut self,
+        lpn: Lpn,
+        purpose: OpPurpose,
+        allow_reserve: bool,
+        ops: &mut Vec<FlashOp>,
+    ) -> Result<(), FtlError> {
+        let superblock = self.ensure_active_superblock(allow_reserve)?;
+        let row = self.superblocks[superblock as usize].write_ptr;
+        let elements = self.flash.geometry().elements();
+        for chunk in 0..self.chunk_pages {
+            for element in 0..elements {
+                let addr = self.flash.program(ElementId(element), superblock)?;
+                debug_assert_eq!(addr.page, row * self.chunk_pages + chunk);
+                ops.push(FlashOp {
+                    element: ElementId(element),
+                    kind: if purpose.is_background() {
+                        FlashOpKind::CopybackPage
+                    } else {
+                        FlashOpKind::ProgramPage
+                    },
+                    purpose,
+                });
+                if purpose.is_background() {
+                    self.stats.gc_pages_moved += 1;
+                } else {
+                    self.stats.pages_programmed_host += 1;
+                }
+            }
+        }
+        let slot = superblock as u64 * self.slots_per_superblock as u64 + row as u64;
+        // Supersede the previous copy of this stripe, if any.
+        let old = self.map[lpn.index()];
+        if old != UNMAPPED {
+            self.invalidate_slot(old)?;
+        }
+        let sb = &mut self.superblocks[superblock as usize];
+        sb.slot_lpns[row as usize] = lpn.0;
+        sb.write_ptr += 1;
+        sb.valid += 1;
+        self.map[lpn.index()] = slot;
+        self.free_slots -= 1;
+        Ok(())
+    }
+
+    /// Flushes the open stripe buffer, performing a read-modify-write when
+    /// the buffer covers only part of the stripe and an older copy exists.
+    fn flush_open(&mut self, ops: &mut Vec<FlashOp>) -> Result<(), FtlError> {
+        let Some(open) = self.open.take() else {
+            return Ok(());
+        };
+        let stripe_bytes = self.stripe_bytes();
+        let old_slot = self.map[open.lpn.index()];
+        if open.covered_bytes < stripe_bytes && old_slot != UNMAPPED {
+            // Read back the part of the old stripe the buffer does not
+            // cover before rewriting the whole stripe.
+            let page_bytes = self.flash.geometry().page_bytes as u64;
+            let missing_bytes = stripe_bytes - open.covered_bytes;
+            let missing_pages = missing_bytes.div_ceil(page_bytes) as u32;
+            self.read_slot_pages(old_slot, missing_pages, OpPurpose::HostWrite, ops)?;
+        }
+        self.program_stripe(open.lpn, OpPurpose::HostWrite, false, ops)?;
+        Ok(())
+    }
+
+    fn free_slot_fraction(&self) -> f64 {
+        if self.total_slots == 0 {
+            return 0.0;
+        }
+        self.free_slots as f64 / self.total_slots as f64
+    }
+
+    /// Greedy cleaning of one superblock; returns false when nothing could
+    /// be reclaimed.
+    fn clean_one_superblock(&mut self, ops: &mut Vec<FlashOp>) -> Result<bool, FtlError> {
+        let mut best: Option<(u32, u32)> = None;
+        for (idx, sb) in self.superblocks.iter().enumerate() {
+            if Some(idx as u32) == self.active_superblock || sb.is_erased() {
+                continue;
+            }
+            if sb.invalid() == 0 {
+                continue;
+            }
+            match best {
+                None => best = Some((idx as u32, sb.invalid())),
+                Some((_, inv)) if sb.invalid() > inv => best = Some((idx as u32, sb.invalid())),
+                _ => {}
+            }
+        }
+        let Some((victim, _)) = best else {
+            return Ok(false);
+        };
+        // Move live stripes.
+        let live: Vec<(u32, u64)> = self.superblocks[victim as usize]
+            .slot_lpns
+            .iter()
+            .enumerate()
+            .filter(|(_, &lpn)| lpn != UNMAPPED)
+            .map(|(row, &lpn)| (row as u32, lpn))
+            .collect();
+        for (row, lpn) in live {
+            let slot = victim as u64 * self.slots_per_superblock as u64 + row as u64;
+            // Read the stripe out (internal move) then rewrite it at the
+            // append point.
+            self.read_slot_pages_internal(slot, ops)?;
+            self.program_stripe(Lpn(lpn), OpPurpose::Clean, true, ops)?;
+            let _ = slot;
+        }
+        // Erase the victim's block on every element.
+        let elements = self.flash.geometry().elements();
+        let reclaimed = self.superblocks[victim as usize].write_ptr as u64;
+        for element in 0..elements {
+            self.flash.erase(ElementId(element), victim)?;
+            ops.push(FlashOp {
+                element: ElementId(element),
+                kind: FlashOpKind::EraseBlock,
+                purpose: OpPurpose::Clean,
+            });
+        }
+        let sb = &mut self.superblocks[victim as usize];
+        sb.slot_lpns.fill(UNMAPPED);
+        sb.write_ptr = 0;
+        sb.valid = 0;
+        sb.erase_count += 1;
+        self.free_superblocks.push(victim);
+        self.free_slots += reclaimed;
+        self.stats.gc_blocks_erased += elements as u64;
+        Ok(true)
+    }
+
+    /// Reads every page of a live stripe without bus transfers (GC move).
+    fn read_slot_pages_internal(
+        &mut self,
+        slot: u64,
+        ops: &mut Vec<FlashOp>,
+    ) -> Result<(), FtlError> {
+        let superblock = self.slot_superblock(slot);
+        let row = self.slot_row(slot);
+        let elements = self.flash.geometry().elements();
+        for chunk in 0..self.chunk_pages {
+            for element in 0..elements {
+                let page = row * self.chunk_pages + chunk;
+                self.flash.read(ossd_flash::PhysPageAddr {
+                    element: ElementId(element),
+                    block: superblock,
+                    page,
+                })?;
+                ops.push(FlashOp {
+                    element: ElementId(element),
+                    kind: FlashOpKind::CopybackPage,
+                    purpose: OpPurpose::Clean,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn maybe_clean(&mut self, ops: &mut Vec<FlashOp>) -> Result<(), FtlError> {
+        if self.free_slot_fraction() >= self.config.gc_low_watermark {
+            return Ok(());
+        }
+        self.stats.gc_invocations += 1;
+        let mut passes = 0;
+        while self.free_slot_fraction() < self.config.gc_low_watermark && passes < 4 {
+            if !self.clean_one_superblock(ops)? {
+                break;
+            }
+            passes += 1;
+        }
+        Ok(())
+    }
+}
+
+impl Ftl for StripeFtl {
+    fn geometry(&self) -> &FlashGeometry {
+        self.flash.geometry()
+    }
+
+    fn logical_page_bytes(&self) -> u64 {
+        self.stripe_bytes()
+    }
+
+    fn logical_pages(&self) -> u64 {
+        self.logical_pages
+    }
+
+    fn read(&mut self, lpn: Lpn, covered_bytes: u64) -> Result<Vec<FlashOp>, FtlError> {
+        self.check_lpn(lpn)?;
+        self.stats.host_reads += 1;
+        // Reads of a stripe still sitting in the open buffer are served from
+        // RAM.
+        if let Some(open) = self.open {
+            if open.lpn == lpn {
+                return Ok(Vec::new());
+            }
+        }
+        let slot = self.map[lpn.index()];
+        if slot == UNMAPPED {
+            return Ok(Vec::new());
+        }
+        let page_bytes = self.flash.geometry().page_bytes as u64;
+        let pages = covered_bytes
+            .min(self.stripe_bytes())
+            .div_ceil(page_bytes)
+            .max(1) as u32;
+        let mut ops = Vec::new();
+        self.read_slot_pages(slot, pages, OpPurpose::HostRead, &mut ops)?;
+        Ok(ops)
+    }
+
+    fn write(
+        &mut self,
+        lpn: Lpn,
+        covered_bytes: u64,
+        _ctx: &WriteContext,
+    ) -> Result<Vec<FlashOp>, FtlError> {
+        self.check_lpn(lpn)?;
+        self.stats.host_writes += 1;
+        let mut ops = Vec::new();
+        self.maybe_clean(&mut ops)?;
+        let stripe_bytes = self.stripe_bytes();
+        let covered = covered_bytes.min(stripe_bytes);
+        match self.open {
+            Some(ref mut open) if open.lpn == lpn && self.coalesce => {
+                // Sequential fill of the open stripe: absorb in RAM.
+                open.covered_bytes = (open.covered_bytes + covered).min(stripe_bytes);
+                if open.covered_bytes >= stripe_bytes {
+                    self.flush_open(&mut ops)?;
+                }
+            }
+            Some(_) => {
+                // A different stripe (or coalescing is disabled): the open
+                // one must be written out first.
+                self.flush_open(&mut ops)?;
+                self.open = Some(OpenStripe {
+                    lpn,
+                    covered_bytes: covered,
+                });
+                if covered >= stripe_bytes || !self.coalesce {
+                    self.flush_open(&mut ops)?;
+                }
+            }
+            None => {
+                self.open = Some(OpenStripe {
+                    lpn,
+                    covered_bytes: covered,
+                });
+                if covered >= stripe_bytes || !self.coalesce {
+                    self.flush_open(&mut ops)?;
+                }
+            }
+        }
+        Ok(ops)
+    }
+
+    fn free(&mut self, lpn: Lpn) -> Result<bool, FtlError> {
+        self.check_lpn(lpn)?;
+        if !self.config.honor_free {
+            return Ok(false);
+        }
+        self.stats.frees_accepted += 1;
+        if let Some(open) = self.open {
+            if open.lpn == lpn {
+                self.open = None;
+            }
+        }
+        let slot = self.map[lpn.index()];
+        if slot == UNMAPPED {
+            return Ok(false);
+        }
+        self.invalidate_slot(slot)?;
+        self.map[lpn.index()] = UNMAPPED;
+        Ok(true)
+    }
+
+    fn flush(&mut self) -> Result<Vec<FlashOp>, FtlError> {
+        let mut ops = Vec::new();
+        self.flush_open(&mut ops)?;
+        Ok(ops)
+    }
+
+    fn stats(&self) -> FtlStats {
+        self.stats
+    }
+
+    fn free_page_fraction(&self) -> f64 {
+        self.free_slot_fraction()
+    }
+
+    fn is_mapped(&self, lpn: Lpn) -> bool {
+        if lpn.0 >= self.logical_pages {
+            return false;
+        }
+        self.map[lpn.index()] != UNMAPPED
+            || self.open.map(|o| o.lpn == lpn).unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ossd_flash::FlashGeometry;
+
+    /// Tiny geometry: 2 elements × 8 blocks × 8 pages × 4 KB.
+    /// With a 8 KB stripe (1 page per element), a superblock holds 8 slots.
+    fn tiny_stripe_ftl(config: FtlConfig, stripe_bytes: u64) -> StripeFtl {
+        StripeFtl::new(
+            FlashGeometry::tiny(),
+            FlashTiming::slc(),
+            config,
+            stripe_bytes,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn stripe_size_validation() {
+        let g = FlashGeometry::tiny();
+        let t = FlashTiming::slc();
+        // Not a multiple of elements × page size.
+        assert!(StripeFtl::new(g, t, FtlConfig::default(), 4096).is_err());
+        assert!(StripeFtl::new(g, t, FtlConfig::default(), 0).is_err());
+        // Chunk larger than a block.
+        assert!(StripeFtl::new(g, t, FtlConfig::default(), 2 * 8 * 4096 * 16).is_err());
+        // Valid: one page per element.
+        let ftl = StripeFtl::new(g, t, FtlConfig::default(), 8192).unwrap();
+        assert_eq!(ftl.stripe_bytes(), 8192);
+        assert_eq!(ftl.logical_page_bytes(), 8192);
+    }
+
+    #[test]
+    fn full_stripe_write_programs_every_element_once() {
+        let mut ftl = tiny_stripe_ftl(FtlConfig::default(), 8192);
+        let ops = ftl.write(Lpn(0), 8192, &WriteContext::idle()).unwrap();
+        let programs = ops
+            .iter()
+            .filter(|o| o.kind == FlashOpKind::ProgramPage)
+            .count();
+        assert_eq!(programs, 2); // one page on each of the two elements
+        assert!(ftl.is_mapped(Lpn(0)));
+        assert_eq!(ftl.stats().pages_programmed_host, 2);
+        assert_eq!(ftl.stats().pages_read_host, 0);
+    }
+
+    #[test]
+    fn partial_write_is_buffered_until_another_stripe_is_touched() {
+        let mut ftl = tiny_stripe_ftl(FtlConfig::default(), 8192);
+        // Half a stripe: absorbed in RAM, no flash ops yet.
+        let ops = ftl.write(Lpn(0), 4096, &WriteContext::idle()).unwrap();
+        assert!(ops.is_empty());
+        assert!(ftl.is_mapped(Lpn(0)), "open stripe counts as mapped");
+        // Touching another stripe forces the partial one out (no RMW reads
+        // because stripe 0 had never been written before).
+        let ops = ftl.write(Lpn(1), 4096, &WriteContext::idle()).unwrap();
+        let programs = ops
+            .iter()
+            .filter(|o| o.kind == FlashOpKind::ProgramPage)
+            .count();
+        assert_eq!(programs, 2);
+        assert!(ops.iter().all(|o| o.kind != FlashOpKind::ReadPage));
+    }
+
+    #[test]
+    fn sub_stripe_overwrite_causes_read_modify_write() {
+        let mut ftl = tiny_stripe_ftl(FtlConfig::default(), 8192);
+        // Write the full stripe first so an old copy exists.
+        ftl.write(Lpn(0), 8192, &WriteContext::idle()).unwrap();
+        // Now overwrite half of it and force the flush by touching stripe 1.
+        ftl.write(Lpn(0), 4096, &WriteContext::idle()).unwrap();
+        let ops = ftl.write(Lpn(1), 8192, &WriteContext::idle()).unwrap();
+        let reads = ops
+            .iter()
+            .filter(|o| o.kind == FlashOpKind::ReadPage)
+            .count();
+        let programs = ops
+            .iter()
+            .filter(|o| o.kind == FlashOpKind::ProgramPage)
+            .count();
+        assert_eq!(reads, 1, "missing half of the old stripe must be read");
+        assert_eq!(programs, 4, "both stripes are programmed in full");
+        assert!(ftl.stats().write_amplification() > 1.0);
+    }
+
+    #[test]
+    fn sequential_fill_of_a_stripe_flushes_once_without_reads() {
+        let mut ftl = tiny_stripe_ftl(FtlConfig::default(), 8192);
+        let first = ftl.write(Lpn(3), 4096, &WriteContext::idle()).unwrap();
+        assert!(first.is_empty());
+        let second = ftl.write(Lpn(3), 4096, &WriteContext::idle()).unwrap();
+        // The stripe is now fully covered and flushed with no reads.
+        assert_eq!(
+            second
+                .iter()
+                .filter(|o| o.kind == FlashOpKind::ProgramPage)
+                .count(),
+            2
+        );
+        assert!(second.iter().all(|o| o.kind != FlashOpKind::ReadPage));
+    }
+
+    #[test]
+    fn explicit_flush_drains_the_open_stripe() {
+        let mut ftl = tiny_stripe_ftl(FtlConfig::default(), 8192);
+        ftl.write(Lpn(0), 4096, &WriteContext::idle()).unwrap();
+        let ops = ftl.flush().unwrap();
+        assert!(!ops.is_empty());
+        // A second flush is a no-op.
+        assert!(ftl.flush().unwrap().is_empty());
+    }
+
+    #[test]
+    fn reads_touch_only_needed_pages() {
+        let mut ftl = tiny_stripe_ftl(FtlConfig::default(), 8192);
+        ftl.write(Lpn(0), 8192, &WriteContext::idle()).unwrap();
+        // 4 KB read needs one page; full-stripe read needs two.
+        assert_eq!(ftl.read(Lpn(0), 4096).unwrap().len(), 1);
+        assert_eq!(ftl.read(Lpn(0), 8192).unwrap().len(), 2);
+        // Reads of unwritten stripes and of the open buffer cost nothing.
+        assert!(ftl.read(Lpn(5), 4096).unwrap().is_empty());
+        ftl.write(Lpn(6), 4096, &WriteContext::idle()).unwrap();
+        assert!(ftl.read(Lpn(6), 4096).unwrap().is_empty());
+    }
+
+    #[test]
+    fn overwrite_churn_triggers_cleaning() {
+        let config = FtlConfig::default()
+            .with_overprovisioning(0.25)
+            .with_watermarks(0.2, 0.05);
+        let mut ftl = tiny_stripe_ftl(config, 8192);
+        let logical = ftl.logical_pages();
+        for _ in 0..8 {
+            for lpn in 0..logical {
+                ftl.write(Lpn(lpn), 8192, &WriteContext::idle()).unwrap();
+            }
+        }
+        let s = ftl.stats();
+        assert!(s.gc_blocks_erased > 0, "cleaning never ran");
+        assert!(ftl.free_page_fraction() > 0.0);
+    }
+
+    #[test]
+    fn free_with_honor_invalidates_stripe() {
+        let mut ftl = tiny_stripe_ftl(FtlConfig::informed(), 8192);
+        ftl.write(Lpn(2), 8192, &WriteContext::idle()).unwrap();
+        assert!(ftl.free(Lpn(2)).unwrap());
+        assert!(!ftl.is_mapped(Lpn(2)));
+        assert_eq!(ftl.flash().valid_pages(), 0);
+        // Uninformed configuration ignores frees.
+        let mut ftl = tiny_stripe_ftl(FtlConfig::default(), 8192);
+        ftl.write(Lpn(2), 8192, &WriteContext::idle()).unwrap();
+        assert!(!ftl.free(Lpn(2)).unwrap());
+        assert!(ftl.is_mapped(Lpn(2)));
+    }
+
+    #[test]
+    fn out_of_range_lpn_rejected() {
+        let mut ftl = tiny_stripe_ftl(FtlConfig::default(), 8192);
+        let bad = Lpn(ftl.logical_pages());
+        assert!(ftl.read(bad, 4096).is_err());
+        assert!(ftl.write(bad, 4096, &WriteContext::idle()).is_err());
+        assert!(ftl.free(bad).is_err());
+    }
+
+    #[test]
+    fn random_small_writes_amplify_far_more_than_sequential() {
+        // The essence of Table 2's S2slc row and Figure 2: random sub-stripe
+        // writes pay a full-stripe RMW, sequential full-stripe writes do not.
+        let run = |lpns: &[u64]| -> f64 {
+            let mut ftl = tiny_stripe_ftl(FtlConfig::default(), 8192);
+            // Pre-fill every stripe we will touch so overwrites do RMW.
+            for &lpn in lpns {
+                ftl.write(Lpn(lpn), 8192, &WriteContext::idle()).unwrap();
+            }
+            let base = ftl.stats().pages_programmed_host + ftl.stats().pages_read_host;
+            for &lpn in lpns {
+                ftl.write(Lpn(lpn), 4096, &WriteContext::idle()).unwrap();
+            }
+            ftl.flush().unwrap();
+            let after = ftl.stats().pages_programmed_host + ftl.stats().pages_read_host;
+            (after - base) as f64 / lpns.len() as f64
+        };
+        // "Random": alternate between far-apart stripes so nothing coalesces.
+        let random_cost = run(&[0, 3, 1, 4, 2, 5]);
+        // "Sequential": the same stripe is filled by consecutive writes.
+        let sequential_cost = {
+            let mut ftl = tiny_stripe_ftl(FtlConfig::default(), 8192);
+            for lpn in 0..6u64 {
+                ftl.write(Lpn(lpn), 8192, &WriteContext::idle()).unwrap();
+            }
+            let base = ftl.stats().pages_programmed_host + ftl.stats().pages_read_host;
+            for lpn in 0..6u64 {
+                ftl.write(Lpn(lpn), 4096, &WriteContext::idle()).unwrap();
+                ftl.write(Lpn(lpn), 4096, &WriteContext::idle()).unwrap();
+            }
+            ftl.flush().unwrap();
+            let after = ftl.stats().pages_programmed_host + ftl.stats().pages_read_host;
+            (after - base) as f64 / 12.0
+        };
+        assert!(
+            random_cost > 1.5 * sequential_cost,
+            "random cost {random_cost} should far exceed sequential cost {sequential_cost}"
+        );
+    }
+}

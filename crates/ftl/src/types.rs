@@ -1,0 +1,288 @@
+//! Shared FTL types: logical page numbers, flash operations, statistics and
+//! the [`Ftl`] trait both mapping schemes implement.
+
+use ossd_flash::{ElementId, FlashGeometry};
+
+use crate::error::FtlError;
+
+/// A logical page number in the device's exported address space.
+///
+/// The size of a logical page is an FTL property ([`Ftl::logical_page_bytes`]):
+/// 4 KB for the page-mapped FTL, a whole stripe for the stripe-mapped FTL.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lpn(pub u64);
+
+impl Lpn {
+    /// The LPN as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The kind of a scheduled flash operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FlashOpKind {
+    /// Array read followed by a bus transfer to the controller.
+    ReadPage,
+    /// Bus transfer from the controller followed by an array program.
+    ProgramPage,
+    /// Internal read+program without a bus transfer (GC page move).
+    CopybackPage,
+    /// Block erase.
+    EraseBlock,
+}
+
+/// Why an operation was issued; the device accounts foreground and
+/// background (cleaning/wear-leveling) time separately, which is what
+/// Table 5's "cleaning time" and Figure 3's interference measure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpPurpose {
+    /// Servicing a host read.
+    HostRead,
+    /// Servicing a host write.
+    HostWrite,
+    /// Garbage collection (cleaning).
+    Clean,
+    /// Explicit wear-leveling migration.
+    WearLevel,
+}
+
+impl OpPurpose {
+    /// Whether the operation is background work (cleaning or wear-leveling).
+    pub fn is_background(self) -> bool {
+        matches!(self, OpPurpose::Clean | OpPurpose::WearLevel)
+    }
+}
+
+/// One flash-level operation for the device to schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlashOp {
+    /// The element (die) the operation occupies.
+    pub element: ElementId,
+    /// What the element does.
+    pub kind: FlashOpKind,
+    /// Why it does it.
+    pub purpose: OpPurpose,
+}
+
+impl FlashOp {
+    /// Convenience constructor for a host read of one page.
+    pub fn host_read(element: ElementId) -> Self {
+        FlashOp {
+            element,
+            kind: FlashOpKind::ReadPage,
+            purpose: OpPurpose::HostRead,
+        }
+    }
+
+    /// Convenience constructor for a host program of one page.
+    pub fn host_program(element: ElementId) -> Self {
+        FlashOp {
+            element,
+            kind: FlashOpKind::ProgramPage,
+            purpose: OpPurpose::HostWrite,
+        }
+    }
+
+    /// Convenience constructor for a GC copy-back move.
+    pub fn gc_copyback(element: ElementId) -> Self {
+        FlashOp {
+            element,
+            kind: FlashOpKind::CopybackPage,
+            purpose: OpPurpose::Clean,
+        }
+    }
+
+    /// Convenience constructor for a GC erase.
+    pub fn gc_erase(element: ElementId) -> Self {
+        FlashOp {
+            element,
+            kind: FlashOpKind::EraseBlock,
+            purpose: OpPurpose::Clean,
+        }
+    }
+}
+
+/// Context the device passes to the FTL alongside a host write.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WriteContext {
+    /// Whether high-priority (foreground) host requests are currently
+    /// queued at the device.  Priority-aware cleaning postpones garbage
+    /// collection while this is true (§3.6).
+    pub priority_pending: bool,
+}
+
+impl WriteContext {
+    /// Context with no priority requests outstanding.
+    pub fn idle() -> Self {
+        WriteContext {
+            priority_pending: false,
+        }
+    }
+
+    /// Context with priority requests outstanding.
+    pub fn with_priority_pending() -> Self {
+        WriteContext {
+            priority_pending: true,
+        }
+    }
+}
+
+/// Cumulative FTL statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FtlStats {
+    /// Host logical page reads served.
+    pub host_reads: u64,
+    /// Host logical page writes served.
+    pub host_writes: u64,
+    /// Physical pages programmed on behalf of host writes (including
+    /// read-modify-write expansion on the stripe FTL).
+    pub pages_programmed_host: u64,
+    /// Physical pages read on behalf of host operations (including RMW
+    /// reads).
+    pub pages_read_host: u64,
+    /// Valid pages moved by cleaning.
+    pub gc_pages_moved: u64,
+    /// Pages that cleaning skipped because the host had freed them
+    /// (informed cleaning, §3.5).
+    pub gc_pages_skipped_free: u64,
+    /// Blocks erased by cleaning.
+    pub gc_blocks_erased: u64,
+    /// Number of cleaning passes.
+    pub gc_invocations: u64,
+    /// Number of cleaning passes that were postponed because priority
+    /// requests were outstanding (priority-aware cleaning, §3.6).
+    pub gc_postponements: u64,
+    /// Valid pages moved by explicit wear-leveling.
+    pub wear_level_moves: u64,
+    /// Free (TRIM) notifications accepted.
+    pub frees_accepted: u64,
+}
+
+impl FtlStats {
+    /// Write amplification: physical pages programmed (host + GC + wear
+    /// leveling) divided by host logical pages written.  1.0 means no
+    /// amplification; the paper's §3.4 discusses why SSDs exceed it.
+    pub fn write_amplification(&self) -> f64 {
+        if self.host_writes == 0 {
+            return 0.0;
+        }
+        (self.pages_programmed_host + self.gc_pages_moved + self.wear_level_moves) as f64
+            / self.host_writes as f64
+    }
+}
+
+/// The interface both FTLs expose to the SSD device model.
+pub trait Ftl {
+    /// The geometry of the flash array the FTL manages.
+    fn geometry(&self) -> &FlashGeometry;
+
+    /// Size of one logical page in bytes.
+    fn logical_page_bytes(&self) -> u64;
+
+    /// Number of logical pages exported to the host (after over-provisioning).
+    fn logical_pages(&self) -> u64;
+
+    /// Exported capacity in bytes.
+    fn exported_bytes(&self) -> u64 {
+        self.logical_pages() * self.logical_page_bytes()
+    }
+
+    /// Reads one logical page, returning the flash operations to schedule.
+    /// `covered_bytes` says how many bytes of the logical page the host
+    /// actually asked for, so a coarse-grained FTL only reads the physical
+    /// pages it needs.
+    fn read(&mut self, lpn: Lpn, covered_bytes: u64) -> Result<Vec<FlashOp>, FtlError>;
+
+    /// Writes one logical page.  `covered_bytes` says how many bytes of the
+    /// logical page the host actually supplied (a sub-page write forces the
+    /// stripe FTL into a read-modify-write).  Returns the flash operations
+    /// to schedule, including any cleaning or wear-leveling work triggered
+    /// by the allocation.
+    fn write(
+        &mut self,
+        lpn: Lpn,
+        covered_bytes: u64,
+        ctx: &WriteContext,
+    ) -> Result<Vec<FlashOp>, FtlError>;
+
+    /// Accepts a free (TRIM) notification for one logical page.  Returns
+    /// `true` if the FTL used the information (informed cleaning enabled and
+    /// the page was mapped).
+    fn free(&mut self, lpn: Lpn) -> Result<bool, FtlError>;
+
+    /// Flushes any data held in the FTL's volatile buffers to flash,
+    /// returning the flash operations to schedule.  The default
+    /// implementation does nothing; the stripe-mapped FTL uses this to drain
+    /// its open-stripe coalescing buffer.
+    fn flush(&mut self) -> Result<Vec<FlashOp>, FtlError> {
+        Ok(Vec::new())
+    }
+
+    /// Cumulative statistics.
+    fn stats(&self) -> FtlStats;
+
+    /// The element a read of `lpn` would primarily occupy, if the page is
+    /// mapped.  Schedulers (SWTF, §3.2) use this to estimate per-request
+    /// queue wait times; `None` means the scheduler should treat the target
+    /// as unknown/idle.
+    fn locate(&self, lpn: Lpn) -> Option<u32> {
+        let _ = lpn;
+        None
+    }
+
+    /// Fraction of physical pages currently free (erased and writable).
+    fn free_page_fraction(&self) -> f64;
+
+    /// Whether a logical page currently has a mapping.
+    fn is_mapped(&self, lpn: Lpn) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_purpose_background_classification() {
+        assert!(!OpPurpose::HostRead.is_background());
+        assert!(!OpPurpose::HostWrite.is_background());
+        assert!(OpPurpose::Clean.is_background());
+        assert!(OpPurpose::WearLevel.is_background());
+    }
+
+    #[test]
+    fn flash_op_constructors() {
+        let e = ElementId(2);
+        assert_eq!(FlashOp::host_read(e).kind, FlashOpKind::ReadPage);
+        assert_eq!(FlashOp::host_program(e).purpose, OpPurpose::HostWrite);
+        assert_eq!(FlashOp::gc_copyback(e).kind, FlashOpKind::CopybackPage);
+        assert_eq!(FlashOp::gc_erase(e).purpose, OpPurpose::Clean);
+        assert_eq!(FlashOp::gc_erase(e).element, e);
+    }
+
+    #[test]
+    fn write_context_constructors() {
+        assert!(!WriteContext::idle().priority_pending);
+        assert!(WriteContext::with_priority_pending().priority_pending);
+        assert_eq!(WriteContext::default(), WriteContext::idle());
+    }
+
+    #[test]
+    fn write_amplification_metric() {
+        let mut s = FtlStats::default();
+        assert_eq!(s.write_amplification(), 0.0);
+        s.host_writes = 100;
+        s.pages_programmed_host = 100;
+        assert!((s.write_amplification() - 1.0).abs() < 1e-9);
+        s.gc_pages_moved = 50;
+        assert!((s.write_amplification() - 1.5).abs() < 1e-9);
+        s.wear_level_moves = 50;
+        assert!((s.write_amplification() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lpn_index() {
+        assert_eq!(Lpn(7).index(), 7);
+        assert!(Lpn(3) < Lpn(9));
+    }
+}

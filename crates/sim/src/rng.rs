@@ -1,0 +1,263 @@
+//! Seeded, reproducible random number generation for workloads and devices.
+//!
+//! Every stochastic decision in the workspace (workload generation, HDD
+//! rotational position, synthetic arrival processes) draws from a [`SimRng`]
+//! created from an explicit seed, so every experiment is reproducible
+//! bit-for-bit from its configuration.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::time::SimDuration;
+
+/// A deterministic random number generator with storage-workload helpers.
+///
+/// Internally this wraps [`rand::rngs::SmallRng`]; the wrapper exists so the
+/// rest of the workspace depends on a small, stable surface rather than on
+/// the `rand` crate directly.
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator; useful to give each workload
+    /// phase or device its own stream without correlated draws.
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        let seed = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SimRng::seed_from_u64(seed)
+    }
+
+    /// Uniform integer in `[0, bound)`. Returns 0 when `bound == 0`.
+    pub fn next_u64_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.inner.gen_range(0..bound)
+        }
+    }
+
+    /// Uniform integer in `[lo, hi)`. Returns `lo` when the range is empty.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo {
+            lo
+        } else {
+            self.inner.gen_range(lo..hi)
+        }
+    }
+
+    /// Uniform `usize` in `[0, bound)`. Returns 0 when `bound == 0`.
+    pub fn next_usize_below(&mut self, bound: usize) -> usize {
+        if bound == 0 {
+            0
+        } else {
+            self.inner.gen_range(0..bound)
+        }
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        self.inner.gen_bool(p)
+    }
+
+    /// Uniform duration in `[lo, hi)`; returns `lo` if the range is empty.
+    pub fn uniform_duration(&mut self, lo: SimDuration, hi: SimDuration) -> SimDuration {
+        SimDuration::from_nanos(self.uniform_u64(lo.as_nanos(), hi.as_nanos()))
+    }
+
+    /// Exponentially distributed duration with the given mean (a Poisson
+    /// arrival process helper). A zero mean yields a zero duration.
+    pub fn exponential_duration(&mut self, mean: SimDuration) -> SimDuration {
+        if mean.is_zero() {
+            return SimDuration::ZERO;
+        }
+        // Inverse-CDF sampling; clamp u away from 0 to avoid ln(0).
+        let u = self.next_f64().max(1e-12);
+        SimDuration::from_secs_f64(-mean.as_secs_f64() * u.ln())
+    }
+
+    /// Draws from a (truncated, discretised) Zipf-like distribution over
+    /// `[0, n)` with skew `theta` (0 = uniform, larger = more skewed).
+    ///
+    /// Used by workload models that need hot/cold access skew (TPC-C,
+    /// Exchange). The implementation uses the standard power-law inverse
+    /// transform, which is adequate for workload shaping.
+    pub fn zipf_usize(&mut self, n: usize, theta: f64) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        if theta <= 0.0 {
+            return self.next_usize_below(n);
+        }
+        let u = self.next_f64().max(1e-12);
+        // Inverse transform of P(X <= x) proportional to x^(1-theta).
+        let exponent = 1.0 - theta.min(0.999_999);
+        let x = u.powf(1.0 / exponent);
+        let idx = (x * n as f64) as usize;
+        idx.min(n - 1)
+    }
+
+    /// Picks an element of a slice uniformly at random; `None` for an empty
+    /// slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            let idx = self.next_usize_below(items.len());
+            Some(&items[idx])
+        }
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        if items.len() < 2 {
+            return;
+        }
+        for i in (1..items.len()).rev() {
+            let j = self.next_usize_below(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64_below(1_000_000), b.next_u64_below(1_000_000));
+        }
+    }
+
+    #[test]
+    fn different_seed_different_stream() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..32).map(|_| a.next_u64_below(u64::MAX)).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.next_u64_below(u64::MAX)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn bounds_are_respected() {
+        let mut rng = SimRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.next_u64_below(10);
+            assert!(v < 10);
+            let u = rng.uniform_u64(5, 8);
+            assert!((5..8).contains(&u));
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+        assert_eq!(rng.next_u64_below(0), 0);
+        assert_eq!(rng.uniform_u64(9, 3), 9);
+        assert_eq!(rng.next_usize_below(0), 0);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert!(!rng.chance(0.0));
+            assert!(rng.chance(1.0));
+        }
+        // Out-of-range probabilities are clamped rather than panicking.
+        assert!(rng.chance(2.0));
+        assert!(!rng.chance(-1.0));
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = SimRng::seed_from_u64(11);
+        let mean = SimDuration::from_micros(50);
+        let n = 20_000;
+        let total: f64 = (0..n)
+            .map(|_| rng.exponential_duration(mean).as_micros_f64())
+            .sum();
+        let observed = total / n as f64;
+        assert!(
+            (observed - 50.0).abs() < 2.5,
+            "observed mean {observed} too far from 50"
+        );
+        assert_eq!(
+            rng.exponential_duration(SimDuration::ZERO),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn uniform_duration_in_range() {
+        let mut rng = SimRng::seed_from_u64(13);
+        let lo = SimDuration::from_micros(10);
+        let hi = SimDuration::from_micros(20);
+        for _ in 0..500 {
+            let d = rng.uniform_duration(lo, hi);
+            assert!(d >= lo && d < hi);
+        }
+        assert_eq!(rng.uniform_duration(hi, lo), hi);
+    }
+
+    #[test]
+    fn zipf_is_skewed_towards_low_indices() {
+        let mut rng = SimRng::seed_from_u64(17);
+        let n = 1000;
+        let mut low = 0usize;
+        let samples = 10_000;
+        for _ in 0..samples {
+            if rng.zipf_usize(n, 0.9) < n / 10 {
+                low += 1;
+            }
+        }
+        // With strong skew, far more than 10% of draws land in the first 10%.
+        assert!(low > samples / 5, "low-decile draws: {low}");
+        assert_eq!(rng.zipf_usize(0, 0.9), 0);
+    }
+
+    #[test]
+    fn choose_and_shuffle() {
+        let mut rng = SimRng::seed_from_u64(23);
+        let items = [1, 2, 3, 4, 5];
+        for _ in 0..100 {
+            let c = rng.choose(&items).copied().unwrap();
+            assert!(items.contains(&c));
+        }
+        let empty: [u32; 0] = [];
+        assert!(rng.choose(&empty).is_none());
+
+        let mut v: Vec<u32> = (0..100).collect();
+        let orig = v.clone();
+        rng.shuffle(&mut v);
+        assert_ne!(v, orig);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig);
+    }
+
+    #[test]
+    fn fork_produces_independent_streams() {
+        let mut parent = SimRng::seed_from_u64(99);
+        let mut c1 = parent.fork(1);
+        let mut c2 = parent.fork(2);
+        let v1: Vec<u64> = (0..16).map(|_| c1.next_u64_below(u64::MAX)).collect();
+        let v2: Vec<u64> = (0..16).map(|_| c2.next_u64_below(u64::MAX)).collect();
+        assert_ne!(v1, v2);
+    }
+}

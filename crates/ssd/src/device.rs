@@ -1,0 +1,632 @@
+//! The SSD device model.
+//!
+//! An [`Ssd`] owns a flash translation layer and a set of timing servers —
+//! one per flash element (die) and one per gang bus — and turns host
+//! requests into timed completions.  See the crate documentation for the
+//! two request-processing modes.
+
+use ossd_block::{
+    BlockDevice, BlockOpKind, BlockRequest, Completion, DeviceError, DeviceInfo, Priority,
+};
+use ossd_ftl::{FlashOp, FlashOpKind, Ftl, FtlStats, Lpn, PageFtl, StripeFtl, WriteContext};
+use ossd_sim::{Server, SimDuration, SimTime};
+
+use crate::config::{MappingKind, SsdConfig};
+use crate::error::SsdError;
+use crate::sched::SchedulerKind;
+use crate::stats::SsdStats;
+
+/// A simulated solid-state device.
+pub struct Ssd {
+    config: SsdConfig,
+    ftl: Box<dyn Ftl>,
+    elements: Vec<Server>,
+    buses: Vec<Server>,
+    stats: SsdStats,
+    last_read_end: Option<u64>,
+    last_write_end: Option<u64>,
+}
+
+impl Ssd {
+    /// Builds an SSD from a configuration.
+    pub fn new(config: SsdConfig) -> Result<Self, SsdError> {
+        config.validate()?;
+        let ftl: Box<dyn Ftl> = match config.mapping {
+            MappingKind::PageMapped => Box::new(PageFtl::new(
+                config.geometry,
+                config.timing,
+                config.ftl.clone(),
+            )?),
+            MappingKind::StripeMapped {
+                stripe_bytes,
+                coalesce,
+            } => {
+                let mut ftl =
+                    StripeFtl::new(config.geometry, config.timing, config.ftl.clone(), stripe_bytes)?;
+                ftl.set_coalescing(coalesce);
+                Box::new(ftl)
+            }
+        };
+        let elements = (0..config.elements()).map(|_| Server::new()).collect();
+        let buses = (0..config.gangs).map(|_| Server::new()).collect();
+        Ok(Ssd {
+            config,
+            ftl,
+            elements,
+            buses,
+            stats: SsdStats::default(),
+            last_read_end: None,
+            last_write_end: None,
+        })
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &SsdConfig {
+        &self.config
+    }
+
+    /// Cumulative device statistics (FTL counters are refreshed on access).
+    pub fn stats(&self) -> SsdStats {
+        let mut s = self.stats;
+        s.ftl = self.ftl.stats();
+        s
+    }
+
+    /// FTL statistics only.
+    pub fn ftl_stats(&self) -> FtlStats {
+        self.ftl.stats()
+    }
+
+    /// Size of the device's logical page (the FTL mapping granularity).
+    pub fn logical_page_bytes(&self) -> u64 {
+        self.ftl.logical_page_bytes()
+    }
+
+    /// Fraction of physical pages currently free.
+    pub fn free_page_fraction(&self) -> f64 {
+        self.ftl.free_page_fraction()
+    }
+
+    /// Flushes any buffered writes (the stripe FTL's open stripe) to flash,
+    /// starting no earlier than `at`.  Returns the completion time of the
+    /// flush (equal to `at` when there was nothing to flush).
+    pub fn flush(&mut self, at: SimTime) -> Result<SimTime, SsdError> {
+        let ops = self.ftl.flush()?;
+        if ops.is_empty() {
+            return Ok(at);
+        }
+        let (_, finish) = self.schedule_ops(&ops, at);
+        Ok(finish)
+    }
+
+    fn gang_of(&self, element: usize) -> usize {
+        element / self.config.elements_per_gang() as usize
+    }
+
+    fn ram_transfer(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_bytes_at_rate(bytes, self.config.ram_bytes_per_sec)
+    }
+
+    /// Schedules a batch of flash operations starting no earlier than
+    /// `floor`; returns the time the first operation actually started (i.e.
+    /// after any element/bus queueing) and the completion time of the last
+    /// host-visible (foreground) operation — or of the last operation
+    /// overall when the batch holds only background work.
+    fn schedule_ops(&mut self, ops: &[FlashOp], floor: SimTime) -> (SimTime, SimTime) {
+        let timing = &self.config.timing;
+        let page_bytes = self.config.geometry.page_bytes as u64;
+        let mut host_finish = floor;
+        let mut any_finish = floor;
+        let mut service_begin = SimTime::MAX;
+        for op in ops {
+            let element = op.element.index();
+            let gang = self.gang_of(element);
+            let (begin, finish, busy) = match op.kind {
+                FlashOpKind::ReadPage => {
+                    // Array read on the die, then the transfer serialises on
+                    // the gang bus.
+                    let read = self.elements[element].serve(floor, timing.read_page);
+                    let xfer = self.buses[gang]
+                        .serve(read.completion, timing.transfer(page_bytes));
+                    (
+                        read.start,
+                        xfer.completion,
+                        timing.read_page + timing.transfer(page_bytes),
+                    )
+                }
+                FlashOpKind::ProgramPage => {
+                    // Data crosses the gang bus first, then the die programs.
+                    let xfer = self.buses[gang].serve(floor, timing.transfer(page_bytes));
+                    let prog = self.elements[element]
+                        .serve(xfer.completion, timing.program_page);
+                    (
+                        xfer.start,
+                        prog.completion,
+                        timing.transfer(page_bytes) + timing.program_page,
+                    )
+                }
+                FlashOpKind::CopybackPage => {
+                    let svc = timing.copyback_service();
+                    let s = self.elements[element].serve(floor, svc);
+                    (s.start, s.completion, svc)
+                }
+                FlashOpKind::EraseBlock => {
+                    let s = self.elements[element].serve(floor, timing.erase_block);
+                    (s.start, s.completion, timing.erase_block)
+                }
+            };
+            service_begin = service_begin.min(begin);
+            any_finish = any_finish.max(finish);
+            match op.purpose {
+                ossd_ftl::OpPurpose::Clean => {
+                    self.stats.cleaning_busy = self.stats.cleaning_busy.saturating_add(busy);
+                }
+                ossd_ftl::OpPurpose::WearLevel => {
+                    self.stats.wear_level_busy = self.stats.wear_level_busy.saturating_add(busy);
+                }
+                _ => {
+                    self.stats.host_busy = self.stats.host_busy.saturating_add(busy);
+                    host_finish = host_finish.max(finish);
+                }
+            }
+        }
+        if service_begin == SimTime::MAX {
+            service_begin = floor;
+        }
+        let finish = if host_finish > floor {
+            host_finish
+        } else {
+            any_finish
+        };
+        (service_begin, finish)
+    }
+
+    /// Splits a byte range into `(lpn, covered_bytes)` pieces at logical-page
+    /// granularity.
+    fn split_range(&self, offset: u64, len: u64) -> Vec<(Lpn, u64)> {
+        let unit = self.ftl.logical_page_bytes();
+        let mut out = Vec::new();
+        let mut cursor = offset;
+        let end = offset + len;
+        while cursor < end {
+            let lpn = cursor / unit;
+            let page_end = (lpn + 1) * unit;
+            let piece_end = page_end.min(end);
+            out.push((Lpn(lpn), piece_end - cursor));
+            cursor = piece_end;
+        }
+        out
+    }
+
+    /// Services one request starting no earlier than `dispatch`.
+    /// `priority_pending` tells the FTL whether high-priority host requests
+    /// are outstanding (drives priority-aware cleaning).
+    pub fn service_request(
+        &mut self,
+        request: &BlockRequest,
+        dispatch: SimTime,
+        priority_pending: bool,
+    ) -> Result<Completion, SsdError> {
+        self.check_bounds(request).map_err(SsdError::Device)?;
+        let start = dispatch.max(request.arrival);
+        // `service_start` is refined to the moment the first flash operation
+        // actually began once the request reaches the flash array; requests
+        // served entirely from controller RAM keep the dispatch time.
+        let mut service_start = start;
+        let finish = match request.kind {
+            BlockOpKind::Free => {
+                self.stats.host_frees += 1;
+                for (lpn, _) in self.split_range(request.range.offset, request.range.len) {
+                    self.ftl.free(lpn)?;
+                }
+                // Free notifications carry no data; they complete in the
+                // controller without flash work.
+                start + self.config.controller_overhead
+            }
+            BlockOpKind::Read => {
+                self.stats.host_reads += 1;
+                self.stats.bytes_read += request.len();
+                let sequential = self.last_read_end == Some(request.range.offset);
+                self.last_read_end = Some(request.range.end());
+                if sequential && self.config.sequential_prefetch {
+                    // Read-ahead hit: served straight from controller RAM.
+                    self.stats.prefetch_hits += 1;
+                    start + self.ram_transfer(request.len())
+                } else {
+                    let mut floor = start + self.config.controller_overhead;
+                    if !sequential {
+                        floor = floor + self.config.random_penalty;
+                    }
+                    let mut ops = Vec::new();
+                    for (lpn, covered) in self.split_range(request.range.offset, request.range.len)
+                    {
+                        ops.extend(self.ftl.read(lpn, covered)?);
+                    }
+                    if ops.is_empty() {
+                        // Unwritten data (or data still in controller RAM).
+                        floor + self.ram_transfer(request.len())
+                    } else {
+                        let (begin, finish) = self.schedule_ops(&ops, floor);
+                        service_start = service_start.max(begin.min(finish));
+                        finish
+                    }
+                }
+            }
+            BlockOpKind::Write => {
+                self.stats.host_writes += 1;
+                self.stats.bytes_written += request.len();
+                let sequential = self.last_write_end == Some(request.range.offset);
+                self.last_write_end = Some(request.range.end());
+                let mut floor = start + self.config.controller_overhead;
+                if !sequential {
+                    floor = floor + self.config.random_penalty;
+                }
+                let ctx = WriteContext { priority_pending };
+                let mut ops = Vec::new();
+                for (lpn, covered) in self.split_range(request.range.offset, request.range.len) {
+                    ops.extend(self.ftl.write(lpn, covered, &ctx)?);
+                }
+                if ops.is_empty() {
+                    self.stats.buffered_writes += 1;
+                    floor + self.ram_transfer(request.len())
+                } else {
+                    // The host data still crosses controller RAM.
+                    let (begin, finish) =
+                        self.schedule_ops(&ops, floor + self.ram_transfer(request.len()));
+                    service_start = service_start.max(begin.min(finish));
+                    finish
+                }
+            }
+        };
+        Ok(Completion {
+            request_id: request.id,
+            arrival: request.arrival,
+            start: service_start.min(finish),
+            finish,
+        })
+    }
+
+    /// Runs an open-arrival simulation of `requests` under the given
+    /// scheduler, returning one completion per request in the input order.
+    ///
+    /// Requests are held in a controller queue after they arrive; whenever
+    /// the controller makes a dispatch decision it asks the scheduler which
+    /// queued request to issue next (FCFS picks the oldest, SWTF the one
+    /// whose target element is free soonest, §3.2).  While high-priority
+    /// requests sit in the queue the FTL's priority-aware cleaning postpones
+    /// garbage collection (§3.6).
+    pub fn simulate_open(
+        &mut self,
+        requests: &[BlockRequest],
+        scheduler: SchedulerKind,
+    ) -> Result<Vec<Completion>, SsdError> {
+        let n = requests.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| (requests[i].arrival, i));
+        let mut completions: Vec<Option<Completion>> = vec![None; n];
+        let mut queue: Vec<(SimTime, usize, usize)> = Vec::new(); // (arrival, element hint, index)
+        let mut next = 0usize;
+        let mut now = SimTime::ZERO;
+        let mut fallback_element = 0usize;
+        while next < n || !queue.is_empty() {
+            if queue.is_empty() {
+                now = now.max(requests[order[next]].arrival);
+            }
+            while next < n && requests[order[next]].arrival <= now {
+                let idx = order[next];
+                let req = &requests[idx];
+                let hint = self
+                    .split_range(req.range.offset, req.range.len)
+                    .first()
+                    .and_then(|(lpn, _)| self.ftl.locate(*lpn))
+                    .map(|e| e as usize)
+                    .unwrap_or_else(|| {
+                        fallback_element = (fallback_element + 1) % self.elements.len();
+                        fallback_element
+                    });
+                queue.push((req.arrival, hint, idx));
+                next += 1;
+            }
+            if queue.is_empty() {
+                continue;
+            }
+            let pick_view: Vec<(SimTime, usize)> =
+                queue.iter().map(|&(a, e, _)| (a, e)).collect();
+            let qi = scheduler
+                .pick(&pick_view, &self.elements, now)
+                .expect("queue is non-empty");
+            let (_, hint, idx) = queue.remove(qi);
+            let req = &requests[idx];
+            let priority_pending = req.priority == Priority::High
+                || queue
+                    .iter()
+                    .any(|&(_, _, i)| requests[i].priority == Priority::High);
+            let dispatch = now.max(req.arrival);
+            // The controller commits to this request: the next dispatch
+            // decision happens once this one can start on its target
+            // element.  This is what gives FCFS its head-of-line blocking
+            // and SWTF its advantage.
+            let head_of_line_wait = self
+                .elements
+                .get(hint)
+                .map(|s| s.wait_for(dispatch))
+                .unwrap_or(ossd_sim::SimDuration::ZERO);
+            let completion = self.service_request(req, dispatch, priority_pending)?;
+            now = now.max(dispatch + head_of_line_wait).max(completion.start);
+            completions[idx] = Some(completion);
+        }
+        Ok(completions
+            .into_iter()
+            .map(|c| c.expect("every request was dispatched"))
+            .collect())
+    }
+}
+
+impl BlockDevice for Ssd {
+    fn info(&self) -> DeviceInfo {
+        DeviceInfo {
+            name: self.config.name.clone(),
+            capacity_bytes: self.ftl.exported_bytes(),
+            supports_free: self.config.ftl.honor_free,
+        }
+    }
+
+    fn submit(&mut self, request: &BlockRequest) -> Result<Completion, DeviceError> {
+        self.service_request(request, request.arrival, false)
+            .map_err(DeviceError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ossd_block::replay_closed;
+
+    fn page_ssd() -> Ssd {
+        Ssd::new(SsdConfig::tiny_page_mapped()).unwrap()
+    }
+
+    fn stripe_ssd() -> Ssd {
+        Ssd::new(SsdConfig::tiny_stripe_mapped()).unwrap()
+    }
+
+    #[test]
+    fn info_reports_exported_capacity() {
+        let ssd = page_ssd();
+        let info = ssd.info();
+        assert_eq!(info.name, "tiny-page");
+        // 128 physical pages, 10% OP -> 115 logical pages of 4 KB.
+        assert_eq!(info.capacity_bytes, 115 * 4096);
+        assert!(!info.supports_free);
+        assert_eq!(ssd.logical_page_bytes(), 4096);
+    }
+
+    #[test]
+    fn write_then_read_round_trip_times_are_sane() {
+        let mut ssd = page_ssd();
+        let w = BlockRequest::write(0, 0, 4096, SimTime::ZERO);
+        let wc = ssd.submit(&w).unwrap();
+        // A 4 KB SLC program takes 200 µs plus ~102 µs bus plus overheads.
+        let wms = wc.response_time().as_micros_f64();
+        assert!(wms > 200.0 && wms < 1000.0, "write took {wms} µs");
+        let r = BlockRequest::read(1, 0, 4096, wc.finish);
+        let rc = ssd.submit(&r).unwrap();
+        let rus = rc.response_time().as_micros_f64();
+        assert!(rus > 25.0 && rus < 500.0, "read took {rus} µs");
+        // Reads are faster than writes on flash.
+        assert!(rc.response_time() < wc.response_time());
+        let s = ssd.stats();
+        assert_eq!(s.host_writes, 1);
+        assert_eq!(s.host_reads, 1);
+        assert_eq!(s.bytes_written, 4096);
+        assert_eq!(s.bytes_read, 4096);
+    }
+
+    #[test]
+    fn out_of_bounds_requests_are_rejected() {
+        let mut ssd = page_ssd();
+        let cap = ssd.capacity_bytes();
+        let bad = BlockRequest::read(0, cap - 1024, 8192, SimTime::ZERO);
+        assert!(matches!(
+            ssd.submit(&bad),
+            Err(DeviceError::OutOfBounds { .. })
+        ));
+        let empty = BlockRequest::write(1, 0, 0, SimTime::ZERO);
+        assert!(matches!(ssd.submit(&empty), Err(DeviceError::EmptyRequest)));
+    }
+
+    #[test]
+    fn large_requests_span_elements_in_parallel() {
+        let mut ssd = page_ssd();
+        // 8 pages to one device with 2 elements: the pages overlap across
+        // elements, so the total time is far less than 8 serial programs.
+        let w = BlockRequest::write(0, 0, 8 * 4096, SimTime::ZERO);
+        let c = ssd.submit(&w).unwrap();
+        let serial_estimate = 8.0 * (200.0 + 102.4);
+        assert!(
+            c.response_time().as_micros_f64() < serial_estimate,
+            "no parallelism: {} µs",
+            c.response_time().as_micros_f64()
+        );
+    }
+
+    #[test]
+    fn reads_of_unwritten_data_complete_quickly() {
+        let mut ssd = page_ssd();
+        let r = BlockRequest::read(0, 0, 4096, SimTime::ZERO);
+        let c = ssd.submit(&r).unwrap();
+        assert!(c.response_time().as_micros_f64() < 100.0);
+    }
+
+    #[test]
+    fn free_requests_reach_the_ftl_when_supported() {
+        let mut config = SsdConfig::tiny_page_mapped();
+        config.ftl = config.ftl.with_honor_free(true);
+        let mut ssd = Ssd::new(config).unwrap();
+        ssd.submit(&BlockRequest::write(0, 0, 4096, SimTime::ZERO))
+            .unwrap();
+        ssd.submit(&BlockRequest::free(1, 0, 4096, SimTime::ZERO))
+            .unwrap();
+        let s = ssd.stats();
+        assert_eq!(s.host_frees, 1);
+        assert_eq!(s.ftl.frees_accepted, 1);
+        assert!(ssd.info().supports_free);
+    }
+
+    #[test]
+    fn stripe_device_random_writes_are_much_slower_than_sequential() {
+        // The S2slc story from Table 2: random sub-stripe writes collapse on
+        // a stripe-mapped device.
+        let mut seq = stripe_ssd();
+        let mut requests = Vec::new();
+        for i in 0..64u64 {
+            requests.push(BlockRequest::write(i, i * 4096, 4096, SimTime::ZERO));
+        }
+        let seq_report = replay_closed(&mut seq, &requests).unwrap();
+
+        let mut rnd = stripe_ssd();
+        let mut requests = Vec::new();
+        // Stride by 3 stripes so no two consecutive writes share a stripe.
+        for i in 0..64u64 {
+            let stripe = (i * 3) % 32;
+            let offset = stripe * 8192 + (i % 2) * 4096;
+            requests.push(BlockRequest::write(i, offset, 4096, SimTime::ZERO));
+        }
+        let rnd_report = replay_closed(&mut rnd, &requests).unwrap();
+        assert!(
+            rnd_report.writes.mean_millis() > 1.5 * seq_report.writes.mean_millis(),
+            "random {} ms vs sequential {} ms",
+            rnd_report.writes.mean_millis(),
+            seq_report.writes.mean_millis()
+        );
+    }
+
+    #[test]
+    fn page_device_random_writes_are_close_to_sequential() {
+        // The S4slc_sim story: a log-structured page-mapped FTL makes random
+        // writes nearly as fast as sequential ones.
+        let make_requests = |random: bool| -> Vec<BlockRequest> {
+            (0..64u64)
+                .map(|i| {
+                    let lpn = if random { (i * 37) % 100 } else { i };
+                    BlockRequest::write(i, lpn * 4096, 4096, SimTime::ZERO)
+                })
+                .collect()
+        };
+        let mut seq = page_ssd();
+        let seq_report = replay_closed(&mut seq, &make_requests(false)).unwrap();
+        let mut rnd = page_ssd();
+        let rnd_report = replay_closed(&mut rnd, &make_requests(true)).unwrap();
+        let ratio = rnd_report.writes.mean_millis() / seq_report.writes.mean_millis();
+        assert!(
+            ratio < 1.5,
+            "random/sequential write ratio {ratio} should be near 1 on a page-mapped SSD"
+        );
+    }
+
+    #[test]
+    fn sequential_prefetch_accelerates_streaming_reads() {
+        let mut config = SsdConfig::tiny_page_mapped();
+        config.sequential_prefetch = true;
+        let mut ssd = Ssd::new(config).unwrap();
+        for i in 0..16u64 {
+            ssd.submit(&BlockRequest::write(i, i * 4096, 4096, SimTime::ZERO))
+                .unwrap();
+        }
+        // First read misses; the following sequential reads hit the
+        // read-ahead buffer.
+        let mut finish = SimTime::ZERO;
+        let mut times = Vec::new();
+        for i in 0..16u64 {
+            let c = ssd
+                .submit(&BlockRequest::read(100 + i, i * 4096, 4096, finish))
+                .unwrap();
+            times.push(c.response_time());
+            finish = c.finish;
+        }
+        assert!(ssd.stats().prefetch_hits >= 14);
+        assert!(times[1] < times[0]);
+    }
+
+    #[test]
+    fn simulate_open_returns_one_completion_per_request_in_order() {
+        let mut ssd = page_ssd();
+        let requests: Vec<BlockRequest> = (0..32u64)
+            .map(|i| BlockRequest::write(i, (i % 50) * 4096, 4096, SimTime::from_micros(i * 50)))
+            .collect();
+        let completions = ssd.simulate_open(&requests, SchedulerKind::Fcfs).unwrap();
+        assert_eq!(completions.len(), requests.len());
+        for (req, c) in requests.iter().zip(&completions) {
+            assert_eq!(req.id, c.request_id);
+            assert!(c.finish >= req.arrival);
+            assert!(c.start >= req.arrival);
+        }
+    }
+
+    #[test]
+    fn swtf_is_not_worse_than_fcfs_on_random_reads() {
+        // Prepare a device with data, then read it back under heavy load
+        // with both schedulers.
+        let prepare = || -> (Ssd, Vec<BlockRequest>) {
+            let mut ssd = page_ssd();
+            for i in 0..100u64 {
+                ssd.submit(&BlockRequest::write(i, i * 4096, 4096, SimTime::ZERO))
+                    .unwrap();
+            }
+            let reqs: Vec<BlockRequest> = (0..200u64)
+                .map(|i| {
+                    let lpn = (i * 61) % 100;
+                    BlockRequest::read(i, lpn * 4096, 4096, SimTime::from_micros(i * 20))
+                })
+                .collect();
+            (ssd, reqs)
+        };
+        let (mut a, reqs) = prepare();
+        let fcfs = a.simulate_open(&reqs, SchedulerKind::Fcfs).unwrap();
+        let (mut b, reqs) = prepare();
+        let swtf = b.simulate_open(&reqs, SchedulerKind::Swtf).unwrap();
+        let mean = |cs: &[Completion]| -> f64 {
+            cs.iter()
+                .map(|c| c.response_time().as_micros_f64())
+                .sum::<f64>()
+                / cs.len() as f64
+        };
+        assert!(mean(&swtf) <= mean(&fcfs) * 1.05);
+    }
+
+    #[test]
+    fn flush_drains_stripe_buffer() {
+        let mut ssd = stripe_ssd();
+        // Half a stripe stays in RAM until flushed.
+        let c = ssd
+            .submit(&BlockRequest::write(0, 0, 4096, SimTime::ZERO))
+            .unwrap();
+        assert_eq!(ssd.stats().buffered_writes, 1);
+        let finish = ssd.flush(c.finish).unwrap();
+        assert!(finish > c.finish);
+        // Nothing left to flush.
+        assert_eq!(ssd.flush(finish).unwrap(), finish);
+    }
+
+    #[test]
+    fn stats_accumulate_cleaning_time_under_churn() {
+        let mut config = SsdConfig::tiny_page_mapped();
+        config.ftl = config.ftl.with_overprovisioning(0.25).with_watermarks(0.3, 0.1);
+        let mut ssd = Ssd::new(config).unwrap();
+        let logical_pages = ssd.capacity_bytes() / 4096;
+        let mut id = 0u64;
+        for round in 0..6 {
+            for lpn in 0..logical_pages {
+                let lpn = (lpn * 13 + round) % logical_pages;
+                ssd.submit(&BlockRequest::write(id, lpn * 4096, 4096, SimTime::ZERO))
+                    .unwrap();
+                id += 1;
+            }
+        }
+        let s = ssd.stats();
+        assert!(s.ftl.gc_blocks_erased > 0);
+        assert!(s.cleaning_busy > SimDuration::ZERO);
+        assert!(s.host_busy > SimDuration::ZERO);
+        assert!(s.write_amplification() >= 1.0);
+    }
+}

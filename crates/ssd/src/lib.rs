@@ -1,0 +1,36 @@
+//! SSD device model: parallel flash elements, gangs, FTL integration,
+//! scheduling and device profiles.
+//!
+//! The architecture follows Figure 1 of the paper: a host interface, a flash
+//! controller with RAM buffers, and gangs of flash packages behind shared
+//! buses, managed by a log-structured flash translation layer with cleaning
+//! and wear-leveling.  Requests are split into logical pages, translated by
+//! the FTL into flash operations, and scheduled onto per-element and per-bus
+//! servers to obtain service times.
+//!
+//! Two request-processing modes are provided:
+//!
+//! * [`Ssd::submit`] (via the [`ossd_block::BlockDevice`] trait) — requests
+//!   are dispatched in arrival order (FCFS at the controller), which is what
+//!   bandwidth-style experiments (Table 2, Figure 2, Tables 3–5) use.
+//! * [`Ssd::simulate_open`] — an open-arrival simulation with a controller
+//!   queue and a pluggable scheduler ([`SchedulerKind::Fcfs`] or the paper's
+//!   shortest-wait-time-first [`SchedulerKind::Swtf`], §3.2), also used by the
+//!   priority-aware cleaning study (Figure 3 / Table 6).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod device;
+pub mod error;
+pub mod profiles;
+pub mod sched;
+pub mod stats;
+
+pub use config::{MappingKind, SsdConfig};
+pub use device::Ssd;
+pub use error::SsdError;
+pub use profiles::DeviceProfile;
+pub use sched::SchedulerKind;
+pub use stats::SsdStats;

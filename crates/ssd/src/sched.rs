@@ -1,0 +1,169 @@
+//! Controller I/O scheduling policies.
+//!
+//! §3.2 of the paper sketches *shortest wait time first* (SWTF): because an
+//! SSD is a collection of parallel elements with their own queues, the
+//! controller can pick, among the queued host requests, the one whose target
+//! element will be free soonest.  The paper reports ≈8% lower response time
+//! than FCFS on a random workload with 2/3 reads and 1/3 writes.
+
+use ossd_sim::{SimTime, Server};
+
+/// Scheduling policy used by the open-queue simulation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// First come, first served: requests are dispatched in arrival order.
+    #[default]
+    Fcfs,
+    /// Shortest wait time first: dispatch the queued request whose target
+    /// element has the earliest availability.
+    Swtf,
+}
+
+impl SchedulerKind {
+    /// Picks the index (into `queue`) of the next request to dispatch.
+    ///
+    /// `queue` carries, for each pending request, its arrival time and the
+    /// element its first flash operation will occupy (as predicted by the
+    /// mapping); `elements` are the per-element servers; `now` is the
+    /// current dispatch time.  Returns `None` on an empty queue.
+    pub fn pick(
+        self,
+        queue: &[(SimTime, usize)],
+        elements: &[Server],
+        now: SimTime,
+    ) -> Option<usize> {
+        if queue.is_empty() {
+            return None;
+        }
+        match self {
+            SchedulerKind::Fcfs => {
+                // Arrival order with FIFO tie-break on equal arrivals.
+                let mut best = 0;
+                for (i, entry) in queue.iter().enumerate().skip(1) {
+                    if entry.0 < queue[best].0 {
+                        best = i;
+                    }
+                }
+                Some(best)
+            }
+            SchedulerKind::Swtf => {
+                let mut best = 0;
+                let mut best_wait = Self::wait_of(&queue[0], elements, now);
+                for (i, entry) in queue.iter().enumerate().skip(1) {
+                    let wait = Self::wait_of(entry, elements, now);
+                    let better = wait < best_wait
+                        || (wait == best_wait && entry.0 < queue[best].0);
+                    if better {
+                        best = i;
+                        best_wait = wait;
+                    }
+                }
+                Some(best)
+            }
+        }
+    }
+
+    fn wait_of(entry: &(SimTime, usize), elements: &[Server], now: SimTime) -> u64 {
+        let (arrival, element) = *entry;
+        let earliest = now.max(arrival);
+        match elements.get(element) {
+            Some(server) => server.wait_for(earliest).as_nanos(),
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ossd_sim::SimDuration;
+
+    fn busy_servers() -> Vec<Server> {
+        // Element 0 busy for 1 ms, element 1 idle, element 2 busy for 10 µs.
+        let mut servers = vec![Server::new(), Server::new(), Server::new()];
+        servers[0].serve(SimTime::ZERO, SimDuration::from_millis(1));
+        servers[2].serve(SimTime::ZERO, SimDuration::from_micros(10));
+        servers
+    }
+
+    #[test]
+    fn empty_queue_yields_none() {
+        let servers = busy_servers();
+        assert_eq!(
+            SchedulerKind::Fcfs.pick(&[], &servers, SimTime::ZERO),
+            None
+        );
+        assert_eq!(
+            SchedulerKind::Swtf.pick(&[], &servers, SimTime::ZERO),
+            None
+        );
+    }
+
+    #[test]
+    fn fcfs_picks_oldest_arrival() {
+        let servers = busy_servers();
+        let queue = vec![
+            (SimTime::from_micros(30), 1),
+            (SimTime::from_micros(10), 0),
+            (SimTime::from_micros(20), 2),
+        ];
+        assert_eq!(
+            SchedulerKind::Fcfs.pick(&queue, &servers, SimTime::from_micros(50)),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn swtf_picks_shortest_element_wait() {
+        let servers = busy_servers();
+        // The oldest request targets the busiest element; SWTF must pick a
+        // request aimed at an element that is free by now instead.  Elements
+        // 1 and 2 are both free at t=50 µs, so the older of the two requests
+        // (arrival 20 µs, element 2) wins the tie.
+        let queue = vec![
+            (SimTime::from_micros(10), 0),
+            (SimTime::from_micros(30), 1),
+            (SimTime::from_micros(20), 2),
+        ];
+        assert_eq!(
+            SchedulerKind::Swtf.pick(&queue, &servers, SimTime::from_micros(50)),
+            Some(2)
+        );
+        // FCFS, by contrast, picks the oldest regardless of element state.
+        assert_eq!(
+            SchedulerKind::Fcfs.pick(&queue, &servers, SimTime::from_micros(50)),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn swtf_breaks_ties_by_arrival() {
+        let servers = vec![Server::new(), Server::new()];
+        let queue = vec![
+            (SimTime::from_micros(20), 0),
+            (SimTime::from_micros(10), 1),
+        ];
+        // Both elements are idle (equal wait); the older request wins.
+        assert_eq!(
+            SchedulerKind::Swtf.pick(&queue, &servers, SimTime::from_micros(30)),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn unknown_element_counts_as_idle() {
+        let servers = busy_servers();
+        let queue = vec![(SimTime::ZERO, 0), (SimTime::from_micros(1), 99)];
+        // Element 99 does not exist; it is treated as idle and wins under
+        // SWTF rather than panicking.
+        assert_eq!(
+            SchedulerKind::Swtf.pick(&queue, &servers, SimTime::from_micros(5)),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn default_is_fcfs() {
+        assert_eq!(SchedulerKind::default(), SchedulerKind::Fcfs);
+    }
+}

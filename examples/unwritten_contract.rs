@@ -1,0 +1,38 @@
+//! The unwritten contract (Table 1): probe a simulated disk and a simulated
+//! SSD and print which terms each satisfies.
+//!
+//! Run with: `cargo run --release --example unwritten_contract`
+
+use ossd::core::contract::ContractTerm;
+use ossd::core::experiments::{table1, Scale};
+
+fn main() {
+    println!("The unwritten contract, probed experimentally (Table 1 reproduction)\n");
+    let result = table1::run(Scale::Quick).expect("probes run");
+    println!("Terms:");
+    for (i, term) in ContractTerm::all().iter().enumerate() {
+        println!("  {}. {}", i + 1, term.description());
+    }
+    println!();
+    println!("{:<22} 1  2  3  4  5  6", "device");
+    for report in [&result.hdd, &result.ssd_page_mapped, &result.ssd_stripe_mapped] {
+        let marks: Vec<&str> = report
+            .verdicts
+            .iter()
+            .map(|v| if v.holds { "T" } else { "F" })
+            .collect();
+        println!("{:<22} {}", report.device, marks.join("  "));
+    }
+    println!();
+    for report in [&result.hdd, &result.ssd_page_mapped, &result.ssd_stripe_mapped] {
+        println!("{}:", report.device);
+        for v in &report.verdicts {
+            println!(
+                "  [{}] {}",
+                if v.holds { "T" } else { "F" },
+                v.evidence
+            );
+        }
+        println!();
+    }
+}

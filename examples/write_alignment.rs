@@ -1,0 +1,49 @@
+//! Device-side write merging and stripe alignment (§3.4, Figure 2 and
+//! Table 3): the saw-tooth bandwidth curve of a low-end striped SSD, and the
+//! benefit of letting the device merge and align writes.
+//!
+//! Run with: `cargo run --release --example write_alignment`
+
+use ossd::core::experiments::{figure2, table3, Scale};
+
+fn main() {
+    println!("Write amplification saw-tooth (Figure 2 reproduction, quick scale)\n");
+    let points = figure2::run(Scale::Quick).expect("experiment runs");
+    let peak = points
+        .iter()
+        .map(|p| p.bandwidth_mbps)
+        .fold(f64::MIN, f64::max);
+    for p in &points {
+        let bar_len = (p.bandwidth_mbps / peak * 50.0).round() as usize;
+        println!(
+            "{:5.2} MB | {:6.1} MB/s | {}",
+            p.write_mb,
+            p.bandwidth_mbps,
+            "#".repeat(bar_len)
+        );
+    }
+    println!(
+        "\nBandwidth peaks at multiples of the 1 MB stripe and dips just past \
+         them, because the trailing partial stripe forces a read-modify-write.\n"
+    );
+
+    println!("Stripe-aligned write merging (Table 3 reproduction, quick scale)\n");
+    let rows = table3::run(Scale::Quick).expect("experiment runs");
+    println!(
+        "{:>22} {:>12} {:>12} {:>12}",
+        "sequential probability", "unaligned", "aligned", "improvement"
+    );
+    for row in &rows {
+        println!(
+            "{:>22.1} {:>10.2}ms {:>10.2}ms {:>11.1}%",
+            row.sequential_prob,
+            row.unaligned_ms,
+            row.aligned_ms,
+            row.improvement_pct()
+        );
+    }
+    println!(
+        "\nOn a random stream merging cannot help; as sequentiality rises the \
+         device-side merge-and-align scheme pays off, exactly as in the paper."
+    );
+}

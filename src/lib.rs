@@ -1,0 +1,40 @@
+//! `ossd` — Block Management in Solid-State Devices, reproduced in Rust.
+//!
+//! This facade crate re-exports the workspace crates under one roof so that
+//! examples, integration tests and downstream users can depend on a single
+//! package:
+//!
+//! * [`sim`] — deterministic simulation engine (time, RNG, statistics).
+//! * [`flash`] — NAND geometry, timing and wear model.
+//! * [`ftl`] — page-mapped and stripe-mapped flash translation layers with
+//!   cleaning, wear-leveling, informed cleaning and priority-aware cleaning.
+//! * [`ssd`] — the SSD device model (gangs, schedulers, device profiles).
+//! * [`hdd`] — the disk simulator used as the paper's baseline.
+//! * [`block`] — the block-level interface, traces and replay helpers.
+//! * [`workload`] — synthetic and macro-benchmark workload generators.
+//! * [`core`] — the paper's contribution: the object-based storage layer,
+//!   the unwritten-contract evaluator and the experiment drivers.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ossd::block::{BlockDevice, BlockRequest};
+//! use ossd::sim::SimTime;
+//! use ossd::ssd::{Ssd, SsdConfig};
+//!
+//! let mut ssd = Ssd::new(SsdConfig::tiny_page_mapped()).unwrap();
+//! let write = BlockRequest::write(0, 0, 4096, SimTime::ZERO);
+//! let completion = ssd.submit(&write).unwrap();
+//! assert!(completion.finish > SimTime::ZERO);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use ossd_block as block;
+pub use ossd_core as core;
+pub use ossd_flash as flash;
+pub use ossd_ftl as ftl;
+pub use ossd_hdd as hdd;
+pub use ossd_sim as sim;
+pub use ossd_ssd as ssd;
+pub use ossd_workload as workload;

@@ -1,0 +1,115 @@
+//! Property-based tests of the core invariants the simulators rely on.
+
+use ossd::block::{BlockDevice, BlockRequest, ByteRange};
+use ossd::flash::{Block, ElementId, FlashGeometry};
+use ossd::ftl::{Ftl, FtlConfig, Lpn, PageFtl, WriteContext};
+use ossd::sim::{SimDuration, SimTime, Summary};
+use ossd::ssd::{Ssd, SsdConfig};
+use proptest::prelude::*;
+
+proptest! {
+    /// Splitting a byte range at chunk boundaries loses no bytes and keeps
+    /// every piece inside one chunk.
+    #[test]
+    fn byte_range_chunking_is_lossless(offset in 0u64..1_000_000, len in 1u64..100_000, unit in 1u64..65_536) {
+        let range = ByteRange::new(offset, len);
+        let pieces = range.split_by_chunk(unit);
+        prop_assert_eq!(pieces.iter().map(|p| p.len).sum::<u64>(), len);
+        prop_assert_eq!(pieces.first().unwrap().offset, offset);
+        prop_assert_eq!(pieces.last().unwrap().end(), range.end());
+        for piece in pieces {
+            prop_assert_eq!(piece.first_chunk(unit), piece.last_chunk(unit));
+        }
+    }
+
+    /// A flash block's page-state counters always sum to the block size, no
+    /// matter what sequence of programs and invalidates is applied.
+    #[test]
+    fn flash_block_counters_are_consistent(ops in proptest::collection::vec(0u32..3, 1..200)) {
+        let element = ElementId(0);
+        let mut block = Block::new(32);
+        for op in ops {
+            match op {
+                0 => { let _ = block.program_next(element, 0); }
+                1 => {
+                    if block.write_ptr() > 0 {
+                        let _ = block.invalidate(element, 0, block.write_ptr() - 1);
+                    }
+                }
+                _ => {
+                    if block.valid_count() == 0 && block.write_ptr() > 0 {
+                        let _ = block.erase(element, 0);
+                    }
+                }
+            }
+            prop_assert_eq!(
+                block.valid_count() + block.invalid_count() + block.free_count(),
+                block.pages()
+            );
+        }
+    }
+
+    /// The page-mapped FTL keeps exactly one valid physical page per mapped
+    /// logical page, across arbitrary write/free sequences.
+    #[test]
+    fn page_ftl_mapping_invariant(ops in proptest::collection::vec((0u64..96, prop::bool::ANY), 1..300)) {
+        let config = FtlConfig::informed().with_overprovisioning(0.25).with_watermarks(0.3, 0.1);
+        let mut ftl = PageFtl::new(FlashGeometry::tiny(), ossd::flash::FlashTiming::slc(), config).unwrap();
+        let logical = ftl.logical_pages();
+        let mut mapped = std::collections::HashSet::new();
+        for (lpn, is_write) in ops {
+            let lpn = lpn % logical;
+            if is_write {
+                ftl.write(Lpn(lpn), 4096, &WriteContext::idle()).unwrap();
+                mapped.insert(lpn);
+            } else {
+                ftl.free(Lpn(lpn)).unwrap();
+                mapped.remove(&lpn);
+            }
+        }
+        prop_assert_eq!(ftl.flash().valid_pages(), mapped.len() as u64);
+        for lpn in 0..logical {
+            prop_assert_eq!(ftl.is_mapped(Lpn(lpn)), mapped.contains(&lpn));
+        }
+    }
+
+    /// Completions from the SSD are causally ordered: finish >= start >=
+    /// arrival, and time never runs backwards across a request stream.
+    #[test]
+    fn ssd_completions_are_causal(seed in 0u64..1000) {
+        let mut ssd = Ssd::new(SsdConfig::tiny_page_mapped()).unwrap();
+        let capacity = ssd.capacity_bytes();
+        let mut arrival = SimTime::ZERO;
+        let mut last_finish = SimTime::ZERO;
+        for i in 0..50u64 {
+            let offset = ((seed.wrapping_mul(31).wrapping_add(i * 7919)) % (capacity / 4096)) * 4096;
+            let req = if i % 3 == 0 {
+                BlockRequest::read(i, offset, 4096, arrival)
+            } else {
+                BlockRequest::write(i, offset, 4096, arrival)
+            };
+            let completion = ssd.submit(&req).unwrap();
+            prop_assert!(completion.start >= req.arrival);
+            prop_assert!(completion.finish >= completion.start);
+            prop_assert!(completion.finish >= last_finish || completion.finish >= req.arrival);
+            last_finish = completion.finish;
+            arrival = arrival + SimDuration::from_micros(50);
+        }
+    }
+
+    /// The online summary matches a direct computation of mean and extrema.
+    #[test]
+    fn summary_matches_reference(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut summary = Summary::new();
+        for &v in &values {
+            summary.record(v);
+        }
+        let mean: f64 = values.iter().sum::<f64>() / values.len() as f64;
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!((summary.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        prop_assert_eq!(summary.min(), min);
+        prop_assert_eq!(summary.max(), max);
+        prop_assert_eq!(summary.count(), values.len() as u64);
+    }
+}
