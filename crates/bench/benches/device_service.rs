@@ -1,7 +1,7 @@
-//! Criterion micro-benchmarks of end-to-end request service on the device
+//! Micro-benchmarks of end-to-end request service on the device
 //! models (simulator throughput, not simulated-device throughput).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ossd_bench::micro::{bench, header};
 use ossd_block::{BlockDevice, BlockRequest};
 use ossd_hdd::{Hdd, HddConfig};
 use ossd_sim::SimTime;
@@ -15,55 +15,49 @@ fn medium_ssd() -> Ssd {
     Ssd::new(config).unwrap()
 }
 
-fn bench_ssd_write_path(c: &mut Criterion) {
-    c.bench_function("ssd_submit_4k_write", |b| {
-        let mut ssd = medium_ssd();
-        let capacity = ssd.capacity_bytes();
-        let mut i = 0u64;
-        b.iter(|| {
-            let offset = ((i * 7919) % (capacity / 4096)) * 4096;
-            ssd.submit(&BlockRequest::write(i, offset, 4096, SimTime::ZERO))
-                .unwrap();
-            i += 1;
-        });
+fn bench_ssd_write_path() {
+    let mut ssd = medium_ssd();
+    let capacity = ssd.capacity_bytes();
+    let mut i = 0u64;
+    bench("ssd_submit_4k_write", || {
+        let offset = ((i * 7919) % (capacity / 4096)) * 4096;
+        ssd.submit(&BlockRequest::write(i, offset, 4096, SimTime::ZERO))
+            .unwrap();
+        i += 1;
     });
 }
 
-fn bench_ssd_read_path(c: &mut Criterion) {
-    c.bench_function("ssd_submit_4k_read", |b| {
-        let mut ssd = medium_ssd();
-        let capacity = ssd.capacity_bytes();
-        for i in 0..capacity / 4096 {
-            ssd.submit(&BlockRequest::write(i, i * 4096, 4096, SimTime::ZERO))
-                .unwrap();
-        }
-        let mut i = 0u64;
-        b.iter(|| {
-            let offset = ((i * 2_654_435_761) % (capacity / 4096)) * 4096;
-            ssd.submit(&BlockRequest::read(i, offset, 4096, SimTime::ZERO))
-                .unwrap();
-            i += 1;
-        });
+fn bench_ssd_read_path() {
+    let mut ssd = medium_ssd();
+    let capacity = ssd.capacity_bytes();
+    for i in 0..capacity / 4096 {
+        ssd.submit(&BlockRequest::write(i, i * 4096, 4096, SimTime::ZERO))
+            .unwrap();
+    }
+    let mut i = 0u64;
+    bench("ssd_submit_4k_read", || {
+        let offset = ((i * 2_654_435_761) % (capacity / 4096)) * 4096;
+        ssd.submit(&BlockRequest::read(i, offset, 4096, SimTime::ZERO))
+            .unwrap();
+        i += 1;
     });
 }
 
-fn bench_hdd_random_read(c: &mut Criterion) {
-    c.bench_function("hdd_submit_4k_random_read", |b| {
-        let mut hdd = Hdd::new(HddConfig::default());
-        let capacity = hdd.capacity_bytes();
-        let mut i = 0u64;
-        b.iter(|| {
-            let offset = ((i * 2_654_435_761) % (capacity / 4096)) * 4096;
-            hdd.submit(&BlockRequest::read(i, offset, 4096, SimTime::ZERO))
-                .unwrap();
-            i += 1;
-        });
+fn bench_hdd_random_read() {
+    let mut hdd = Hdd::new(HddConfig::default());
+    let capacity = hdd.capacity_bytes();
+    let mut i = 0u64;
+    bench("hdd_submit_4k_random_read", || {
+        let offset = ((i * 2_654_435_761) % (capacity / 4096)) * 4096;
+        hdd.submit(&BlockRequest::read(i, offset, 4096, SimTime::ZERO))
+            .unwrap();
+        i += 1;
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_ssd_write_path, bench_ssd_read_path, bench_hdd_random_read
+fn main() {
+    header("device_service");
+    bench_ssd_write_path();
+    bench_ssd_read_path();
+    bench_hdd_random_read();
 }
-criterion_main!(benches);

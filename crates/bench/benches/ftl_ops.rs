@@ -1,6 +1,6 @@
-//! Criterion micro-benchmarks of FTL mapping operations.
+//! Micro-benchmarks of FTL mapping operations.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ossd_bench::micro::{bench, header};
 use ossd_flash::{FlashGeometry, FlashTiming};
 use ossd_ftl::{Ftl, FtlConfig, Lpn, PageFtl, StripeFtl, WriteContext};
 
@@ -15,81 +15,72 @@ fn geometry() -> FlashGeometry {
     }
 }
 
-fn bench_page_ftl_write(c: &mut Criterion) {
-    c.bench_function("page_ftl_sequential_write", |b| {
-        let mut ftl = PageFtl::new(geometry(), FlashTiming::slc(), FtlConfig::default()).unwrap();
-        let logical = ftl.logical_pages();
-        let mut lpn = 0u64;
-        b.iter(|| {
-            ftl.write(Lpn(lpn % logical), 4096, &WriteContext::idle())
-                .unwrap();
-            lpn += 1;
-        });
+fn bench_page_ftl_write() {
+    let mut ftl = PageFtl::new(geometry(), FlashTiming::slc(), FtlConfig::default()).unwrap();
+    let logical = ftl.logical_pages();
+    let mut lpn = 0u64;
+    bench("page_ftl_sequential_write", || {
+        ftl.write(Lpn(lpn % logical), 4096, &WriteContext::idle())
+            .unwrap();
+        lpn += 1;
     });
 }
 
-fn bench_page_ftl_overwrite_with_gc(c: &mut Criterion) {
-    c.bench_function("page_ftl_overwrite_steady_state", |b| {
-        let config = FtlConfig::default().with_overprovisioning(0.15);
-        let mut ftl = PageFtl::new(geometry(), FlashTiming::slc(), config).unwrap();
-        let logical = ftl.logical_pages();
-        // Reach steady state first so the measured iterations include GC.
-        for lpn in 0..logical {
-            ftl.write(Lpn(lpn), 4096, &WriteContext::idle()).unwrap();
-        }
-        let mut lpn = 0u64;
-        b.iter(|| {
-            ftl.write(Lpn((lpn * 17) % logical), 4096, &WriteContext::idle())
-                .unwrap();
-            lpn += 1;
-        });
+fn bench_page_ftl_overwrite_with_gc() {
+    let config = FtlConfig::default().with_overprovisioning(0.15);
+    let mut ftl = PageFtl::new(geometry(), FlashTiming::slc(), config).unwrap();
+    let logical = ftl.logical_pages();
+    // Reach steady state first so the measured iterations include GC.
+    for lpn in 0..logical {
+        ftl.write(Lpn(lpn), 4096, &WriteContext::idle()).unwrap();
+    }
+    let mut lpn = 0u64;
+    bench("page_ftl_overwrite_steady_state", || {
+        ftl.write(Lpn((lpn * 17) % logical), 4096, &WriteContext::idle())
+            .unwrap();
+        lpn += 1;
     });
 }
 
-fn bench_page_ftl_read(c: &mut Criterion) {
-    c.bench_function("page_ftl_random_read", |b| {
-        let mut ftl = PageFtl::new(geometry(), FlashTiming::slc(), FtlConfig::default()).unwrap();
-        let logical = ftl.logical_pages();
-        for lpn in 0..logical {
-            ftl.write(Lpn(lpn), 4096, &WriteContext::idle()).unwrap();
-        }
-        let mut i = 0u64;
-        b.iter(|| {
-            ftl.read(Lpn((i * 2_654_435_761) % logical), 4096).unwrap();
-            i += 1;
-        });
+fn bench_page_ftl_read() {
+    let mut ftl = PageFtl::new(geometry(), FlashTiming::slc(), FtlConfig::default()).unwrap();
+    let logical = ftl.logical_pages();
+    for lpn in 0..logical {
+        ftl.write(Lpn(lpn), 4096, &WriteContext::idle()).unwrap();
+    }
+    let mut i = 0u64;
+    bench("page_ftl_random_read", || {
+        ftl.read(Lpn((i * 2_654_435_761) % logical), 4096).unwrap();
+        i += 1;
     });
 }
 
-fn bench_stripe_ftl_rmw(c: &mut Criterion) {
-    c.bench_function("stripe_ftl_sub_stripe_write_rmw", |b| {
-        let mut ftl = StripeFtl::new(
-            geometry(),
-            FlashTiming::slc(),
-            FtlConfig::default(),
-            64 * 1024,
-        )
-        .unwrap();
-        let logical = ftl.logical_pages();
-        for lpn in 0..logical / 2 {
-            ftl.write(Lpn(lpn), 64 * 1024, &WriteContext::idle()).unwrap();
-        }
-        let mut i = 0u64;
-        b.iter(|| {
-            // Alternate stripes so the coalescing buffer always flushes.
-            ftl.write(Lpn((i * 7) % (logical / 2)), 4096, &WriteContext::idle())
-                .unwrap();
-            i += 1;
-        });
+fn bench_stripe_ftl_rmw() {
+    let mut ftl = StripeFtl::new(
+        geometry(),
+        FlashTiming::slc(),
+        FtlConfig::default(),
+        64 * 1024,
+    )
+    .unwrap();
+    let logical = ftl.logical_pages();
+    for lpn in 0..logical / 2 {
+        ftl.write(Lpn(lpn), 64 * 1024, &WriteContext::idle())
+            .unwrap();
+    }
+    let mut i = 0u64;
+    bench("stripe_ftl_sub_stripe_write_rmw", || {
+        // Alternate stripes so the coalescing buffer always flushes.
+        ftl.write(Lpn((i * 7) % (logical / 2)), 4096, &WriteContext::idle())
+            .unwrap();
+        i += 1;
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_page_ftl_write,
-              bench_page_ftl_overwrite_with_gc,
-              bench_page_ftl_read,
-              bench_stripe_ftl_rmw
+fn main() {
+    header("ftl_ops");
+    bench_page_ftl_write();
+    bench_page_ftl_overwrite_with_gc();
+    bench_page_ftl_read();
+    bench_stripe_ftl_rmw();
 }
-criterion_main!(benches);

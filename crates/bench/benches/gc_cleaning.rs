@@ -1,9 +1,10 @@
-//! Criterion micro-benchmarks of cleaning (garbage collection) under churn,
-//! comparing the default and informed-cleaning FTLs.
+//! Micro-benchmarks of cleaning (garbage collection) under churn:
+//! the default vs. informed-cleaning FTLs, the full cleaning-policy matrix
+//! from `ossd-gc`, and budgeted background cleaning.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ossd_bench::micro::{bench, header};
 use ossd_flash::{FlashGeometry, FlashTiming};
-use ossd_ftl::{Ftl, FtlConfig, Lpn, PageFtl, WriteContext};
+use ossd_ftl::{CleaningPolicyKind, Ftl, FtlConfig, Lpn, PageFtl, WriteContext};
 
 fn geometry() -> FlashGeometry {
     FlashGeometry {
@@ -34,29 +35,64 @@ fn churned_ftl(honor_free: bool) -> (PageFtl, u64) {
     (ftl, logical)
 }
 
-fn bench_cleaning(c: &mut Criterion) {
+/// A steady-state FTL with the given cleaning policy: filled once, then
+/// pre-churned so the measured iterations include cleaning work.
+fn policy_ftl(policy: CleaningPolicyKind) -> (PageFtl, u64) {
+    let config = FtlConfig::default()
+        .with_overprovisioning(0.15)
+        .with_cleaning_policy(policy);
+    let mut ftl = PageFtl::new(geometry(), FlashTiming::slc(), config).unwrap();
+    let logical = ftl.logical_pages();
+    for lpn in 0..logical {
+        ftl.write(Lpn(lpn), 4096, &WriteContext::idle()).unwrap();
+    }
+    for i in 0..logical {
+        let lpn = (i * 17) % logical;
+        ftl.write(Lpn(lpn), 4096, &WriteContext::idle()).unwrap();
+    }
+    (ftl, logical)
+}
+
+fn main() {
+    header("gc_cleaning");
     for honor_free in [false, true] {
         let label = if honor_free {
             "gc_overwrite_churn_informed"
         } else {
             "gc_overwrite_churn_default"
         };
-        c.bench_function(label, |b| {
-            let (mut ftl, logical) = churned_ftl(honor_free);
-            let hot_base = logical / 3;
-            let mut i = 0u64;
-            b.iter(|| {
-                let lpn = hot_base + ((i * 13) % (logical - hot_base));
-                ftl.write(Lpn(lpn), 4096, &WriteContext::idle()).unwrap();
-                i += 1;
-            });
+        let (mut ftl, logical) = churned_ftl(honor_free);
+        let hot_base = logical / 3;
+        let mut i = 0u64;
+        bench(label, || {
+            let lpn = hot_base + ((i * 13) % (logical - hot_base));
+            ftl.write(Lpn(lpn), 4096, &WriteContext::idle()).unwrap();
+            i += 1;
         });
     }
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_cleaning
+    // The cleaning-policy matrix: steady-state overwrite cost per policy.
+    for policy in CleaningPolicyKind::all() {
+        let (mut ftl, logical) = policy_ftl(policy);
+        let mut i = 0u64;
+        bench(&format!("gc_steady_overwrite_{}", policy.name()), || {
+            let lpn = (i * 17) % logical;
+            ftl.write(Lpn(lpn), 4096, &WriteContext::idle()).unwrap();
+            i += 1;
+        });
+    }
+
+    // Background cleaning: cost of one budgeted reclamation step, kept fed
+    // by interleaved overwrites.
+    let (mut ftl, logical) = policy_ftl(CleaningPolicyKind::Greedy);
+    let mut i = 0u64;
+    bench("gc_background_clean_step", || {
+        // A couple of overwrites keep stale pages available to reclaim.
+        for _ in 0..2 {
+            let lpn = (i * 17) % logical;
+            ftl.write(Lpn(lpn), 4096, &WriteContext::idle()).unwrap();
+            i += 1;
+        }
+        ftl.background_clean(1, 0.2).unwrap();
+    });
 }
-criterion_main!(benches);

@@ -1,6 +1,6 @@
-//! Criterion micro-benchmarks of the controller schedulers.
+//! Micro-benchmarks of the controller schedulers.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ossd_bench::micro::{bench, black_box, header};
 use ossd_sim::{Server, SimDuration, SimTime};
 use ossd_ssd::SchedulerKind;
 
@@ -18,22 +18,16 @@ fn queue(len: usize, elements: usize) -> Vec<(SimTime, usize)> {
         .collect()
 }
 
-fn bench_pick(c: &mut Criterion) {
+fn main() {
+    header("scheduler");
     let elements = busy_elements(16);
     for &qlen in &[8usize, 64, 256] {
         let q = queue(qlen, 16);
-        c.bench_function(&format!("fcfs_pick_q{qlen}"), |b| {
-            b.iter(|| SchedulerKind::Fcfs.pick(&q, &elements, SimTime::from_millis(1)))
+        bench(&format!("fcfs_pick_q{qlen}"), || {
+            black_box(SchedulerKind::Fcfs.pick(&q, &elements, SimTime::from_millis(1)));
         });
-        c.bench_function(&format!("swtf_pick_q{qlen}"), |b| {
-            b.iter(|| SchedulerKind::Swtf.pick(&q, &elements, SimTime::from_millis(1)))
+        bench(&format!("swtf_pick_q{qlen}"), || {
+            black_box(SchedulerKind::Swtf.pick(&q, &elements, SimTime::from_millis(1)));
         });
     }
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_pick
-}
-criterion_main!(benches);

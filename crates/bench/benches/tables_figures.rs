@@ -1,33 +1,21 @@
-//! Criterion wrappers around the quick-scale experiment drivers, so
-//! regressions in the end-to-end experiment runtime are visible.
+//! Wrappers around the quick-scale experiment drivers, so regressions in the
+//! end-to-end experiment runtime are visible.
 //!
 //! The full paper-scale tables and figures are produced by the binaries in
 //! `src/bin/` (e.g. `cargo run --release -p ossd-bench --bin run_all`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ossd_bench::micro::{bench, black_box, header};
 use ossd_core::experiments::{swtf, table2, table5, Scale};
 
-fn bench_table2(c: &mut Criterion) {
-    c.bench_function("experiment_table2_quick", |b| {
-        b.iter(|| table2::run(Scale::Quick).unwrap())
+fn main() {
+    header("tables_figures");
+    bench("experiment_table2_quick", || {
+        black_box(table2::run(Scale::Quick).unwrap());
+    });
+    bench("experiment_swtf_quick", || {
+        black_box(swtf::run(Scale::Quick).unwrap());
+    });
+    bench("experiment_table5_quick", || {
+        black_box(table5::run(Scale::Quick).unwrap());
     });
 }
-
-fn bench_swtf(c: &mut Criterion) {
-    c.bench_function("experiment_swtf_quick", |b| {
-        b.iter(|| swtf::run(Scale::Quick).unwrap())
-    });
-}
-
-fn bench_table5(c: &mut Criterion) {
-    c.bench_function("experiment_table5_quick", |b| {
-        b.iter(|| table5::run(Scale::Quick).unwrap())
-    });
-}
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_table2, bench_swtf, bench_table5
-}
-criterion_main!(benches);

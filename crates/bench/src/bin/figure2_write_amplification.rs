@@ -6,7 +6,10 @@ use ossd_core::experiments::figure2;
 
 fn main() {
     let scale = scale_from_args();
-    print_header("Figure 2: Write Amplification (bandwidth vs write size)", scale);
+    print_header(
+        "Figure 2: Write Amplification (bandwidth vs write size)",
+        scale,
+    );
     let points = figure2::run(scale).expect("experiment runs");
     let peak = points
         .iter()
@@ -18,8 +21,6 @@ fn main() {
         println!("{:>10.2} {:>14.2}  {}", p.write_mb, p.bandwidth_mbps, bar);
     }
     println!();
-    println!(
-        "Paper reference (Figure 2): bandwidth peaks when the write size aligns"
-    );
+    println!("Paper reference (Figure 2): bandwidth peaks when the write size aligns");
     println!("with the 1 MB stripe and dips just past each multiple (saw-tooth).");
 }

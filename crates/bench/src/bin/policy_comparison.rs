@@ -1,0 +1,36 @@
+//! Regenerates the cleaning-policy comparison: write amplification,
+//! bandwidth and cleaning stall vs. device utilization, for every policy in
+//! `ossd-gc`, with the analytical greedy curve as reference.
+
+use ossd_bench::{print_header, scale_from_args};
+use ossd_core::experiments::policy_compare;
+
+fn main() {
+    let scale = scale_from_args();
+    print_header(
+        "Cleaning-policy comparison: WA / bandwidth vs. utilization",
+        scale,
+    );
+    let curves = policy_compare::run(scale).expect("policy comparison");
+    println!(
+        "{:<16} {:>5}  {:>8} {:>9}  {:>10}  {:>10}  {:>9}",
+        "policy", "u", "WA", "analytic", "MB/s", "stall ms", "erases"
+    );
+    for curve in &curves {
+        for p in &curve.points {
+            println!(
+                "{:<16} {:>5.2}  {:>8.3} {:>9.3}  {:>10.2}  {:>10.1}  {:>9}",
+                curve.policy.name(),
+                p.utilization,
+                p.write_amplification,
+                p.analytic_greedy,
+                p.bandwidth_mb_s,
+                p.cleaning_stall_ms,
+                p.blocks_erased
+            );
+        }
+    }
+    println!();
+    println!("background cleaning shifts the stall out of the write path;");
+    println!("see the gc_cleaning bench and `idle_windows_trigger_background_cleaning`.");
+}

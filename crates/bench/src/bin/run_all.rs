@@ -2,7 +2,9 @@
 
 use ossd_bench::{print_header, scale_from_args};
 use ossd_core::contract::ContractTerm;
-use ossd_core::experiments::{figure2, figure3, swtf, table1, table2, table3, table4, table5};
+use ossd_core::experiments::{
+    figure2, figure3, policy_compare, swtf, table1, table2, table3, table4, table5,
+};
 
 fn main() {
     let scale = scale_from_args();
@@ -59,7 +61,10 @@ fn main() {
         );
     }
 
-    print_header("Table 4: Macro Benchmarks with Stripe-aligned Writes", scale);
+    print_header(
+        "Table 4: Macro Benchmarks with Stripe-aligned Writes",
+        scale,
+    );
     for r in table4::run(scale).expect("table 4") {
         println!(
             "{:<10} unaligned {:>10.2} ms  aligned {:>10.2} ms  improvement {:>6.2}%",
@@ -95,5 +100,20 @@ fn main() {
             p.agnostic_background_ms,
             p.aware_background_ms
         );
+    }
+
+    print_header("Cleaning-policy comparison (WA vs utilization)", scale);
+    for curve in policy_compare::run(scale).expect("policy comparison") {
+        for p in &curve.points {
+            println!(
+                "{:<16} u={:.2}  WA {:>6.3} (analytic {:>6.3})  {:>8.2} MB/s  stall {:>8.1} ms",
+                curve.policy.name(),
+                p.utilization,
+                p.write_amplification,
+                p.analytic_greedy,
+                p.bandwidth_mb_s,
+                p.cleaning_stall_ms
+            );
+        }
     }
 }

@@ -10,7 +10,10 @@ fn main() {
     let result = swtf::run(scale).expect("experiment runs");
     println!("FCFS mean response time: {:>8.3} ms", result.fcfs_mean_ms);
     println!("SWTF mean response time: {:>8.3} ms", result.swtf_mean_ms);
-    println!("Improvement:             {:>8.2} %", result.improvement_pct());
+    println!(
+        "Improvement:             {:>8.2} %",
+        result.improvement_pct()
+    );
     println!();
     println!("Paper reference: SWTF improves response time by about 8% over FCFS.");
 }

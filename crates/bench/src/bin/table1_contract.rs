@@ -13,7 +13,11 @@ fn main() {
     }
     println!();
     println!("{:<22} 1  2  3  4  5  6", "device");
-    for report in [&result.hdd, &result.ssd_page_mapped, &result.ssd_stripe_mapped] {
+    for report in [
+        &result.hdd,
+        &result.ssd_page_mapped,
+        &result.ssd_stripe_mapped,
+    ] {
         let marks: Vec<&str> = report
             .verdicts
             .iter()
@@ -23,7 +27,11 @@ fn main() {
     }
     println!();
     println!("Evidence:");
-    for report in [&result.hdd, &result.ssd_page_mapped, &result.ssd_stripe_mapped] {
+    for report in [
+        &result.hdd,
+        &result.ssd_page_mapped,
+        &result.ssd_stripe_mapped,
+    ] {
         println!("{}:", report.device);
         for v in &report.verdicts {
             println!("  [{}] {}", if v.holds { "T" } else { "F" }, v.evidence);

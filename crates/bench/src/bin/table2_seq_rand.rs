@@ -5,7 +5,10 @@ use ossd_core::experiments::table2;
 
 fn main() {
     let scale = scale_from_args();
-    print_header("Table 2: Ratio of Sequential to Random Bandwidth (MB/s)", scale);
+    print_header(
+        "Table 2: Ratio of Sequential to Random Bandwidth (MB/s)",
+        scale,
+    );
     let rows = table2::run(scale).expect("experiment runs");
     println!(
         "{:<12} {:>9} {:>9} {:>8} {:>9} {:>9} {:>8}",

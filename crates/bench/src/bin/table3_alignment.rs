@@ -6,7 +6,10 @@ use ossd_core::experiments::table3;
 
 fn main() {
     let scale = scale_from_args();
-    print_header("Table 3: Improved Response Time with Write Alignment", scale);
+    print_header(
+        "Table 3: Improved Response Time with Write Alignment",
+        scale,
+    );
     let rows = table3::run(scale).expect("experiment runs");
     println!(
         "{:>24} {:>12} {:>12} {:>12}",

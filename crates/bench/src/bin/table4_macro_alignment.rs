@@ -5,7 +5,10 @@ use ossd_core::experiments::table4;
 
 fn main() {
     let scale = scale_from_args();
-    print_header("Table 4: Macro Benchmarks with Stripe-aligned Writes", scale);
+    print_header(
+        "Table 4: Macro Benchmarks with Stripe-aligned Writes",
+        scale,
+    );
     let rows = table4::run(scale).expect("experiment runs");
     println!(
         "{:<12} {:>14} {:>14} {:>14}",

@@ -5,7 +5,10 @@ use ossd_core::experiments::table5;
 
 fn main() {
     let scale = scale_from_args();
-    print_header("Table 5: Improved Cleaning with Free-Page Information", scale);
+    print_header(
+        "Table 5: Improved Cleaning with Free-Page Information",
+        scale,
+    );
     let rows = table5::run(scale).expect("experiment runs");
     println!(
         "{:>12} {:>15} {:>15} {:>9} {:>13} {:>13} {:>9}",

@@ -1,0 +1,76 @@
+//! A minimal micro-benchmark harness.
+//!
+//! The workspace builds hermetically with no external crates, so the bench
+//! targets use this ~80-line harness instead of criterion: each benchmark is
+//! a `harness = false` binary that calls [`bench`] for every case.  The
+//! harness warms the case up, then runs timed batches until enough wall time
+//! has accumulated for a stable per-iteration estimate, and prints one
+//! `name ... time/iter` line, so `cargo bench` output stays grep-able.
+
+use std::time::{Duration, Instant};
+
+/// Minimum measured wall time per case before reporting.
+const MEASURE_TARGET: Duration = Duration::from_millis(250);
+/// Warm-up wall time per case.
+const WARMUP_TARGET: Duration = Duration::from_millis(50);
+
+/// Re-export of [`std::hint::black_box`] for benchmark bodies.
+pub use std::hint::black_box;
+
+/// Runs `f` repeatedly and prints the mean time per iteration.
+pub fn bench(name: &str, mut f: impl FnMut()) {
+    // Warm up (fills caches, reaches steady state, sizes the first batch).
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    while warm_start.elapsed() < WARMUP_TARGET {
+        f();
+        warm_iters += 1;
+    }
+    let per_iter = warm_start.elapsed().as_nanos() as u64 / warm_iters.max(1);
+    // Pick a batch size around 10ms of work so timer overhead is negligible.
+    let batch = (10_000_000 / per_iter.max(1)).clamp(1, 1_000_000);
+
+    let mut total = Duration::ZERO;
+    let mut iters = 0u64;
+    while total < MEASURE_TARGET {
+        let start = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        total += start.elapsed();
+        iters += batch;
+    }
+    let nanos = total.as_nanos() as f64 / iters as f64;
+    println!("{name:<44} {:>12} ({iters} iters)", format_nanos(nanos));
+}
+
+/// Formats a per-iteration time with a sensible unit.
+fn format_nanos(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns/iter")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs/iter", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms/iter", nanos / 1_000_000.0)
+    } else {
+        format!("{:.3} s/iter", nanos / 1_000_000_000.0)
+    }
+}
+
+/// Prints the standard header for one benchmark binary.
+pub fn header(title: &str) {
+    println!("--- {title} ---");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_formatting() {
+        assert!(format_nanos(12.3).ends_with("ns/iter"));
+        assert!(format_nanos(12_300.0).ends_with("µs/iter"));
+        assert!(format_nanos(12_300_000.0).ends_with("ms/iter"));
+        assert!(format_nanos(2.3e9).ends_with("s/iter"));
+    }
+}

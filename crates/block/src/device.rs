@@ -166,6 +166,8 @@ mod tests {
         assert!(DeviceError::Unsupported { what: "x" }
             .to_string()
             .contains("unsupported"));
-        assert!(DeviceError::Internal("boom".into()).to_string().contains("boom"));
+        assert!(DeviceError::Internal("boom".into())
+            .to_string()
+            .contains("boom"));
     }
 }

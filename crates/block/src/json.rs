@@ -1,0 +1,263 @@
+//! Minimal JSON encoding/decoding for the trace format.
+//!
+//! Traces are flat JSON-lines records of unsigned integers and enum-name
+//! strings (see [`crate::trace`]).  The workspace vendors this ~100-line
+//! encoder/decoder instead of depending on an external JSON crate so the
+//! simulators build hermetically; it intentionally supports only the subset
+//! the trace format uses (no nesting, no floats, no booleans, no null).
+
+use std::collections::BTreeMap;
+
+/// A scalar value in a flat trace record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Scalar {
+    /// An unsigned integer field (offsets, lengths, timestamps).
+    Num(u64),
+    /// A string field (enum variant names, trace names).
+    Str(String),
+}
+
+/// Escapes a string into a quoted JSON string literal.
+pub(crate) fn encode_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Encodes a flat record as a JSON object with fields in the given order.
+pub(crate) fn encode_object(fields: &[(&str, Scalar)]) -> String {
+    let mut out = String::from("{");
+    for (i, (key, value)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&encode_str(key));
+        out.push(':');
+        match value {
+            Scalar::Num(n) => out.push_str(&n.to_string()),
+            Scalar::Str(s) => out.push_str(&encode_str(s)),
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// A cursor over the bytes of one JSON line.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(s: &'a str) -> Self {
+        Cursor {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, expected: u8) -> Option<()> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    /// Reads four hex digits at the cursor (the payload of a `\u` escape).
+    fn parse_hex4(&mut self) -> Option<u32> {
+        let hex = self.bytes.get(self.pos..self.pos + 4)?;
+        self.pos += 4;
+        u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()
+    }
+
+    fn parse_string(&mut self) -> Option<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self.bytes.get(self.pos)?;
+            self.pos += 1;
+            match b {
+                b'"' => return Some(out),
+                b'\\' => {
+                    let esc = *self.bytes.get(self.pos)?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let code = self.parse_hex4()?;
+                            // UTF-16 surrogate pair: a high surrogate must
+                            // be followed by an escaped low surrogate (the
+                            // form serializers that ASCII-escape non-BMP
+                            // characters emit).
+                            if (0xD800..0xDC00).contains(&code) {
+                                if self.bytes.get(self.pos) != Some(&b'\\')
+                                    || self.bytes.get(self.pos + 1) != Some(&b'u')
+                                {
+                                    return None;
+                                }
+                                self.pos += 2;
+                                let low = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return None;
+                                }
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                out.push(char::from_u32(combined)?);
+                            } else {
+                                out.push(char::from_u32(code)?);
+                            }
+                        }
+                        _ => return None,
+                    }
+                }
+                // Multi-byte UTF-8 sequences pass through unchanged.
+                b => {
+                    let start = self.pos - 1;
+                    let len = utf8_len(b)?;
+                    let chunk = self.bytes.get(start..start + len)?;
+                    out.push_str(std::str::from_utf8(chunk).ok()?);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Option<u64> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return None;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()?
+            .parse()
+            .ok()
+    }
+}
+
+fn utf8_len(first: u8) -> Option<usize> {
+    match first {
+        0x00..=0x7F => Some(1),
+        0xC0..=0xDF => Some(2),
+        0xE0..=0xEF => Some(3),
+        0xF0..=0xF7 => Some(4),
+        _ => None,
+    }
+}
+
+/// Parses a line holding exactly one JSON string literal.
+pub(crate) fn decode_str(line: &str) -> Option<String> {
+    let mut c = Cursor::new(line);
+    let s = c.parse_string()?;
+    c.skip_ws();
+    (c.pos == c.bytes.len()).then_some(s)
+}
+
+/// Parses a line holding one flat JSON object of string/number fields.
+pub(crate) fn decode_object(line: &str) -> Option<BTreeMap<String, Scalar>> {
+    let mut c = Cursor::new(line);
+    c.eat(b'{')?;
+    let mut out = BTreeMap::new();
+    if c.peek() == Some(b'}') {
+        c.pos += 1;
+    } else {
+        loop {
+            let key = c.parse_string()?;
+            c.eat(b':')?;
+            let value = match c.peek()? {
+                b'"' => Scalar::Str(c.parse_string()?),
+                _ => Scalar::Num(c.parse_number()?),
+            };
+            out.insert(key, value);
+            match c.peek()? {
+                b',' => {
+                    c.pos += 1;
+                }
+                b'}' => {
+                    c.pos += 1;
+                    break;
+                }
+                _ => return None,
+            }
+        }
+    }
+    c.skip_ws();
+    (c.pos == c.bytes.len()).then_some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_roundtrip_with_escapes() {
+        for s in ["plain", "has \"quotes\"", "tabs\tand\nnewlines", "païges ☃"] {
+            assert_eq!(decode_str(&encode_str(s)).as_deref(), Some(s));
+        }
+        assert_eq!(decode_str("\"\\u0041\"").as_deref(), Some("A"));
+        // Non-BMP characters arrive as UTF-16 surrogate pairs from
+        // serializers that ASCII-escape their output (e.g. Python's
+        // json.dumps default).
+        assert_eq!(decode_str("\"\\ud83d\\ude00\"").as_deref(), Some("😀"));
+        // Lone or malformed surrogates are rejected, not mangled.
+        assert!(decode_str("\"\\ud83d\"").is_none());
+        assert!(decode_str("\"\\ud83d\\u0041\"").is_none());
+        assert!(decode_str("not json").is_none());
+        assert!(decode_str("\"trailing\" junk").is_none());
+    }
+
+    #[test]
+    fn object_roundtrip() {
+        let fields = [
+            ("at_micros", Scalar::Num(42)),
+            ("kind", Scalar::Str("Read".to_string())),
+        ];
+        let line = encode_object(&fields);
+        assert_eq!(line, r#"{"at_micros":42,"kind":"Read"}"#);
+        let parsed = decode_object(&line).unwrap();
+        assert_eq!(parsed.get("at_micros"), Some(&Scalar::Num(42)));
+        assert_eq!(parsed.get("kind"), Some(&Scalar::Str("Read".to_string())));
+    }
+
+    #[test]
+    fn object_tolerates_whitespace_and_rejects_garbage() {
+        let parsed = decode_object(r#" { "a" : 1 , "b" : "x" } "#).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert!(decode_object(r#"{"a":}"#).is_none());
+        assert!(decode_object(r#"{"a":1"#).is_none());
+        assert!(decode_object(r#"{"a":1} trailing"#).is_none());
+        assert_eq!(decode_object("{}").unwrap().len(), 0);
+    }
+}

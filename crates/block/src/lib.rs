@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod device;
+mod json;
 pub mod range;
 pub mod replay;
 pub mod request;

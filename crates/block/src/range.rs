@@ -1,11 +1,9 @@
 //! Byte ranges with the alignment arithmetic the device-side write-merging
 //! logic needs.
 
-use serde::{Deserialize, Serialize};
-
 /// A half-open byte range `[offset, offset + len)` on a device's logical
 /// address space.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct ByteRange {
     /// Starting byte offset.
     pub offset: u64,
@@ -67,11 +65,7 @@ impl ByteRange {
 
     /// Index of the first `unit`-sized chunk touched by this range.
     pub fn first_chunk(&self, unit: u64) -> u64 {
-        if unit == 0 {
-            0
-        } else {
-            self.offset / unit
-        }
+        self.offset.checked_div(unit).unwrap_or(0)
     }
 
     /// Index of the last `unit`-sized chunk touched by this range (equal to
@@ -117,7 +111,7 @@ impl ByteRange {
         if unit <= 1 {
             return true;
         }
-        self.offset % unit == 0 && self.len % unit == 0
+        self.offset.is_multiple_of(unit) && self.len.is_multiple_of(unit)
     }
 }
 

@@ -1,7 +1,6 @@
 //! Block I/O requests, priorities and completions.
 
 use ossd_sim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 use crate::range::ByteRange;
 
@@ -9,7 +8,7 @@ use crate::range::ByteRange;
 pub const SECTOR_BYTES: u64 = 512;
 
 /// The kind of a block-level operation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum BlockOpKind {
     /// Read the addressed bytes.
     Read,
@@ -26,6 +25,28 @@ impl BlockOpKind {
     pub fn transfers_data(self) -> bool {
         matches!(self, BlockOpKind::Read | BlockOpKind::Write)
     }
+
+    /// The variant name used by the trace serialization.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BlockOpKind::Read => "Read",
+            BlockOpKind::Write => "Write",
+            BlockOpKind::Free => "Free",
+        }
+    }
+}
+
+impl std::str::FromStr for BlockOpKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "Read" => Ok(BlockOpKind::Read),
+            "Write" => Ok(BlockOpKind::Write),
+            "Free" => Ok(BlockOpKind::Free),
+            other => Err(format!("unknown block op kind {other:?}")),
+        }
+    }
 }
 
 /// Request priority as exposed by the host.
@@ -33,7 +54,7 @@ impl BlockOpKind {
 /// The paper's QoS experiment (§3.6) marks 10% of requests as high priority
 /// ("foreground") and lets the SSD postpone cleaning while such requests are
 /// outstanding.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum Priority {
     /// Latency-sensitive foreground request.
     High,
@@ -46,6 +67,26 @@ impl Priority {
     /// Whether this is the high (foreground) priority.
     pub fn is_high(self) -> bool {
         matches!(self, Priority::High)
+    }
+
+    /// The variant name used by the trace serialization.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Priority::High => "High",
+            Priority::Normal => "Normal",
+        }
+    }
+}
+
+impl std::str::FromStr for Priority {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "High" => Ok(Priority::High),
+            "Normal" => Ok(Priority::Normal),
+            other => Err(format!("unknown priority {other:?}")),
+        }
     }
 }
 
@@ -209,13 +250,14 @@ mod tests {
     }
 
     #[test]
-    fn priority_and_kind_serde_roundtrip() {
-        let json = serde_json::to_string(&Priority::High).unwrap();
-        assert_eq!(serde_json::from_str::<Priority>(&json).unwrap(), Priority::High);
-        let json = serde_json::to_string(&BlockOpKind::Free).unwrap();
-        assert_eq!(
-            serde_json::from_str::<BlockOpKind>(&json).unwrap(),
-            BlockOpKind::Free
-        );
+    fn priority_and_kind_string_roundtrip() {
+        for p in [Priority::High, Priority::Normal] {
+            assert_eq!(p.as_str().parse::<Priority>().unwrap(), p);
+        }
+        for k in [BlockOpKind::Read, BlockOpKind::Write, BlockOpKind::Free] {
+            assert_eq!(k.as_str().parse::<BlockOpKind>().unwrap(), k);
+        }
+        assert!("Bogus".parse::<Priority>().is_err());
+        assert!("Bogus".parse::<BlockOpKind>().is_err());
     }
 }

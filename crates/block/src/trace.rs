@@ -9,13 +9,13 @@
 use std::io::{BufRead, Write};
 
 use ossd_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
+use crate::json::{self, Scalar};
 use crate::range::ByteRange;
 use crate::request::{BlockOpKind, BlockRequest, Priority};
 
 /// One record of a block trace.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TraceOp {
     /// Arrival time relative to the start of the trace, in microseconds.
     pub at_micros: u64,
@@ -25,8 +25,8 @@ pub struct TraceOp {
     pub offset: u64,
     /// Length in bytes.
     pub len: u64,
-    /// Request priority.
-    #[serde(default)]
+    /// Request priority (defaults to [`Priority::Normal`] when a serialized
+    /// record omits the field).
     pub priority: Priority,
 }
 
@@ -40,6 +40,45 @@ impl TraceOp {
             arrival: SimTime::from_micros(self.at_micros),
             priority: self.priority,
         }
+    }
+
+    /// Serializes the record as one JSON line.
+    fn to_json_line(self) -> String {
+        json::encode_object(&[
+            ("at_micros", Scalar::Num(self.at_micros)),
+            ("kind", Scalar::Str(self.kind.as_str().to_string())),
+            ("offset", Scalar::Num(self.offset)),
+            ("len", Scalar::Num(self.len)),
+            ("priority", Scalar::Str(self.priority.as_str().to_string())),
+        ])
+    }
+
+    /// Parses a record from one JSON line.
+    fn from_json_line(line: &str) -> Result<Self, String> {
+        let fields =
+            json::decode_object(line).ok_or_else(|| format!("malformed trace record {line:?}"))?;
+        let num = |key: &str| -> Result<u64, String> {
+            match fields.get(key) {
+                Some(Scalar::Num(n)) => Ok(*n),
+                _ => Err(format!("trace record missing numeric field {key:?}")),
+            }
+        };
+        let kind = match fields.get("kind") {
+            Some(Scalar::Str(s)) => s.parse::<BlockOpKind>()?,
+            _ => return Err("trace record missing \"kind\"".to_string()),
+        };
+        let priority = match fields.get("priority") {
+            Some(Scalar::Str(s)) => s.parse::<Priority>()?,
+            None => Priority::default(),
+            Some(Scalar::Num(_)) => return Err("\"priority\" must be a string".to_string()),
+        };
+        Ok(TraceOp {
+            at_micros: num("at_micros")?,
+            kind,
+            offset: num("offset")?,
+            len: num("len")?,
+            priority,
+        })
     }
 }
 
@@ -65,7 +104,7 @@ pub struct TraceStats {
 }
 
 /// A named sequence of trace operations.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Trace {
     /// Human-readable trace name (e.g. `"postmark-5000"`).
     pub name: String,
@@ -148,18 +187,23 @@ impl Trace {
     /// Serializes the trace as JSON lines: a header line with the name
     /// followed by one line per operation.
     pub fn write_jsonl<W: Write>(&self, mut writer: W) -> std::io::Result<()> {
-        writeln!(writer, "{}", serde_json::to_string(&self.name)?)?;
+        writeln!(writer, "{}", json::encode_str(&self.name))?;
         for op in &self.ops {
-            writeln!(writer, "{}", serde_json::to_string(op)?)?;
+            writeln!(writer, "{}", op.to_json_line())?;
         }
         Ok(())
     }
 
     /// Reads a trace previously written by [`Trace::write_jsonl`].
     pub fn read_jsonl<R: BufRead>(reader: R) -> std::io::Result<Self> {
+        let invalid = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
         let mut lines = reader.lines();
         let name: String = match lines.next() {
-            Some(line) => serde_json::from_str(&line?)?,
+            Some(line) => {
+                let line = line?;
+                json::decode_str(&line)
+                    .ok_or_else(|| invalid(format!("malformed trace header {line:?}")))?
+            }
             None => String::new(),
         };
         let mut ops = Vec::new();
@@ -168,7 +212,7 @@ impl Trace {
             if line.trim().is_empty() {
                 continue;
             }
-            ops.push(serde_json::from_str(&line)?);
+            ops.push(TraceOp::from_json_line(&line).map_err(invalid)?);
         }
         Ok(Trace { name, ops })
     }
@@ -177,7 +221,12 @@ impl Trace {
     pub fn filter_kind(&self, kind: BlockOpKind) -> Trace {
         Trace {
             name: self.name.clone(),
-            ops: self.ops.iter().copied().filter(|o| o.kind == kind).collect(),
+            ops: self
+                .ops
+                .iter()
+                .copied()
+                .filter(|o| o.kind == kind)
+                .collect(),
         }
     }
 
@@ -301,7 +350,12 @@ mod tests {
     fn priority_default_when_missing_in_json() {
         // A record without the priority field should parse with Normal.
         let json = r#"{"at_micros":5,"kind":"Read","offset":0,"len":512}"#;
-        let op: TraceOp = serde_json::from_str(json).unwrap();
+        let op = TraceOp::from_json_line(json).unwrap();
         assert_eq!(op.priority, Priority::Normal);
+        assert_eq!(op.at_micros, 5);
+        assert_eq!(op.kind, BlockOpKind::Read);
+        // Malformed records are rejected, not silently defaulted.
+        assert!(TraceOp::from_json_line(r#"{"at_micros":5}"#).is_err());
+        assert!(TraceOp::from_json_line("not json").is_err());
     }
 }

@@ -156,8 +156,15 @@ fn probe_generic<D: BlockDevice>(device: &mut D) -> Result<Vec<TermVerdict>, Dev
     replay_closed(device, &prefill)?;
     let rand_ops = (region / PROBE_IO).min(512);
     let seq = bandwidth_of(device, &sequential_requests(rand_ops, PROBE_IO, false))?;
-    let rand = bandwidth_of(device, &scattered_requests(rand_ops, PROBE_IO, region, false))?;
-    let ratio = if rand > 0.0 { seq / rand } else { f64::INFINITY };
+    let rand = bandwidth_of(
+        device,
+        &scattered_requests(rand_ops, PROBE_IO, region, false),
+    )?;
+    let ratio = if rand > 0.0 {
+        seq / rand
+    } else {
+        f64::INFINITY
+    };
     let term1 = TermVerdict {
         term: ContractTerm::SequentialFasterThanRandom,
         holds: ratio >= 10.0,
@@ -248,7 +255,11 @@ pub fn evaluate_ssd(config: SsdConfig) -> Result<ContractReport, DeviceError> {
     // Term 5: erase-cycle wear recorded by the flash array.
     let wear = ssd.ftl_stats();
     let erases = wear.gc_blocks_erased + ssd.stats().ftl.gc_blocks_erased;
-    let total_erases = erases.max(if ssd.stats().ftl.host_writes > 0 { 1 } else { 0 });
+    let total_erases = erases.max(if ssd.stats().ftl.host_writes > 0 {
+        1
+    } else {
+        0
+    });
     verdicts.push(TermVerdict {
         term: ContractTerm::MediaDoesNotWear,
         holds: false,
@@ -345,17 +356,31 @@ mod tests {
         assert_eq!(report.verdicts.len(), 6);
         // Terms 1, 2, 4, 5, 6 hold on a disk; term 3 fails because of zoned
         // recording.
-        assert!(report
-            .verdict(ContractTerm::SequentialFasterThanRandom)
-            .unwrap()
-            .holds);
-        assert!(report.verdict(ContractTerm::DistantLbnsCostMore).unwrap().holds);
-        assert!(report.verdict(ContractTerm::MediaDoesNotWear).unwrap().holds);
+        assert!(
+            report
+                .verdict(ContractTerm::SequentialFasterThanRandom)
+                .unwrap()
+                .holds
+        );
+        assert!(
+            report
+                .verdict(ContractTerm::DistantLbnsCostMore)
+                .unwrap()
+                .holds
+        );
+        assert!(
+            report
+                .verdict(ContractTerm::MediaDoesNotWear)
+                .unwrap()
+                .holds
+        );
         assert!(report.verdict(ContractTerm::PassiveDevice).unwrap().holds);
-        assert!(report
-            .verdict(ContractTerm::NoWriteAmplification)
-            .unwrap()
-            .holds);
+        assert!(
+            report
+                .verdict(ContractTerm::NoWriteAmplification)
+                .unwrap()
+                .holds
+        );
         assert!(report.satisfied_count() >= 5);
         assert!(report.as_table_row().contains('T'));
     }
@@ -365,14 +390,26 @@ mod tests {
         let report = evaluate_ssd(small_ssd_config(MappingKind::PageMapped)).unwrap();
         assert_eq!(report.verdicts.len(), 6);
         // Term 1 fails: sequential is no longer much better than random.
-        assert!(!report
-            .verdict(ContractTerm::SequentialFasterThanRandom)
-            .unwrap()
-            .holds);
+        assert!(
+            !report
+                .verdict(ContractTerm::SequentialFasterThanRandom)
+                .unwrap()
+                .holds
+        );
         // Term 2 fails: LBN distance does not matter.
-        assert!(!report.verdict(ContractTerm::DistantLbnsCostMore).unwrap().holds);
+        assert!(
+            !report
+                .verdict(ContractTerm::DistantLbnsCostMore)
+                .unwrap()
+                .holds
+        );
         // Term 5 always fails: flash wears out.
-        assert!(!report.verdict(ContractTerm::MediaDoesNotWear).unwrap().holds);
+        assert!(
+            !report
+                .verdict(ContractTerm::MediaDoesNotWear)
+                .unwrap()
+                .holds
+        );
         assert!(report.satisfied_count() < 6);
     }
 

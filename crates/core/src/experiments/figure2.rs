@@ -46,6 +46,7 @@ fn device_config(scale: Scale) -> SsdConfig {
             coalesce: true,
         },
         ftl: FtlConfig::default(),
+        background_gc: None,
         gangs: 1,
         scheduler: SchedulerKind::Fcfs,
         controller_overhead: SimDuration::from_micros(30),
@@ -72,7 +73,12 @@ fn measure_write_size(
     let mut id = 0u64;
     let mut offset = 0u64;
     while offset < region {
-        ssd.submit(&BlockRequest::write(id, offset, STRIPE_BYTES, SimTime::ZERO))?;
+        ssd.submit(&BlockRequest::write(
+            id,
+            offset,
+            STRIPE_BYTES,
+            SimTime::ZERO,
+        ))?;
         id += 1;
         offset += STRIPE_BYTES;
     }
@@ -151,7 +157,10 @@ mod tests {
         );
         // …and recover at the next multiple.
         let two = bandwidth_at(&points, 2.0).unwrap();
-        assert!(two > just_past, "2 MB ({two:.1}) should recover above 1.5 MB ({just_past:.1})");
+        assert!(
+            two > just_past,
+            "2 MB ({two:.1}) should recover above 1.5 MB ({just_past:.1})"
+        );
         // The saw-tooth amplitude decays as the write grows.
         let eight = bandwidth_at(&points, 8.0).unwrap();
         let eight_and_half = bandwidth_at(&points, 8.5).unwrap();

@@ -59,6 +59,7 @@ fn device_config(scale: Scale, mode: CleaningMode) -> SsdConfig {
             .with_overprovisioning(0.10)
             .with_watermarks(0.05, 0.02)
             .with_cleaning_mode(mode),
+        background_gc: None,
         gangs: 4,
         scheduler: SchedulerKind::Fcfs,
         controller_overhead: SimDuration::from_micros(10),
@@ -122,7 +123,7 @@ fn run_point(scale: Scale, write_pct: u32) -> Result<Figure3Point, DeviceError> 
             .to_requests()
             .into_iter()
             .map(|mut r| {
-                r.arrival = r.arrival + fill_end.saturating_since(SimTime::ZERO);
+                r.arrival += fill_end.saturating_since(SimTime::ZERO);
                 r
             })
             .collect();

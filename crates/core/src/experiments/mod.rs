@@ -14,9 +14,14 @@
 //! | Table 4 (macro benchmarks with alignment) | [`table4`] | [`table4::run`] |
 //! | Table 5 (informed cleaning) | [`table5`] | [`table5::run`] |
 //! | Figure 3 / Table 6 (priority-aware cleaning) | [`figure3`] | [`figure3::run`] |
+//!
+//! Beyond the paper, [`policy_compare`] sweeps the pluggable cleaning
+//! policies (`ossd-gc`) across device utilizations and validates the greedy
+//! curve against the analytical write-amplification model.
 
 pub mod figure2;
 pub mod figure3;
+pub mod policy_compare;
 pub mod swtf;
 pub mod table1;
 pub mod table2;

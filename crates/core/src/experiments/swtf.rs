@@ -48,6 +48,7 @@ fn device_config(scale: Scale) -> SsdConfig {
         },
         mapping: MappingKind::PageMapped,
         ftl: FtlConfig::default(),
+        background_gc: None,
         gangs: 4,
         scheduler: SchedulerKind::Fcfs,
         controller_overhead: SimDuration::from_micros(10),
@@ -73,7 +74,10 @@ pub fn run(scale: Scale) -> Result<SwtfResult, DeviceError> {
     let requests = workload.generate().to_requests();
 
     let mut mean_ms = [0.0f64; 2];
-    for (i, scheduler) in [SchedulerKind::Fcfs, SchedulerKind::Swtf].iter().enumerate() {
+    for (i, scheduler) in [SchedulerKind::Fcfs, SchedulerKind::Swtf]
+        .iter()
+        .enumerate()
+    {
         let mut ssd = Ssd::new(device_config(scale)).map_err(DeviceError::from)?;
         prefill(&mut ssd, region)?;
         let completions = ssd
@@ -107,6 +111,9 @@ mod tests {
             improvement > 1.0,
             "SWTF should improve response time, got {improvement:.2}%"
         );
-        assert!(improvement < 60.0, "improvement {improvement:.2}% implausible");
+        assert!(
+            improvement < 60.0,
+            "improvement {improvement:.2}% implausible"
+        );
     }
 }

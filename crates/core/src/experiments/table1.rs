@@ -76,20 +76,26 @@ mod tests {
         assert!(result.hdd.satisfied_count() >= 5);
         assert!(result.ssd_page_mapped.satisfied_count() <= 4);
         // The headline violations the paper highlights:
-        assert!(!result
-            .ssd_page_mapped
-            .verdict(ContractTerm::SequentialFasterThanRandom)
-            .unwrap()
-            .holds);
-        assert!(!result
-            .ssd_page_mapped
-            .verdict(ContractTerm::MediaDoesNotWear)
-            .unwrap()
-            .holds);
-        assert!(!result
-            .ssd_stripe_mapped
-            .verdict(ContractTerm::NoWriteAmplification)
-            .unwrap()
-            .holds);
+        assert!(
+            !result
+                .ssd_page_mapped
+                .verdict(ContractTerm::SequentialFasterThanRandom)
+                .unwrap()
+                .holds
+        );
+        assert!(
+            !result
+                .ssd_page_mapped
+                .verdict(ContractTerm::MediaDoesNotWear)
+                .unwrap()
+                .holds
+        );
+        assert!(
+            !result
+                .ssd_stripe_mapped
+                .verdict(ContractTerm::NoWriteAmplification)
+                .unwrap()
+                .holds
+        );
     }
 }

@@ -78,7 +78,11 @@ fn scattered(count: u64, size: u64, span: u64, write: bool) -> Vec<BlockRequest>
 /// Measures one device.  The measurement order is: sequential write (which
 /// also serves as the prefill so later reads hit real data), sequential
 /// read, random read, random write.
-fn measure<D: BlockDevice>(device: &mut D, name: &str, region: u64) -> Result<Table2Row, DeviceError> {
+fn measure<D: BlockDevice>(
+    device: &mut D,
+    name: &str,
+    region: u64,
+) -> Result<Table2Row, DeviceError> {
     let seq_ops = region / IO_BYTES;
     let rand_ops = (region / IO_BYTES).min(16 * 1024);
     let seq_write =
@@ -137,21 +141,41 @@ mod tests {
 
         // The disk: both ratios are enormous compared with any SSD.
         let hdd = by_name("HDD");
-        assert!(hdd.read_ratio() > 30.0, "HDD read ratio {}", hdd.read_ratio());
-        assert!(hdd.write_ratio() > 5.0, "HDD write ratio {}", hdd.write_ratio());
+        assert!(
+            hdd.read_ratio() > 30.0,
+            "HDD read ratio {}",
+            hdd.read_ratio()
+        );
+        assert!(
+            hdd.write_ratio() > 5.0,
+            "HDD write ratio {}",
+            hdd.write_ratio()
+        );
 
         // The paper's simulated page-mapped SSD: sequential and random are
         // nearly interchangeable.
         let s4 = by_name("S4slc_sim");
         assert!(s4.read_ratio() < 2.0, "S4 read ratio {}", s4.read_ratio());
-        assert!(s4.write_ratio() < 2.5, "S4 write ratio {}", s4.write_ratio());
+        assert!(
+            s4.write_ratio() < 2.5,
+            "S4 write ratio {}",
+            s4.write_ratio()
+        );
         assert!(hdd.read_ratio() > 10.0 * s4.read_ratio());
 
         // The low-end stripe-mapped devices: random writes collapse.
         let s2 = by_name("S2slc");
-        assert!(s2.write_ratio() > 40.0, "S2 write ratio {}", s2.write_ratio());
+        assert!(
+            s2.write_ratio() > 40.0,
+            "S2 write ratio {}",
+            s2.write_ratio()
+        );
         let s3 = by_name("S3slc");
-        assert!(s3.write_ratio() > 20.0, "S3 write ratio {}", s3.write_ratio());
+        assert!(
+            s3.write_ratio() > 20.0,
+            "S3 write ratio {}",
+            s3.write_ratio()
+        );
 
         // Read ratios on SSDs stay modest (a few times, not a hundred).
         for row in &rows[1..] {

@@ -57,6 +57,7 @@ pub fn device_config_for_alignment(scale: Scale, coalesce: bool) -> SsdConfig {
             coalesce,
         },
         ftl: FtlConfig::default(),
+        background_gc: None,
         gangs: 1,
         scheduler: SchedulerKind::Fcfs,
         controller_overhead: SimDuration::from_micros(20),
@@ -73,12 +74,18 @@ fn run_one(
     working_set: u64,
     count: usize,
 ) -> Result<f64, DeviceError> {
-    let mut ssd = Ssd::new(device_config_for_alignment(scale, coalesce)).map_err(DeviceError::from)?;
+    let mut ssd =
+        Ssd::new(device_config_for_alignment(scale, coalesce)).map_err(DeviceError::from)?;
     // Prefill the working set with stripe-aligned writes so partial-stripe
     // overwrites pay the read-modify-write.
     let mut arrival = SimTime::ZERO;
     for (i, offset) in (0..working_set).step_by(LOGICAL_PAGE as usize).enumerate() {
-        let c = ssd.submit(&BlockRequest::write(i as u64, offset, LOGICAL_PAGE, arrival))?;
+        let c = ssd.submit(&BlockRequest::write(
+            i as u64,
+            offset,
+            LOGICAL_PAGE,
+            arrival,
+        ))?;
         arrival = c.finish;
     }
     let start = ssd.flush(arrival).map_err(DeviceError::from)?;
@@ -104,7 +111,7 @@ fn run_one(
         .into_iter()
         .map(|mut r| {
             // Shift the measured phase to start after the prefill finished.
-            r.arrival = r.arrival + start.saturating_since(SimTime::ZERO);
+            r.arrival += start.saturating_since(SimTime::ZERO);
             r
         })
         .collect();

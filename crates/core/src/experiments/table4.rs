@@ -73,8 +73,8 @@ fn mean_response_ms(
     requests: &[BlockRequest],
     coalesce: bool,
 ) -> Result<f64, DeviceError> {
-    let mut ssd = Ssd::new(device_config_for_alignment(scale, coalesce))
-        .map_err(DeviceError::from)?;
+    let mut ssd =
+        Ssd::new(device_config_for_alignment(scale, coalesce)).map_err(DeviceError::from)?;
     let completions = ssd
         .simulate_open(requests, SchedulerKind::Fcfs)
         .map_err(DeviceError::from)?;
@@ -198,10 +198,17 @@ mod tests {
             "IOzone ({iozone:.1}%) must far exceed Postmark ({postmark:.1}%)"
         );
         assert!(iozone > tpcc, "IOzone must beat TPCC ({tpcc:.1}%)");
-        assert!(iozone > exchange, "IOzone must beat Exchange ({exchange:.1}%)");
+        assert!(
+            iozone > exchange,
+            "IOzone must beat Exchange ({exchange:.1}%)"
+        );
         // Small-write workloads see only modest improvement (and never a
         // large regression).
-        for (name, v) in [("Postmark", postmark), ("TPCC", tpcc), ("Exchange", exchange)] {
+        for (name, v) in [
+            ("Postmark", postmark),
+            ("TPCC", tpcc),
+            ("Exchange", exchange),
+        ] {
             assert!(v > -10.0, "{name} regressed by {v:.1}%");
             assert!(v < 30.0, "{name} improvement {v:.1}% implausibly large");
         }

@@ -78,6 +78,7 @@ fn device_config(scale: Scale, honor_free: bool) -> SsdConfig {
         ftl: FtlConfig::default()
             .with_overprovisioning(0.08)
             .with_honor_free(honor_free),
+        background_gc: None,
         gangs: 1,
         scheduler: SchedulerKind::Fcfs,
         controller_overhead: SimDuration::from_micros(20),

@@ -73,13 +73,11 @@ impl FlashArray {
 
     /// Immutable access to an element.
     pub fn element(&self, id: ElementId) -> Result<&FlashElement, FlashError> {
-        self.elements
-            .get(id.index())
-            .ok_or(FlashError::OutOfRange {
-                what: "element",
-                index: id.0 as u64,
-                bound: self.elements.len() as u64,
-            })
+        self.elements.get(id.index()).ok_or(FlashError::OutOfRange {
+            what: "element",
+            index: id.0 as u64,
+            bound: self.elements.len() as u64,
+        })
     }
 
     /// Mutable access to an element.

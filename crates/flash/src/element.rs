@@ -192,10 +192,7 @@ mod tests {
     #[test]
     fn read_of_free_page_is_error() {
         let mut e = elem();
-        assert!(matches!(
-            e.read(0, 0),
-            Err(FlashError::ReadFreePage { .. })
-        ));
+        assert!(matches!(e.read(0, 0), Err(FlashError::ReadFreePage { .. })));
         assert_eq!(e.counters().page_reads, 0);
     }
 

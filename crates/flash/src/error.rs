@@ -75,7 +75,10 @@ impl fmt::Display for FlashError {
             FlashError::ProgramNotFree { addr } => {
                 write!(f, "program to non-free page {addr:?}")
             }
-            FlashError::ProgramOutOfOrder { addr, expected_page } => write!(
+            FlashError::ProgramOutOfOrder {
+                addr,
+                expected_page,
+            } => write!(
                 f,
                 "out-of-order program to {addr:?}; block expected page {expected_page}"
             ),

@@ -259,7 +259,10 @@ mod tests {
         };
         assert!(matches!(
             g.check_addr(bad_elem),
-            Err(FlashError::OutOfRange { what: "element", .. })
+            Err(FlashError::OutOfRange {
+                what: "element",
+                ..
+            })
         ));
         let bad_block = PhysPageAddr { block: 8, ..ok };
         assert!(matches!(

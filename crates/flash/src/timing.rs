@@ -123,10 +123,7 @@ mod tests {
     #[test]
     fn service_time_compositions() {
         let t = FlashTiming::slc();
-        assert_eq!(
-            t.page_read_service(4096),
-            t.read_page + t.transfer(4096)
-        );
+        assert_eq!(t.page_read_service(4096), t.read_page + t.transfer(4096));
         assert_eq!(
             t.page_program_service(4096),
             t.program_page + t.transfer(4096)

@@ -1,4 +1,25 @@
 //! FTL configuration: over-provisioning, cleaning policy and wear-leveling.
+//!
+//! # Cleaning-policy knobs
+//!
+//! Three independent knobs shape cleaning behaviour:
+//!
+//! * [`FtlConfig::cleaning_policy`] picks the *victim-selection* policy
+//!   (which block is reclaimed next) from [`CleaningPolicyKind`]:
+//!   greedy, cost-benefit, cost-age or windowed-greedy.
+//! * [`FtlConfig::cleaning_mode`] picks the *trigger* behaviour with
+//!   respect to request priorities (§3.6): priority-agnostic cleaning
+//!   starts at the low watermark; priority-aware cleaning postpones until
+//!   the critical watermark while high-priority requests are outstanding.
+//! * The watermarks themselves ([`FtlConfig::gc_low_watermark`],
+//!   [`FtlConfig::gc_critical_watermark`]) say *when* cleaning runs.
+//!
+//! Background (idle-window) cleaning is a device-level concern and is
+//! configured on `SsdConfig` (`ossd-ssd`), not here: the FTL exposes the
+//! mechanism (`Ftl::background_clean`), the device decides when idle
+//! windows are long enough to use it.
+
+use ossd_gc::CleaningPolicyKind;
 
 use crate::error::FtlError;
 
@@ -43,8 +64,16 @@ pub struct FtlConfig {
     /// Under priority-aware cleaning, cleaning may be postponed until free
     /// space falls below this value (the paper uses 2%).
     pub gc_critical_watermark: f64,
-    /// Cleaning policy with respect to request priorities.
+    /// Cleaning trigger behaviour with respect to request priorities.
     pub cleaning_mode: CleaningMode,
+    /// Victim-selection policy used by cleaning (foreground and
+    /// background).  [`CleaningPolicyKind::Greedy`] reproduces the
+    /// historical hard-coded cleaner bit-for-bit; the other kinds trade
+    /// extra bookkeeping for lower write amplification under skewed
+    /// workloads ([`CleaningPolicyKind::CostBenefit`],
+    /// [`CleaningPolicyKind::WindowedGreedy`]) or a tighter erase spread
+    /// ([`CleaningPolicyKind::CostAge`]).
+    pub cleaning_policy: CleaningPolicyKind,
     /// Whether the FTL uses free-page (TRIM/OSD-delete) notifications.  When
     /// `false`, the FTL retains "the most recent version of all the logical
     /// pages, including those that have been released by the file system"
@@ -64,6 +93,7 @@ impl Default for FtlConfig {
             gc_low_watermark: 0.05,
             gc_critical_watermark: 0.02,
             cleaning_mode: CleaningMode::PriorityAgnostic,
+            cleaning_policy: CleaningPolicyKind::Greedy,
             honor_free: false,
             wear_leveling: Some(WearLevelConfig::default()),
             gc_reserved_blocks: 1,
@@ -113,6 +143,12 @@ impl FtlConfig {
     /// Returns the configuration with the given cleaning mode.
     pub fn with_cleaning_mode(mut self, mode: CleaningMode) -> Self {
         self.cleaning_mode = mode;
+        self
+    }
+
+    /// Returns the configuration with the given victim-selection policy.
+    pub fn with_cleaning_policy(mut self, policy: CleaningPolicyKind) -> Self {
+        self.cleaning_policy = policy;
         self
     }
 
@@ -195,13 +231,23 @@ mod tests {
             .with_overprovisioning(0.2)
             .with_honor_free(true)
             .with_cleaning_mode(CleaningMode::PriorityAware)
+            .with_cleaning_policy(CleaningPolicyKind::CostBenefit)
             .with_watermarks(0.1, 0.03)
             .without_wear_leveling();
         assert!((c.overprovisioning - 0.2).abs() < 1e-12);
         assert!(c.honor_free);
         assert_eq!(c.cleaning_mode, CleaningMode::PriorityAware);
+        assert_eq!(c.cleaning_policy, CleaningPolicyKind::CostBenefit);
         assert!(c.wear_leveling.is_none());
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn default_policy_is_seed_compatible_greedy() {
+        assert_eq!(
+            FtlConfig::default().cleaning_policy,
+            CleaningPolicyKind::Greedy
+        );
     }
 
     #[test]
@@ -222,8 +268,10 @@ mod tests {
             .with_watermarks(1.5, 0.01)
             .validate()
             .is_err());
-        let mut c = FtlConfig::default();
-        c.gc_reserved_blocks = 0;
+        let c = FtlConfig {
+            gc_reserved_blocks: 0,
+            ..FtlConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

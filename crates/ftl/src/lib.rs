@@ -34,3 +34,7 @@ pub use error::FtlError;
 pub use pagemap::PageFtl;
 pub use stripemap::StripeFtl;
 pub use types::{FlashOp, FlashOpKind, Ftl, FtlStats, Lpn, OpPurpose, WriteContext};
+
+// Re-exported so device configuration can name cleaning policies without a
+// direct `ossd-gc` dependency.
+pub use ossd_gc::{CleaningPolicy, CleaningPolicyKind};

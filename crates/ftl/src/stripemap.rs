@@ -18,6 +18,7 @@
 //! stripe out with a read-modify-write.
 
 use ossd_flash::{ElementId, FlashArray, FlashGeometry, FlashTiming};
+use ossd_gc::{AnyPolicy, BlockInfo, CleaningPolicy};
 
 use crate::config::FtlConfig;
 use crate::error::FtlError;
@@ -43,6 +44,9 @@ struct SuperBlock {
     valid: u32,
     /// Erase count (applies to every element's block in lockstep).
     erase_count: u32,
+    /// Logical clock value of the last stripe programmed into this
+    /// superblock; age-based cleaning policies compare it to the FTL clock.
+    last_write: u64,
 }
 
 impl SuperBlock {
@@ -52,6 +56,7 @@ impl SuperBlock {
             write_ptr: 0,
             valid: 0,
             erase_count: 0,
+            last_write: 0,
         }
     }
 
@@ -100,6 +105,11 @@ pub struct StripeFtl {
     free_slots: u64,
     total_slots: u64,
     stats: FtlStats,
+    /// Victim-selection policy for superblock reclamation (built from
+    /// [`FtlConfig::cleaning_policy`]).
+    policy: AnyPolicy,
+    /// Logical clock: host stripe writes served so far.
+    clock: u64,
 }
 
 impl StripeFtl {
@@ -117,7 +127,7 @@ impl StripeFtl {
         let flash = FlashArray::new(geometry, timing)?;
         let elements = geometry.elements() as u64;
         let row_bytes = elements * geometry.page_bytes as u64;
-        if stripe_bytes == 0 || stripe_bytes % row_bytes != 0 {
+        if stripe_bytes == 0 || !stripe_bytes.is_multiple_of(row_bytes) {
             return Err(FtlError::InvalidConfig {
                 reason: format!(
                     "stripe size {stripe_bytes} must be a positive multiple of \
@@ -137,13 +147,19 @@ impl StripeFtl {
         let slots_per_superblock = geometry.pages_per_block / chunk_pages;
         let superblock_count = geometry.blocks_per_element();
         let total_slots = superblock_count as u64 * slots_per_superblock as u64;
-        let logical_pages =
-            ((total_slots as f64) * (1.0 - config.overprovisioning)).floor() as u64;
+        // As in the page-mapped FTL, never export more than is placeable
+        // without cleaning: superblocks reserved for GC hold no host data.
+        let reserved_slots = config.gc_reserved_blocks as u64 * slots_per_superblock as u64;
+        let placeable = total_slots.saturating_sub(reserved_slots);
+        let logical_pages = (((total_slots as f64) * (1.0 - config.overprovisioning)).floor()
+            as u64)
+            .min(placeable);
         if logical_pages == 0 {
             return Err(FtlError::InvalidConfig {
                 reason: "geometry too small: no logical stripes exported".to_string(),
             });
         }
+        let policy = config.cleaning_policy.build();
         Ok(StripeFtl {
             flash,
             config,
@@ -161,6 +177,8 @@ impl StripeFtl {
             free_slots: total_slots,
             total_slots,
             stats: FtlStats::default(),
+            policy,
+            clock: 0,
         })
     }
 
@@ -343,6 +361,7 @@ impl StripeFtl {
         sb.slot_lpns[row as usize] = lpn.0;
         sb.write_ptr += 1;
         sb.valid += 1;
+        sb.last_write = self.clock;
         self.map[lpn.index()] = slot;
         self.free_slots -= 1;
         Ok(())
@@ -375,10 +394,20 @@ impl StripeFtl {
         self.free_slots as f64 / self.total_slots as f64
     }
 
-    /// Greedy cleaning of one superblock; returns false when nothing could
-    /// be reclaimed.
+    /// Policy-driven cleaning of one superblock; returns false when nothing
+    /// could be reclaimed.  The candidate snapshot treats each superblock
+    /// as one "block" of `slots_per_superblock` pages (the mapping
+    /// granularity of this FTL), so the same policy objects drive both
+    /// FTLs.
+    ///
+    /// Deliberate behaviour change vs. the pre-policy cleaner: the shared
+    /// `Greedy` breaks equal-staleness ties towards the superblock with
+    /// fewer erases, where the old inline loop kept the first candidate
+    /// regardless of wear.  Only the page-mapped FTL's greedy victim
+    /// sequence is pinned bit-for-bit to the historical behaviour (it had
+    /// the erase tie-break all along).
     fn clean_one_superblock(&mut self, ops: &mut Vec<FlashOp>) -> Result<bool, FtlError> {
-        let mut best: Option<(u32, u32)> = None;
+        let mut candidates = Vec::new();
         for (idx, sb) in self.superblocks.iter().enumerate() {
             if Some(idx as u32) == self.active_superblock || sb.is_erased() {
                 continue;
@@ -386,13 +415,16 @@ impl StripeFtl {
             if sb.invalid() == 0 {
                 continue;
             }
-            match best {
-                None => best = Some((idx as u32, sb.invalid())),
-                Some((_, inv)) if sb.invalid() > inv => best = Some((idx as u32, sb.invalid())),
-                _ => {}
-            }
+            candidates.push(BlockInfo {
+                block: idx as u32,
+                valid_pages: sb.valid,
+                invalid_pages: sb.invalid(),
+                total_pages: sb.slots(),
+                erase_count: sb.erase_count,
+                age: self.clock.saturating_sub(sb.last_write),
+            });
         }
-        let Some((victim, _)) = best else {
+        let Some(victim) = self.policy.select_victim(&candidates) else {
             return Ok(false);
         };
         // Move live stripes.
@@ -521,6 +553,7 @@ impl Ftl for StripeFtl {
     ) -> Result<Vec<FlashOp>, FtlError> {
         self.check_lpn(lpn)?;
         self.stats.host_writes += 1;
+        self.clock += 1;
         let mut ops = Vec::new();
         self.maybe_clean(&mut ops)?;
         let stripe_bytes = self.stripe_bytes();
@@ -596,8 +629,7 @@ impl Ftl for StripeFtl {
         if lpn.0 >= self.logical_pages {
             return false;
         }
-        self.map[lpn.index()] != UNMAPPED
-            || self.open.map(|o| o.lpn == lpn).unwrap_or(false)
+        self.map[lpn.index()] != UNMAPPED || self.open.map(|o| o.lpn == lpn).unwrap_or(false)
     }
 }
 
@@ -616,6 +648,20 @@ mod tests {
             stripe_bytes,
         )
         .unwrap()
+    }
+
+    /// Regression test: a full sequential fill of the advertised stripe
+    /// capacity must succeed (reserved superblocks are not exported).
+    #[test]
+    fn full_sequential_fill_of_advertised_capacity_succeeds() {
+        let mut ftl = tiny_stripe_ftl(FtlConfig::default(), 8192);
+        let logical = ftl.logical_pages();
+        assert_eq!(logical, 56, "1 reserved superblock caps the export");
+        for lpn in 0..logical {
+            ftl.write(Lpn(lpn), 8192, &WriteContext::idle()).unwrap();
+        }
+        ftl.flush().unwrap();
+        assert_eq!(ftl.flash().valid_pages(), logical * 2);
     }
 
     #[test]

@@ -41,16 +41,23 @@ pub enum OpPurpose {
     HostRead,
     /// Servicing a host write.
     HostWrite,
-    /// Garbage collection (cleaning).
+    /// Foreground garbage collection (cleaning in the write path; the host
+    /// write waits for it).
     Clean,
+    /// Background garbage collection (idle-window cleaning driven by the
+    /// device's [`ossd_gc::BackgroundCleaner`]; no host request waits).
+    BackgroundClean,
     /// Explicit wear-leveling migration.
     WearLevel,
 }
 
 impl OpPurpose {
-    /// Whether the operation is background work (cleaning or wear-leveling).
+    /// Whether the operation is non-host work (cleaning or wear-leveling).
     pub fn is_background(self) -> bool {
-        matches!(self, OpPurpose::Clean | OpPurpose::WearLevel)
+        matches!(
+            self,
+            OpPurpose::Clean | OpPurpose::BackgroundClean | OpPurpose::WearLevel
+        )
     }
 }
 
@@ -141,15 +148,24 @@ pub struct FtlStats {
     /// Physical pages read on behalf of host operations (including RMW
     /// reads).
     pub pages_read_host: u64,
-    /// Valid pages moved by cleaning.
+    /// Valid pages moved by foreground cleaning.
     pub gc_pages_moved: u64,
     /// Pages that cleaning skipped because the host had freed them
     /// (informed cleaning, §3.5).
     pub gc_pages_skipped_free: u64,
-    /// Blocks erased by cleaning.
+    /// Blocks erased by foreground cleaning.
     pub gc_blocks_erased: u64,
-    /// Number of cleaning passes.
+    /// Valid pages moved by background (idle-window) cleaning.
+    pub bg_pages_moved: u64,
+    /// Blocks erased by background cleaning.
+    pub bg_blocks_erased: u64,
+    /// Number of foreground cleaning passes.
     pub gc_invocations: u64,
+    /// Foreground cleaning passes that reclaimed nothing (no block held a
+    /// stale page); after such a pass the FTL stops re-triggering until a
+    /// page is invalidated, so a full device is not re-scanned on every
+    /// write.
+    pub gc_fruitless_passes: u64,
     /// Number of cleaning passes that were postponed because priority
     /// requests were outstanding (priority-aware cleaning, §3.6).
     pub gc_postponements: u64,
@@ -160,15 +176,39 @@ pub struct FtlStats {
 }
 
 impl FtlStats {
-    /// Write amplification: physical pages programmed (host + GC + wear
-    /// leveling) divided by host logical pages written.  1.0 means no
-    /// amplification; the paper's §3.4 discusses why SSDs exceed it.
+    /// Write amplification: physical pages programmed (host + foreground
+    /// and background GC + wear leveling) divided by host logical pages
+    /// written.  1.0 means no amplification; the paper's §3.4 discusses why
+    /// SSDs exceed it.
     pub fn write_amplification(&self) -> f64 {
         if self.host_writes == 0 {
             return 0.0;
         }
-        (self.pages_programmed_host + self.gc_pages_moved + self.wear_level_moves) as f64
+        (self.pages_programmed_host
+            + self.gc_pages_moved
+            + self.bg_pages_moved
+            + self.wear_level_moves) as f64
             / self.host_writes as f64
+    }
+
+    /// Converts the counters into a [`ossd_gc::WriteAmpAccounting`] ledger
+    /// (the timed device model adds stall time on top).
+    pub fn accounting(&self) -> ossd_gc::WriteAmpAccounting {
+        ossd_gc::WriteAmpAccounting {
+            host_pages: self.host_writes,
+            host_programs: self.pages_programmed_host,
+            cleaning_moves: self.gc_pages_moved,
+            background_moves: self.bg_pages_moved,
+            wear_moves: self.wear_level_moves,
+            cleaning_erases: self.gc_blocks_erased,
+            background_erases: self.bg_blocks_erased,
+            // The page-mapped FTL erases exactly one block per wear-level
+            // migration; the move counter tracks pages, so erases are
+            // reported by the device stats instead.
+            wear_erases: 0,
+            stall_nanos: 0,
+            background_nanos: 0,
+        }
     }
 }
 
@@ -219,6 +259,22 @@ pub trait Ftl {
         Ok(Vec::new())
     }
 
+    /// Performs up to `max_erases` block reclamations of background
+    /// cleaning, stopping early once the free-page fraction reaches
+    /// `target_free_fraction` or nothing is reclaimable.  Called by the
+    /// device during idle windows (see [`ossd_gc::BackgroundCleaner`]);
+    /// the returned operations carry [`OpPurpose::BackgroundClean`] so the
+    /// device accounts their time separately from host-visible stalls.
+    /// The default implementation does nothing.
+    fn background_clean(
+        &mut self,
+        max_erases: u32,
+        target_free_fraction: f64,
+    ) -> Result<Vec<FlashOp>, FtlError> {
+        let _ = (max_erases, target_free_fraction);
+        Ok(Vec::new())
+    }
+
     /// Cumulative statistics.
     fn stats(&self) -> FtlStats;
 
@@ -247,6 +303,7 @@ mod tests {
         assert!(!OpPurpose::HostRead.is_background());
         assert!(!OpPurpose::HostWrite.is_background());
         assert!(OpPurpose::Clean.is_background());
+        assert!(OpPurpose::BackgroundClean.is_background());
         assert!(OpPurpose::WearLevel.is_background());
     }
 
@@ -278,6 +335,27 @@ mod tests {
         assert!((s.write_amplification() - 1.5).abs() < 1e-9);
         s.wear_level_moves = 50;
         assert!((s.write_amplification() - 2.0).abs() < 1e-9);
+        s.bg_pages_moved = 100;
+        assert!((s.write_amplification() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_convert_to_an_accounting_ledger() {
+        let s = FtlStats {
+            host_writes: 10,
+            pages_programmed_host: 10,
+            gc_pages_moved: 4,
+            bg_pages_moved: 2,
+            wear_level_moves: 4,
+            gc_blocks_erased: 3,
+            bg_blocks_erased: 1,
+            ..FtlStats::default()
+        };
+        let acct = s.accounting();
+        assert_eq!(acct.host_pages, 10);
+        assert_eq!(acct.flash_programs(), 20);
+        assert_eq!(acct.total_erases(), 4);
+        assert!((acct.write_amplification() - s.write_amplification()).abs() < 1e-12);
     }
 
     #[test]

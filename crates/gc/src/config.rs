@@ -1,0 +1,129 @@
+//! Policy selection: the [`CleaningPolicyKind`] configuration enum and the
+//! [`AnyPolicy`] dispatcher the FTLs embed.
+
+use crate::policies::{CostAge, CostBenefit, Greedy, WindowedGreedy};
+use crate::policy::{BlockInfo, CleaningPolicy, TriggerContext, TriggerDecision};
+
+/// Which cleaning policy a device uses.  This is the value that travels
+/// through `FtlConfig` → `SsdConfig` → `DeviceProfile`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum CleaningPolicyKind {
+    /// Most stale pages first (the classic baseline; seed-compatible).
+    #[default]
+    Greedy,
+    /// Rosenblum-style cost-benefit: `age · (1 − u) / (1 + u)`.
+    CostBenefit,
+    /// Wear-aware cost-benefit (cost-benefit score over erase count).
+    CostAge,
+    /// Greedy over the `window` oldest candidate blocks.
+    WindowedGreedy {
+        /// Number of oldest candidates greedy may choose from (0 = all).
+        window: u32,
+    },
+}
+
+impl CleaningPolicyKind {
+    /// The four built-in policies with their default parameters, in the
+    /// order experiments report them.
+    pub fn all() -> [CleaningPolicyKind; 4] {
+        [
+            CleaningPolicyKind::Greedy,
+            CleaningPolicyKind::CostBenefit,
+            CleaningPolicyKind::CostAge,
+            CleaningPolicyKind::WindowedGreedy { window: 8 },
+        ]
+    }
+
+    /// The policy's report name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CleaningPolicyKind::Greedy => Greedy.name(),
+            CleaningPolicyKind::CostBenefit => CostBenefit.name(),
+            CleaningPolicyKind::CostAge => CostAge.name(),
+            CleaningPolicyKind::WindowedGreedy { .. } => "windowed-greedy",
+        }
+    }
+
+    /// Builds the policy object this kind describes.
+    pub fn build(&self) -> AnyPolicy {
+        match *self {
+            CleaningPolicyKind::Greedy => AnyPolicy::Greedy(Greedy),
+            CleaningPolicyKind::CostBenefit => AnyPolicy::CostBenefit(CostBenefit),
+            CleaningPolicyKind::CostAge => AnyPolicy::CostAge(CostAge),
+            CleaningPolicyKind::WindowedGreedy { window } => {
+                AnyPolicy::WindowedGreedy(WindowedGreedy::new(window))
+            }
+        }
+    }
+}
+
+/// Enum dispatcher over the built-in policies.
+///
+/// The FTLs embed an `AnyPolicy` (rather than a `Box<dyn CleaningPolicy>`)
+/// so they stay `Clone` and the per-victim dispatch is a jump table instead
+/// of a vtable call.  External policies can still be plugged in at the
+/// trait level by code that owns its own FTL wrapper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AnyPolicy {
+    /// See [`Greedy`].
+    Greedy(Greedy),
+    /// See [`CostBenefit`].
+    CostBenefit(CostBenefit),
+    /// See [`CostAge`].
+    CostAge(CostAge),
+    /// See [`WindowedGreedy`].
+    WindowedGreedy(WindowedGreedy),
+}
+
+impl CleaningPolicy for AnyPolicy {
+    fn name(&self) -> &'static str {
+        match self {
+            AnyPolicy::Greedy(p) => p.name(),
+            AnyPolicy::CostBenefit(p) => p.name(),
+            AnyPolicy::CostAge(p) => p.name(),
+            AnyPolicy::WindowedGreedy(p) => p.name(),
+        }
+    }
+
+    fn should_trigger(&self, ctx: &TriggerContext) -> TriggerDecision {
+        match self {
+            AnyPolicy::Greedy(p) => p.should_trigger(ctx),
+            AnyPolicy::CostBenefit(p) => p.should_trigger(ctx),
+            AnyPolicy::CostAge(p) => p.should_trigger(ctx),
+            AnyPolicy::WindowedGreedy(p) => p.should_trigger(ctx),
+        }
+    }
+
+    fn select_victim(&mut self, candidates: &[BlockInfo]) -> Option<u32> {
+        match self {
+            AnyPolicy::Greedy(p) => p.select_victim(candidates),
+            AnyPolicy::CostBenefit(p) => p.select_victim(candidates),
+            AnyPolicy::CostAge(p) => p.select_victim(candidates),
+            AnyPolicy::WindowedGreedy(p) => p.select_victim(candidates),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_build_matching_policies() {
+        for kind in CleaningPolicyKind::all() {
+            let mut policy = kind.build();
+            assert_eq!(policy.name(), kind.name());
+            assert_eq!(policy.select_victim(&[]), None);
+        }
+        assert_eq!(CleaningPolicyKind::default(), CleaningPolicyKind::Greedy);
+    }
+
+    #[test]
+    fn windowed_kind_carries_its_window() {
+        let kind = CleaningPolicyKind::WindowedGreedy { window: 3 };
+        match kind.build() {
+            AnyPolicy::WindowedGreedy(p) => assert_eq!(p.window, 3),
+            other => panic!("built {other:?}"),
+        }
+    }
+}

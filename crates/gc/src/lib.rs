@@ -1,0 +1,44 @@
+//! Pluggable cleaning-policy subsystem for solid-state block management.
+//!
+//! The paper's central claim is that block management — cleaning,
+//! allocation, wear-leveling — belongs in the device (§2).  The seed
+//! reproduction hard-coded one cleaning policy (greedy, watermark-triggered,
+//! write-path-only) inside the FTL; this crate makes the policy a
+//! first-class, pluggable value so devices can be compared along the
+//! cleaning axis:
+//!
+//! * [`policy`] — the [`CleaningPolicy`] trait: trigger decision plus
+//!   victim selection over a snapshot of candidate blocks ([`BlockInfo`]).
+//! * [`policies`] — four implementations spanning the classic design
+//!   space: [`Greedy`], [`CostBenefit`] (Rosenblum's LFS cleaner),
+//!   [`CostAge`] (wear-aware) and [`WindowedGreedy`].
+//! * [`config`] — [`CleaningPolicyKind`], the configuration value threaded
+//!   through `FtlConfig` → `SsdConfig` → `DeviceProfile`, and
+//!   [`AnyPolicy`], the `Clone`-able dispatcher the FTLs embed.
+//! * [`background`] — [`BackgroundCleaner`]: erase-budgeted incremental
+//!   cleaning during idle windows instead of only stalling host writes.
+//! * [`accounting`] — [`WriteAmpAccounting`]: host-writes vs.
+//!   flash-writes, erase counts and cleaning stall time per policy, plus
+//!   the analytical greedy write-amplification curve
+//!   ([`analytic_greedy_wa`]) measured results are validated against.
+//!
+//! The crate is dependency-free and untimed: policies see logical clocks
+//! (host-write counts) and page counts, never flash state or simulated
+//! time, so the same policy objects drive the page-mapped FTL, the stripe
+//! FTL's superblock reclamation, and unit tests over hand-crafted block
+//! states.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accounting;
+pub mod background;
+pub mod config;
+pub mod policies;
+pub mod policy;
+
+pub use accounting::{analytic_greedy_wa, WriteAmpAccounting};
+pub use background::{BackgroundCleaner, BackgroundGcConfig, BackgroundGcStats};
+pub use config::{AnyPolicy, CleaningPolicyKind};
+pub use policies::{CostAge, CostBenefit, Greedy, WindowedGreedy};
+pub use policy::{watermark_trigger, BlockInfo, CleaningPolicy, TriggerContext, TriggerDecision};

@@ -77,7 +77,10 @@ impl Hdd {
                 .uniform_duration(SimDuration::ZERO, self.config.rotation_time());
             seek + rotation
         };
-        (self.config.command_overhead + mechanical + transfer, sequential)
+        (
+            self.config.command_overhead + mechanical + transfer,
+            sequential,
+        )
     }
 }
 
@@ -242,8 +245,7 @@ mod tests {
             for i in 0..50u64 {
                 let offset = ((i * 2_654_435_761) % 1_000_000) * 4096;
                 // 100 ms apart: the arm has always finished destaging.
-                let req =
-                    BlockRequest::write(i, offset, 4096, SimTime::from_millis(i * 100));
+                let req = BlockRequest::write(i, offset, 4096, SimTime::from_millis(i * 100));
                 total += d.submit(&req).unwrap().response_time().as_millis_f64();
             }
             total / 50.0

@@ -5,42 +5,78 @@
 //! created from an explicit seed, so every experiment is reproducible
 //! bit-for-bit from its configuration.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 use crate::time::SimDuration;
 
 /// A deterministic random number generator with storage-workload helpers.
 ///
-/// Internally this wraps [`rand::rngs::SmallRng`]; the wrapper exists so the
-/// rest of the workspace depends on a small, stable surface rather than on
-/// the `rand` crate directly.
+/// Internally this is a self-contained xoshiro256++ generator seeded through
+/// splitmix64; the workspace carries its own implementation so the simulators
+/// have no external dependencies and the streams are stable across toolchain
+/// upgrades.
 #[derive(Clone, Debug)]
 pub struct SimRng {
-    inner: SmallRng,
+    state: [u64; 4],
+}
+
+/// splitmix64 step, used to expand a 64-bit seed into generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
+    }
+
+    /// The raw xoshiro256++ step: uniform over all of `u64`.
+    fn next_u64(&mut self) -> u64 {
+        let result = self.state[0]
+            .wrapping_add(self.state[3])
+            .rotate_left(23)
+            .wrapping_add(self.state[0]);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
     }
 
     /// Derives an independent child generator; useful to give each workload
     /// phase or device its own stream without correlated draws.
     pub fn fork(&mut self, salt: u64) -> SimRng {
-        let seed = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let seed = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         SimRng::seed_from_u64(seed)
     }
 
     /// Uniform integer in `[0, bound)`. Returns 0 when `bound == 0`.
     pub fn next_u64_below(&mut self, bound: u64) -> u64 {
         if bound == 0 {
-            0
-        } else {
-            self.inner.gen_range(0..bound)
+            return 0;
+        }
+        // Rejection sampling over the largest multiple of `bound` to avoid
+        // modulo bias.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone || zone == 0 {
+                return v % bound;
+            }
         }
     }
 
@@ -49,28 +85,30 @@ impl SimRng {
         if hi <= lo {
             lo
         } else {
-            self.inner.gen_range(lo..hi)
+            lo + self.next_u64_below(hi - lo)
         }
     }
 
     /// Uniform `usize` in `[0, bound)`. Returns 0 when `bound == 0`.
     pub fn next_usize_below(&mut self, bound: usize) -> usize {
-        if bound == 0 {
-            0
-        } else {
-            self.inner.gen_range(0..bound)
-        }
+        self.next_u64_below(bound as u64) as usize
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn next_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits give every representable value in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
     pub fn chance(&mut self, p: f64) -> bool {
         let p = p.clamp(0.0, 1.0);
-        self.inner.gen_bool(p)
+        if p >= 1.0 {
+            // next_f64() < 1.0 always holds, but make the contract explicit.
+            let _ = self.next_f64();
+            return true;
+        }
+        self.next_f64() < p
     }
 
     /// Uniform duration in `[lo, hi)`; returns `lo` if the range is empty.
@@ -259,5 +297,22 @@ mod tests {
         let v1: Vec<u64> = (0..16).map(|_| c1.next_u64_below(u64::MAX)).collect();
         let v2: Vec<u64> = (0..16).map(|_| c2.next_u64_below(u64::MAX)).collect();
         assert_ne!(v1, v2);
+    }
+
+    #[test]
+    fn float_draws_cover_the_unit_interval() {
+        let mut rng = SimRng::seed_from_u64(31);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..10_000 {
+            let f = rng.next_f64();
+            if f < 0.1 {
+                lo = true;
+            }
+            if f > 0.9 {
+                hi = true;
+            }
+        }
+        assert!(lo && hi, "draws never reached both tails");
     }
 }

@@ -396,14 +396,8 @@ mod tests {
         // byte counts so the answer is exactly bytes/rate seconds).
         let d = SimDuration::from_bytes_at_rate(1_000_000, 100_000_000);
         assert_eq!(d.as_millis_f64(), 10.0);
-        assert_eq!(
-            SimDuration::from_bytes_at_rate(0, 100),
-            SimDuration::ZERO
-        );
-        assert_eq!(
-            SimDuration::from_bytes_at_rate(100, 0),
-            SimDuration::ZERO
-        );
+        assert_eq!(SimDuration::from_bytes_at_rate(0, 100), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_bytes_at_rate(100, 0), SimDuration::ZERO);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use ossd_flash::{FlashGeometry, FlashTiming};
 use ossd_ftl::FtlConfig;
+use ossd_gc::BackgroundGcConfig;
 use ossd_sim::SimDuration;
 
 use crate::error::SsdError;
@@ -39,6 +40,11 @@ pub struct SsdConfig {
     pub mapping: MappingKind,
     /// FTL policy configuration (over-provisioning, cleaning, wear-leveling).
     pub ftl: FtlConfig,
+    /// Background (idle-window) cleaning.  `None` — the default on every
+    /// profile — keeps all cleaning in the write path, which is the
+    /// behaviour the paper's devices exhibit; `Some` lets the controller
+    /// reclaim blocks during idle gaps under an erase budget.
+    pub background_gc: Option<BackgroundGcConfig>,
     /// Number of gangs; the packages of a gang share one serial bus.  Must
     /// divide the number of elements.
     pub gangs: u32,
@@ -69,6 +75,7 @@ impl SsdConfig {
             timing: FlashTiming::slc(),
             mapping: MappingKind::PageMapped,
             ftl: FtlConfig::default().with_watermarks(0.3, 0.1),
+            background_gc: None,
             gangs: 1,
             scheduler: SchedulerKind::Fcfs,
             controller_overhead: SimDuration::from_micros(20),
@@ -103,16 +110,18 @@ impl SsdConfig {
 
     /// Validates the configuration.
     pub fn validate(&self) -> Result<(), SsdError> {
-        self.geometry.validate().map_err(|e| SsdError::InvalidConfig {
-            reason: format!("geometry: {e}"),
-        })?;
+        self.geometry
+            .validate()
+            .map_err(|e| SsdError::InvalidConfig {
+                reason: format!("geometry: {e}"),
+            })?;
         self.ftl.validate().map_err(SsdError::Ftl)?;
         if self.gangs == 0 {
             return Err(SsdError::InvalidConfig {
                 reason: "at least one gang is required".to_string(),
             });
         }
-        if self.elements() % self.gangs != 0 {
+        if !self.elements().is_multiple_of(self.gangs) {
             return Err(SsdError::InvalidConfig {
                 reason: format!(
                     "gang count {} must divide the number of elements {}",
@@ -136,6 +145,10 @@ impl SsdConfig {
                 reason: "controller RAM bandwidth must be non-zero".to_string(),
             });
         }
+        if let Some(bg) = &self.background_gc {
+            bg.validate()
+                .map_err(|reason| SsdError::InvalidConfig { reason })?;
+        }
         Ok(())
     }
 
@@ -154,6 +167,18 @@ impl SsdConfig {
     /// Returns the configuration with a different FTL policy.
     pub fn with_ftl(mut self, ftl: FtlConfig) -> Self {
         self.ftl = ftl;
+        self
+    }
+
+    /// Returns the configuration with the given cleaning policy on the FTL.
+    pub fn with_cleaning_policy(mut self, policy: ossd_ftl::CleaningPolicyKind) -> Self {
+        self.ftl = self.ftl.with_cleaning_policy(policy);
+        self
+    }
+
+    /// Returns the configuration with background cleaning enabled.
+    pub fn with_background_gc(mut self, bg: BackgroundGcConfig) -> Self {
+        self.background_gc = Some(bg);
         self
     }
 }

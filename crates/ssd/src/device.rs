@@ -9,6 +9,7 @@ use ossd_block::{
     BlockDevice, BlockOpKind, BlockRequest, Completion, DeviceError, DeviceInfo, Priority,
 };
 use ossd_ftl::{FlashOp, FlashOpKind, Ftl, FtlStats, Lpn, PageFtl, StripeFtl, WriteContext};
+use ossd_gc::{BackgroundCleaner, BackgroundGcStats};
 use ossd_sim::{Server, SimDuration, SimTime};
 
 use crate::config::{MappingKind, SsdConfig};
@@ -25,6 +26,11 @@ pub struct Ssd {
     stats: SsdStats,
     last_read_end: Option<u64>,
     last_write_end: Option<u64>,
+    /// Idle-window background cleaning, when configured.
+    background: Option<BackgroundCleaner>,
+    /// When the device last finished any work; the gap to the next request
+    /// is the idle window background cleaning may use.
+    last_activity: SimTime,
 }
 
 impl Ssd {
@@ -41,14 +47,19 @@ impl Ssd {
                 stripe_bytes,
                 coalesce,
             } => {
-                let mut ftl =
-                    StripeFtl::new(config.geometry, config.timing, config.ftl.clone(), stripe_bytes)?;
+                let mut ftl = StripeFtl::new(
+                    config.geometry,
+                    config.timing,
+                    config.ftl.clone(),
+                    stripe_bytes,
+                )?;
                 ftl.set_coalescing(coalesce);
                 Box::new(ftl)
             }
         };
         let elements = (0..config.elements()).map(|_| Server::new()).collect();
         let buses = (0..config.gangs).map(|_| Server::new()).collect();
+        let background = config.background_gc.map(BackgroundCleaner::new);
         Ok(Ssd {
             config,
             ftl,
@@ -57,7 +68,14 @@ impl Ssd {
             stats: SsdStats::default(),
             last_read_end: None,
             last_write_end: None,
+            background,
+            last_activity: SimTime::ZERO,
         })
+    }
+
+    /// Background-cleaning statistics, when background GC is configured.
+    pub fn background_gc_stats(&self) -> Option<BackgroundGcStats> {
+        self.background.as_ref().map(|b| b.stats())
     }
 
     /// The device configuration.
@@ -96,6 +114,7 @@ impl Ssd {
             return Ok(at);
         }
         let (_, finish) = self.schedule_ops(&ops, at);
+        self.last_activity = self.last_activity.max(finish);
         Ok(finish)
     }
 
@@ -126,8 +145,7 @@ impl Ssd {
                     // Array read on the die, then the transfer serialises on
                     // the gang bus.
                     let read = self.elements[element].serve(floor, timing.read_page);
-                    let xfer = self.buses[gang]
-                        .serve(read.completion, timing.transfer(page_bytes));
+                    let xfer = self.buses[gang].serve(read.completion, timing.transfer(page_bytes));
                     (
                         read.start,
                         xfer.completion,
@@ -137,8 +155,7 @@ impl Ssd {
                 FlashOpKind::ProgramPage => {
                     // Data crosses the gang bus first, then the die programs.
                     let xfer = self.buses[gang].serve(floor, timing.transfer(page_bytes));
-                    let prog = self.elements[element]
-                        .serve(xfer.completion, timing.program_page);
+                    let prog = self.elements[element].serve(xfer.completion, timing.program_page);
                     (
                         xfer.start,
                         prog.completion,
@@ -160,6 +177,10 @@ impl Ssd {
             match op.purpose {
                 ossd_ftl::OpPurpose::Clean => {
                     self.stats.cleaning_busy = self.stats.cleaning_busy.saturating_add(busy);
+                }
+                ossd_ftl::OpPurpose::BackgroundClean => {
+                    self.stats.background_cleaning_busy =
+                        self.stats.background_cleaning_busy.saturating_add(busy);
                 }
                 ossd_ftl::OpPurpose::WearLevel => {
                     self.stats.wear_level_busy = self.stats.wear_level_busy.saturating_add(busy);
@@ -198,6 +219,46 @@ impl Ssd {
         out
     }
 
+    /// Donates the idle window ending at `now` to background cleaning, if
+    /// background GC is configured, the gap since the last activity is long
+    /// enough, and free space is below the background target.  The cleaning
+    /// work is scheduled inside the idle window (starting at the previous
+    /// activity's end), so it only delays later requests if the window was
+    /// shorter than the budgeted work.
+    fn maybe_background_clean(&mut self, now: SimTime) -> Result<(), SsdError> {
+        let free = self.ftl.free_page_fraction();
+        let idle_micros = now.saturating_since(self.last_activity).as_nanos() / 1_000;
+        let Some(cleaner) = self.background.as_mut() else {
+            return Ok(());
+        };
+        let budget = cleaner.plan(idle_micros, free);
+        if budget == 0 {
+            return Ok(());
+        }
+        let target = cleaner.target_free_fraction();
+        let ops = self.ftl.background_clean(budget, target)?;
+        let erases = ops
+            .iter()
+            .filter(|o| o.kind == FlashOpKind::EraseBlock)
+            .count() as u64;
+        let moves = ops
+            .iter()
+            .filter(|o| o.kind == FlashOpKind::CopybackPage)
+            .count() as u64;
+        if !ops.is_empty() {
+            let floor = self.last_activity;
+            let (_, bg_finish) = self.schedule_ops(&ops, floor);
+            // Background work is activity: fold its finish time back so the
+            // next request's idle-gap measurement doesn't count time the
+            // device spent erasing as idle.
+            self.last_activity = self.last_activity.max(bg_finish);
+        }
+        if let Some(cleaner) = self.background.as_mut() {
+            cleaner.record(erases, moves);
+        }
+        Ok(())
+    }
+
     /// Services one request starting no earlier than `dispatch`.
     /// `priority_pending` tells the FTL whether high-priority host requests
     /// are outstanding (drives priority-aware cleaning).
@@ -209,6 +270,7 @@ impl Ssd {
     ) -> Result<Completion, SsdError> {
         self.check_bounds(request).map_err(SsdError::Device)?;
         let start = dispatch.max(request.arrival);
+        self.maybe_background_clean(start)?;
         // `service_start` is refined to the moment the first flash operation
         // actually began once the request reaches the flash array; requests
         // served entirely from controller RAM keep the dispatch time.
@@ -235,7 +297,7 @@ impl Ssd {
                 } else {
                     let mut floor = start + self.config.controller_overhead;
                     if !sequential {
-                        floor = floor + self.config.random_penalty;
+                        floor += self.config.random_penalty;
                     }
                     let mut ops = Vec::new();
                     for (lpn, covered) in self.split_range(request.range.offset, request.range.len)
@@ -259,7 +321,7 @@ impl Ssd {
                 self.last_write_end = Some(request.range.end());
                 let mut floor = start + self.config.controller_overhead;
                 if !sequential {
-                    floor = floor + self.config.random_penalty;
+                    floor += self.config.random_penalty;
                 }
                 let ctx = WriteContext { priority_pending };
                 let mut ops = Vec::new();
@@ -278,6 +340,7 @@ impl Ssd {
                 }
             }
         };
+        self.last_activity = self.last_activity.max(finish);
         Ok(Completion {
             request_id: request.id,
             arrival: request.arrival,
@@ -330,8 +393,7 @@ impl Ssd {
             if queue.is_empty() {
                 continue;
             }
-            let pick_view: Vec<(SimTime, usize)> =
-                queue.iter().map(|&(a, e, _)| (a, e)).collect();
+            let pick_view: Vec<(SimTime, usize)> = queue.iter().map(|&(a, e, _)| (a, e)).collect();
             let qi = scheduler
                 .pick(&pick_view, &self.elements, now)
                 .expect("queue is non-empty");
@@ -395,8 +457,11 @@ mod tests {
         let ssd = page_ssd();
         let info = ssd.info();
         assert_eq!(info.name, "tiny-page");
-        // 128 physical pages, 10% OP -> 115 logical pages of 4 KB.
-        assert_eq!(info.capacity_bytes, 115 * 4096);
+        // 128 physical pages, 10% OP would nominally export 115 logical
+        // pages, but the 2 GC-reserved blocks (16 pages) cap the placeable
+        // capacity at 112 — a device must survive a full sequential fill of
+        // what it advertises.
+        assert_eq!(info.capacity_bytes, 112 * 4096);
         assert!(!info.supports_free);
         assert_eq!(ssd.logical_page_bytes(), 4096);
     }
@@ -609,9 +674,73 @@ mod tests {
     }
 
     #[test]
+    fn idle_windows_trigger_background_cleaning() {
+        use ossd_gc::BackgroundGcConfig;
+        // Same churn with and without background GC; idle gaps are inserted
+        // between requests so the background cleaner has windows to use.
+        let run = |background: bool| -> (SsdStats, Option<ossd_gc::BackgroundGcStats>) {
+            let mut config = SsdConfig::tiny_page_mapped();
+            config.ftl = config
+                .ftl
+                .with_overprovisioning(0.25)
+                .with_watermarks(0.15, 0.05);
+            if background {
+                config.background_gc = Some(BackgroundGcConfig {
+                    min_idle_micros: 500,
+                    erase_budget: 2,
+                    target_free_fraction: 0.25,
+                });
+            }
+            let mut ssd = Ssd::new(config).unwrap();
+            let logical_pages = ssd.capacity_bytes() / 4096;
+            let mut id = 0u64;
+            let mut at = SimTime::ZERO;
+            for round in 0..6 {
+                for i in 0..logical_pages {
+                    let lpn = (i * 13 + round) % logical_pages;
+                    let c = ssd
+                        .submit(&BlockRequest::write(id, lpn * 4096, 4096, at))
+                        .unwrap();
+                    id += 1;
+                    // A 1 ms think time between requests: plenty of idle.
+                    at = c.finish + SimDuration::from_millis(1);
+                }
+            }
+            (ssd.stats(), ssd.background_gc_stats())
+        };
+
+        let (fg_only, none) = run(false);
+        assert!(none.is_none());
+        assert!(fg_only.ftl.bg_blocks_erased == 0);
+        assert!(fg_only.cleaning_busy > SimDuration::ZERO);
+
+        let (with_bg, bg_stats) = run(true);
+        let bg_stats = bg_stats.unwrap();
+        assert!(bg_stats.windows_cleaned > 0, "background GC never ran");
+        assert!(with_bg.ftl.bg_blocks_erased > 0);
+        assert_eq!(with_bg.ftl.bg_blocks_erased, bg_stats.erases);
+        assert!(with_bg.background_cleaning_busy > SimDuration::ZERO);
+        // Moving cleaning into idle windows reduces the time host writes
+        // stall behind foreground cleaning.
+        assert!(
+            with_bg.cleaning_busy < fg_only.cleaning_busy,
+            "background GC did not reduce foreground stall: {:?} vs {:?}",
+            with_bg.cleaning_busy,
+            fg_only.cleaning_busy
+        );
+        // The accounting ledger sees both sides.
+        let acct = with_bg.accounting();
+        assert!(acct.background_erases > 0);
+        assert!(acct.background_nanos > 0);
+    }
+
+    #[test]
     fn stats_accumulate_cleaning_time_under_churn() {
         let mut config = SsdConfig::tiny_page_mapped();
-        config.ftl = config.ftl.with_overprovisioning(0.25).with_watermarks(0.3, 0.1);
+        config.ftl = config
+            .ftl
+            .with_overprovisioning(0.25)
+            .with_watermarks(0.3, 0.1);
         let mut ssd = Ssd::new(config).unwrap();
         let logical_pages = ssd.capacity_bytes() / 4096;
         let mut id = 0u64;

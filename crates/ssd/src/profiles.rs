@@ -88,6 +88,7 @@ impl DeviceProfile {
                     coalesce: true,
                 },
                 ftl: FtlConfig::default(),
+                background_gc: None,
                 gangs: 4,
                 scheduler: SchedulerKind::Fcfs,
                 controller_overhead: SimDuration::from_micros(10),
@@ -114,6 +115,7 @@ impl DeviceProfile {
                     coalesce: true,
                 },
                 ftl: FtlConfig::default(),
+                background_gc: None,
                 gangs: 1,
                 scheduler: SchedulerKind::Fcfs,
                 controller_overhead: SimDuration::from_micros(30),
@@ -140,6 +142,7 @@ impl DeviceProfile {
                     coalesce: true,
                 },
                 ftl: FtlConfig::default(),
+                background_gc: None,
                 gangs: 2,
                 scheduler: SchedulerKind::Fcfs,
                 controller_overhead: SimDuration::from_micros(20),
@@ -153,6 +156,7 @@ impl DeviceProfile {
                 timing: FlashTiming::slc(),
                 mapping: MappingKind::PageMapped,
                 ftl: FtlConfig::default(),
+                background_gc: None,
                 gangs: 1,
                 scheduler: SchedulerKind::Fcfs,
                 controller_overhead: SimDuration::from_micros(20),
@@ -176,6 +180,7 @@ impl DeviceProfile {
                 },
                 mapping: MappingKind::PageMapped,
                 ftl: FtlConfig::default(),
+                background_gc: None,
                 gangs: 2,
                 scheduler: SchedulerKind::Fcfs,
                 controller_overhead: SimDuration::from_micros(20),
@@ -192,6 +197,7 @@ impl DeviceProfile {
                     coalesce: true,
                 },
                 ftl: FtlConfig::default(),
+                background_gc: None,
                 gangs: 1,
                 scheduler: SchedulerKind::Fcfs,
                 controller_overhead: SimDuration::from_micros(20),
@@ -205,6 +211,7 @@ impl DeviceProfile {
                 timing: FlashTiming::slc(),
                 mapping: MappingKind::PageMapped,
                 ftl: FtlConfig::default(),
+                background_gc: None,
                 gangs: 1,
                 scheduler: SchedulerKind::Fcfs,
                 controller_overhead: SimDuration::from_micros(20),
@@ -218,6 +225,15 @@ impl DeviceProfile {
     /// Whether the profile uses SLC flash.
     pub fn is_slc(&self) -> bool {
         !matches!(self, DeviceProfile::S5Mlc)
+    }
+
+    /// The profile's configuration with a different cleaning policy — the
+    /// policy-comparison experiments run one device profile across every
+    /// [`ossd_ftl::CleaningPolicyKind`].
+    pub fn config_with_policy(&self, policy: ossd_ftl::CleaningPolicyKind) -> SsdConfig {
+        let config = self.config();
+        let name = format!("{}+{}", config.name, policy.name());
+        config.with_cleaning_policy(policy).with_name(name)
     }
 }
 
@@ -272,6 +288,16 @@ mod tests {
             let ssd = Ssd::new(profile.config()).unwrap();
             assert!(ssd.capacity_bytes() > 0);
         }
+    }
+
+    #[test]
+    fn policy_override_keeps_the_profile_but_renames_it() {
+        let policy = ossd_ftl::CleaningPolicyKind::CostBenefit;
+        let config = DeviceProfile::S4SlcSim.config_with_policy(policy);
+        assert_eq!(config.ftl.cleaning_policy, policy);
+        assert_eq!(config.name, "S4slc_sim+cost-benefit");
+        assert_eq!(config.geometry, DeviceProfile::S4SlcSim.config().geometry);
+        config.validate().unwrap();
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! element will be free soonest.  The paper reports ≈8% lower response time
 //! than FCFS on a random workload with 2/3 reads and 1/3 writes.
 
-use ossd_sim::{SimTime, Server};
+use ossd_sim::{Server, SimTime};
 
 /// Scheduling policy used by the open-queue simulation.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
@@ -51,8 +51,7 @@ impl SchedulerKind {
                 let mut best_wait = Self::wait_of(&queue[0], elements, now);
                 for (i, entry) in queue.iter().enumerate().skip(1) {
                     let wait = Self::wait_of(entry, elements, now);
-                    let better = wait < best_wait
-                        || (wait == best_wait && entry.0 < queue[best].0);
+                    let better = wait < best_wait || (wait == best_wait && entry.0 < queue[best].0);
                     if better {
                         best = i;
                         best_wait = wait;
@@ -89,14 +88,8 @@ mod tests {
     #[test]
     fn empty_queue_yields_none() {
         let servers = busy_servers();
-        assert_eq!(
-            SchedulerKind::Fcfs.pick(&[], &servers, SimTime::ZERO),
-            None
-        );
-        assert_eq!(
-            SchedulerKind::Swtf.pick(&[], &servers, SimTime::ZERO),
-            None
-        );
+        assert_eq!(SchedulerKind::Fcfs.pick(&[], &servers, SimTime::ZERO), None);
+        assert_eq!(SchedulerKind::Swtf.pick(&[], &servers, SimTime::ZERO), None);
     }
 
     #[test]
@@ -139,10 +132,7 @@ mod tests {
     #[test]
     fn swtf_breaks_ties_by_arrival() {
         let servers = vec![Server::new(), Server::new()];
-        let queue = vec![
-            (SimTime::from_micros(20), 0),
-            (SimTime::from_micros(10), 1),
-        ];
+        let queue = vec![(SimTime::from_micros(20), 0), (SimTime::from_micros(10), 1)];
         // Both elements are idle (equal wait); the older request wins.
         assert_eq!(
             SchedulerKind::Swtf.pick(&queue, &servers, SimTime::from_micros(30)),

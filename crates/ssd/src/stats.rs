@@ -1,6 +1,7 @@
 //! Cumulative SSD device statistics.
 
 use ossd_ftl::FtlStats;
+use ossd_gc::WriteAmpAccounting;
 use ossd_sim::SimDuration;
 
 /// Statistics accumulated by an [`crate::Ssd`] over its lifetime.
@@ -18,9 +19,14 @@ pub struct SsdStats {
     pub bytes_written: u64,
     /// Flash busy time spent servicing host operations.
     pub host_busy: SimDuration,
-    /// Flash busy time spent on cleaning (garbage collection).  This is the
+    /// Flash busy time spent on foreground cleaning (garbage collection in
+    /// the write path; host requests stall behind it).  This is the
     /// "cleaning time" Table 5 reports.
     pub cleaning_busy: SimDuration,
+    /// Flash busy time spent on background (idle-window) cleaning; host
+    /// requests do not wait for it, though it may delay the first request
+    /// after an idle window.
+    pub background_cleaning_busy: SimDuration,
     /// Flash busy time spent on explicit wear-leveling migrations.
     pub wear_level_busy: SimDuration,
     /// Host reads served from the sequential read-ahead buffer.
@@ -38,14 +44,26 @@ impl SsdStats {
         self.ftl.gc_pages_moved
     }
 
-    /// Total background (cleaning + wear-leveling) busy time.
+    /// Total non-host (cleaning + background cleaning + wear-leveling) busy
+    /// time.
     pub fn background_busy(&self) -> SimDuration {
-        self.cleaning_busy.saturating_add(self.wear_level_busy)
+        self.cleaning_busy
+            .saturating_add(self.background_cleaning_busy)
+            .saturating_add(self.wear_level_busy)
     }
 
     /// Write amplification observed so far.
     pub fn write_amplification(&self) -> f64 {
         self.ftl.write_amplification()
+    }
+
+    /// The full write-amplification ledger: the FTL's page/erase counters
+    /// plus this device's timed stall and background-work accounting.
+    pub fn accounting(&self) -> WriteAmpAccounting {
+        let mut acct = self.ftl.accounting();
+        acct.stall_nanos = self.cleaning_busy.as_nanos();
+        acct.background_nanos = self.background_cleaning_busy.as_nanos();
+        acct
     }
 }
 
@@ -61,9 +79,14 @@ mod tests {
         s.ftl.pages_programmed_host = 10;
         s.cleaning_busy = SimDuration::from_millis(3);
         s.wear_level_busy = SimDuration::from_millis(2);
+        s.background_cleaning_busy = SimDuration::from_millis(1);
         assert_eq!(s.cleaning_pages_moved(), 12);
-        assert_eq!(s.background_busy(), SimDuration::from_millis(5));
+        assert_eq!(s.background_busy(), SimDuration::from_millis(6));
         assert!((s.write_amplification() - 2.2).abs() < 1e-9);
+        let acct = s.accounting();
+        assert_eq!(acct.stall_nanos, 3_000_000);
+        assert_eq!(acct.background_nanos, 1_000_000);
+        assert_eq!(acct.cleaning_moves, 12);
     }
 
     #[test]

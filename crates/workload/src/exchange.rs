@@ -65,7 +65,8 @@ impl ExchangeConfig {
         for _ in 0..self.operations {
             if rng.chance(self.burst_probability) {
                 // Maintenance burst: several contiguous pages rewritten.
-                let start = rng.zipf_usize(pages.saturating_sub(self.burst_pages as usize), self.skew)
+                let start = rng
+                    .zipf_usize(pages.saturating_sub(self.burst_pages as usize), self.skew)
                     as u64;
                 for i in 0..self.burst_pages {
                     trace.push(TraceOp {
@@ -181,7 +182,10 @@ mod tests {
             .iter()
             .filter(|o| o.offset < cfg.database_bytes)
             .collect();
-        let reads = db_ops.iter().filter(|o| o.kind == BlockOpKind::Read).count();
+        let reads = db_ops
+            .iter()
+            .filter(|o| o.kind == BlockOpKind::Read)
+            .count();
         let frac = reads as f64 / db_ops.len() as f64;
         assert!((frac - 0.7).abs() < 0.05, "read fraction {frac}");
     }

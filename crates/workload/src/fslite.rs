@@ -208,7 +208,10 @@ impl FsLite {
     /// Deletes a file, returning the extents that are now free (and should
     /// be reported to the device as `Free` notifications).
     pub fn delete(&mut self, file: FileId) -> Result<Vec<ByteRange>, FsError> {
-        let extents = self.files.remove(&file).ok_or(FsError::NoSuchFile { file })?;
+        let extents = self
+            .files
+            .remove(&file)
+            .ok_or(FsError::NoSuchFile { file })?;
         for e in &extents {
             self.release(*e);
         }
@@ -283,7 +286,11 @@ mod tests {
         // region (plus the tail), allowing a large allocation.
         f.delete(b).unwrap();
         let (_, extents) = f.create(12 * 4096).unwrap();
-        assert_eq!(extents.len(), 1, "coalesced free space should be contiguous");
+        assert_eq!(
+            extents.len(),
+            1,
+            "coalesced free space should be contiguous"
+        );
     }
 
     #[test]

@@ -81,17 +81,18 @@ impl PostmarkConfig {
         let metadata_region = (self.volume_bytes / 16).max(self.block_bytes);
         let metadata_slots = (metadata_region / self.block_bytes).max(1);
 
-        let emit_write_extents = |trace: &mut Trace, now: u64, extents: &[ossd_block::ByteRange]| {
-            for e in extents {
-                trace.push(TraceOp {
-                    at_micros: now,
-                    kind: BlockOpKind::Write,
-                    offset: e.offset,
-                    len: e.len,
-                    priority: Priority::Normal,
-                });
-            }
-        };
+        let emit_write_extents =
+            |trace: &mut Trace, now: u64, extents: &[ossd_block::ByteRange]| {
+                for e in extents {
+                    trace.push(TraceOp {
+                        at_micros: now,
+                        kind: BlockOpKind::Write,
+                        offset: e.offset,
+                        len: e.len,
+                        priority: Priority::Normal,
+                    });
+                }
+            };
         let emit_metadata = |trace: &mut Trace, rng: &mut SimRng, now: u64, enabled: bool| {
             if !enabled {
                 return;
@@ -131,7 +132,7 @@ impl PostmarkConfig {
             if rng.chance(self.read_bias) {
                 // Read the whole file.
                 if let Ok(extents) = fs.extents(target) {
-                    for e in extents.to_vec() {
+                    for e in extents.iter().copied() {
                         trace.push(TraceOp {
                             at_micros: now,
                             kind: BlockOpKind::Read,

@@ -220,8 +220,7 @@ mod tests {
             assert_eq!(op.offset % 4096, 0);
         }
         // The stream must actually be scattered (not all the same offset).
-        let distinct: std::collections::HashSet<u64> =
-            trace.ops.iter().map(|o| o.offset).collect();
+        let distinct: std::collections::HashSet<u64> = trace.ops.iter().map(|o| o.offset).collect();
         assert!(distinct.len() > 100);
     }
 

@@ -44,10 +44,7 @@ fn main() {
 
     // Read the database object back with its high priority attached.
     let read = store.read(db, 0, 16 * 1024, store.now()).unwrap();
-    println!(
-        "high-priority read finished after {}",
-        read.response_time()
-    );
+    println!("high-priority read finished after {}", read.response_time());
 
     // Delete half of the files: the device learns immediately that those
     // pages are dead (no TRIM command needed) and cleaning will skip them.

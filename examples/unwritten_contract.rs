@@ -15,7 +15,11 @@ fn main() {
     }
     println!();
     println!("{:<22} 1  2  3  4  5  6", "device");
-    for report in [&result.hdd, &result.ssd_page_mapped, &result.ssd_stripe_mapped] {
+    for report in [
+        &result.hdd,
+        &result.ssd_page_mapped,
+        &result.ssd_stripe_mapped,
+    ] {
         let marks: Vec<&str> = report
             .verdicts
             .iter()
@@ -24,14 +28,14 @@ fn main() {
         println!("{:<22} {}", report.device, marks.join("  "));
     }
     println!();
-    for report in [&result.hdd, &result.ssd_page_mapped, &result.ssd_stripe_mapped] {
+    for report in [
+        &result.hdd,
+        &result.ssd_page_mapped,
+        &result.ssd_stripe_mapped,
+    ] {
         println!("{}:", report.device);
         for v in &report.verdicts {
-            println!(
-                "  [{}] {}",
-                if v.holds { "T" } else { "F" },
-                v.evidence
-            );
+            println!("  [{}] {}", if v.holds { "T" } else { "F" }, v.evidence);
         }
         println!();
     }

@@ -6,6 +6,9 @@
 //!
 //! * [`sim`] — deterministic simulation engine (time, RNG, statistics).
 //! * [`flash`] — NAND geometry, timing and wear model.
+//! * [`gc`] — the pluggable cleaning-policy subsystem: victim-selection
+//!   policies, background (idle-window) cleaning and write-amplification
+//!   accounting.
 //! * [`ftl`] — page-mapped and stripe-mapped flash translation layers with
 //!   cleaning, wear-leveling, informed cleaning and priority-aware cleaning.
 //! * [`ssd`] — the SSD device model (gangs, schedulers, device profiles).
@@ -34,6 +37,7 @@ pub use ossd_block as block;
 pub use ossd_core as core;
 pub use ossd_flash as flash;
 pub use ossd_ftl as ftl;
+pub use ossd_gc as gc;
 pub use ossd_hdd as hdd;
 pub use ossd_sim as sim;
 pub use ossd_ssd as ssd;

@@ -1,7 +1,9 @@
 //! Cross-crate integration tests: full write/read/trim flows through the
 //! block interface and the object interface, across the HDD and SSD models.
 
-use ossd::block::{replay_closed, BlockDevice, BlockOpKind, BlockRequest, Priority, Trace, TraceOp};
+use ossd::block::{
+    replay_closed, BlockDevice, BlockOpKind, BlockRequest, Priority, Trace, TraceOp,
+};
 use ossd::core::{ObjectAttributes, OsdDevice};
 use ossd::ftl::FtlConfig;
 use ossd::hdd::{Hdd, HddConfig};
@@ -91,7 +93,7 @@ fn object_store_and_raw_block_interface_agree_on_free_accounting() {
     assert!(store.used_bytes() < used_before);
     // Every deleted byte became a free notification to the FTL.
     let stats = store.device_stats();
-    assert!(stats.ftl.frees_accepted as u64 >= 6 * (64 * 1024 / 4096));
+    assert!(stats.ftl.frees_accepted >= 6 * (64 * 1024 / 4096));
 }
 
 #[test]

@@ -3,7 +3,9 @@
 //! paper scale; EXPERIMENTS.md records both.
 
 use ossd::core::contract::ContractTerm;
-use ossd::core::experiments::{figure2, figure3, swtf, table1, table2, table3, table4, table5, Scale};
+use ossd::core::experiments::{
+    figure2, figure3, swtf, table1, table2, table3, table4, table5, Scale,
+};
 
 #[test]
 fn table1_contract_disk_vs_ssd() {
@@ -12,16 +14,20 @@ fn table1_contract_disk_vs_ssd() {
     assert!(result.hdd.satisfied_count() >= 5);
     // SSD: violates the majority of the terms.
     assert!(result.ssd_page_mapped.satisfied_count() <= 4);
-    assert!(!result
-        .ssd_page_mapped
-        .verdict(ContractTerm::SequentialFasterThanRandom)
-        .unwrap()
-        .holds);
-    assert!(!result
-        .ssd_stripe_mapped
-        .verdict(ContractTerm::NoWriteAmplification)
-        .unwrap()
-        .holds);
+    assert!(
+        !result
+            .ssd_page_mapped
+            .verdict(ContractTerm::SequentialFasterThanRandom)
+            .unwrap()
+            .holds
+    );
+    assert!(
+        !result
+            .ssd_stripe_mapped
+            .verdict(ContractTerm::NoWriteAmplification)
+            .unwrap()
+            .holds
+    );
 }
 
 #[test]
