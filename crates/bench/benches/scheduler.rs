@@ -1,33 +1,36 @@
-//! Micro-benchmarks of the controller schedulers.
+//! Micro-benchmarks of the controller schedulers (per-op dispatch picks).
 
 use ossd_bench::micro::{bench, black_box, header};
-use ossd_sim::{Server, SimDuration, SimTime};
-use ossd_ssd::SchedulerKind;
+use ossd_sim::{SimDuration, SimTime};
+use ossd_ssd::{DispatchView, ElementQueue, SchedulerKind};
 
-fn busy_elements(n: usize) -> Vec<Server> {
-    let mut servers = vec![Server::new(); n];
-    for (i, s) in servers.iter_mut().enumerate() {
-        s.serve(SimTime::ZERO, SimDuration::from_micros(10 * i as u64));
+fn busy_queues(n: usize) -> Vec<ElementQueue> {
+    let mut queues = vec![ElementQueue::new(); n];
+    for (i, q) in queues.iter_mut().enumerate() {
+        q.accept(SimTime::ZERO, SimDuration::from_micros(10 * i as u64));
     }
-    servers
+    queues
 }
 
-fn queue(len: usize, elements: usize) -> Vec<(SimTime, usize)> {
+fn ops(len: usize, elements: usize) -> Vec<DispatchView> {
     (0..len)
-        .map(|i| (SimTime::from_micros(i as u64), i % elements))
+        .map(|i| DispatchView {
+            arrival: SimTime::from_micros(i as u64),
+            element: Some(i % elements),
+        })
         .collect()
 }
 
 fn main() {
     header("scheduler");
-    let elements = busy_elements(16);
+    let queues = busy_queues(16);
     for &qlen in &[8usize, 64, 256] {
-        let q = queue(qlen, 16);
+        let q = ops(qlen, 16);
         bench(&format!("fcfs_pick_q{qlen}"), || {
-            black_box(SchedulerKind::Fcfs.pick(&q, &elements, SimTime::from_millis(1)));
+            black_box(SchedulerKind::Fcfs.pick(&q, &queues, SimTime::from_millis(1)));
         });
         bench(&format!("swtf_pick_q{qlen}"), || {
-            black_box(SchedulerKind::Swtf.pick(&q, &elements, SimTime::from_millis(1)));
+            black_box(SchedulerKind::Swtf.pick(&q, &queues, SimTime::from_millis(1)));
         });
     }
 }

@@ -3,7 +3,8 @@
 use ossd_bench::{print_header, scale_from_args};
 use ossd_core::contract::ContractTerm;
 use ossd_core::experiments::{
-    figure2, figure3, policy_compare, swtf, table1, table2, table3, table4, table5,
+    figure2, figure3, parallelism_sweep, policy_compare, swtf, table1, table2, table3, table4,
+    table5,
 };
 
 fn main() {
@@ -115,5 +116,13 @@ fn main() {
                 p.cleaning_stall_ms
             );
         }
+    }
+
+    print_header("Parallelism sweep (bandwidth vs queue depth)", scale);
+    for p in parallelism_sweep::run(scale).expect("parallelism sweep") {
+        println!(
+            "elements {:>2}  qd {:>2}  {:>8.1} MB/s  mean {:>9.3} ms  p99 {:>9.3} ms  peak queue {:>3}",
+            p.elements, p.queue_depth, p.bandwidth_mbps, p.mean_ms, p.p99_ms, p.peak_element_queue
+        );
     }
 }

@@ -49,6 +49,7 @@ fn device_config(scale: Scale) -> SsdConfig {
         background_gc: None,
         gangs: 1,
         scheduler: SchedulerKind::Fcfs,
+        queue_depth: 1,
         controller_overhead: SimDuration::from_micros(30),
         random_penalty: SimDuration::ZERO,
         sequential_prefetch: false,

@@ -62,6 +62,7 @@ fn device_config(scale: Scale, mode: CleaningMode) -> SsdConfig {
         background_gc: None,
         gangs: 4,
         scheduler: SchedulerKind::Fcfs,
+        queue_depth: 1,
         controller_overhead: SimDuration::from_micros(10),
         random_penalty: SimDuration::ZERO,
         sequential_prefetch: false,

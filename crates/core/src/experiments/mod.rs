@@ -17,10 +17,14 @@
 //!
 //! Beyond the paper, [`policy_compare`] sweeps the pluggable cleaning
 //! policies (`ossd-gc`) across device utilizations and validates the greedy
-//! curve against the analytical write-amplification model.
+//! curve against the analytical write-amplification model, and
+//! [`parallelism_sweep`] measures bandwidth/latency as a function of the
+//! controller queue depth and the element count — the parallelism the
+//! event-driven engine unlocked.
 
 pub mod figure2;
 pub mod figure3;
+pub mod parallelism_sweep;
 pub mod policy_compare;
 pub mod swtf;
 pub mod table1;

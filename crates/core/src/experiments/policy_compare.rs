@@ -90,6 +90,7 @@ fn device_config(scale: Scale, policy: CleaningPolicyKind, utilization: f64) -> 
         background_gc: None,
         gangs: 1,
         scheduler: SchedulerKind::Fcfs,
+        queue_depth: 1,
         controller_overhead: SimDuration::from_micros(20),
         random_penalty: SimDuration::ZERO,
         sequential_prefetch: false,

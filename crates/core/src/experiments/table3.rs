@@ -60,6 +60,7 @@ pub fn device_config_for_alignment(scale: Scale, coalesce: bool) -> SsdConfig {
         background_gc: None,
         gangs: 1,
         scheduler: SchedulerKind::Fcfs,
+        queue_depth: 1,
         controller_overhead: SimDuration::from_micros(20),
         random_penalty: SimDuration::ZERO,
         sequential_prefetch: false,

@@ -791,6 +791,22 @@ impl Ftl for PageFtl {
             Some(self.decode(ppn).element.0)
         }
     }
+
+    fn next_write_element(&self) -> Option<u32> {
+        // Mirrors `pick_element` without advancing the round-robin cursor:
+        // the element with the most free pages, ties broken by cursor order.
+        let n = self.elements.len();
+        let mut best = self.cursor % n;
+        let mut best_free = self.elements[best].free_pages;
+        for k in 1..n {
+            let idx = (self.cursor + k) % n;
+            if self.elements[idx].free_pages > best_free {
+                best = idx;
+                best_free = self.elements[idx].free_pages;
+            }
+        }
+        Some(best as u32)
+    }
 }
 
 #[cfg(test)]
@@ -897,6 +913,17 @@ mod tests {
         }
         // The tiny geometry has 2 elements; round-robin must use both.
         assert_eq!(elements_touched.len(), 2);
+    }
+
+    #[test]
+    fn next_write_element_predicts_the_allocation_target() {
+        let mut ftl = tiny_ftl(FtlConfig::default());
+        for lpn in 0..12 {
+            let predicted = ftl.next_write_element().unwrap();
+            let ops = ftl.write(Lpn(lpn), 4096, &WriteContext::idle()).unwrap();
+            let landed = ops.last().unwrap().element.0;
+            assert_eq!(predicted, landed, "write {lpn} landed off the prediction");
+        }
     }
 
     /// Writes the LPNs of `range` in a strided (permuted) order so that

@@ -287,6 +287,17 @@ pub trait Ftl {
         None
     }
 
+    /// The element the FTL would allocate the *next* host write on, if it
+    /// can predict one.  The open-queue controller uses this as the element
+    /// hint for queued writes to pages with no current mapping, where
+    /// [`Ftl::locate`] has nothing to report — SWTF then estimates the wait
+    /// of the element the allocation will actually land on instead of
+    /// guessing.  `None` (the default, and the stripe FTL's answer, since a
+    /// stripe spans every element) means the target is unknown.
+    fn next_write_element(&self) -> Option<u32> {
+        None
+    }
+
     /// Fraction of physical pages currently free (erased and writable).
     fn free_page_fraction(&self) -> f64;
 

@@ -15,6 +15,9 @@
 //! * [`server`] — busy-until-time accounting for single-server resources
 //!   (flash elements, gang buses, disk arms).
 //! * [`event`] — a deterministic event queue for open-arrival simulations.
+//! * [`engine`] — the event-driven controller engine: a generic dispatch
+//!   loop delivering arrival, op-start, op-complete and idle events to a
+//!   device [`Controller`].
 //!
 //! Everything in this crate is pure computation: no wall-clock access, no
 //! threads, no I/O, no `unsafe`.
@@ -22,14 +25,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod event;
 pub mod rng;
 pub mod server;
 pub mod stats;
 pub mod time;
 
+pub use engine::{Controller, DispatchedOp};
 pub use event::EventQueue;
 pub use rng::SimRng;
-pub use server::Server;
+pub use server::{Server, Service};
 pub use stats::{improvement_percent, LatencySample, LatencyStats, Summary, Throughput};
 pub use time::{SimDuration, SimTime};

@@ -50,6 +50,15 @@ pub struct SsdConfig {
     pub gangs: u32,
     /// Controller scheduling policy for the open-queue simulation mode.
     pub scheduler: SchedulerKind,
+    /// NCQ-style controller queue depth: how many host requests the
+    /// controller may hold in its dispatch stage concurrently (issued into
+    /// the per-element queues but not yet started on their target element).
+    /// Depth 1 reproduces the request-at-a-time controller the paper's
+    /// devices exhibit (each dispatch decision waits for the previous
+    /// request to reach its element — FCFS head-of-line blocking); larger
+    /// depths let requests overlap across elements until the gang bus
+    /// saturates.  See the `parallelism_sweep` experiment.
+    pub queue_depth: u32,
     /// Fixed controller overhead added to every host request (command
     /// decode, DRAM lookup, host DMA setup).
     pub controller_overhead: SimDuration,
@@ -78,6 +87,7 @@ impl SsdConfig {
             background_gc: None,
             gangs: 1,
             scheduler: SchedulerKind::Fcfs,
+            queue_depth: 1,
             controller_overhead: SimDuration::from_micros(20),
             random_penalty: SimDuration::ZERO,
             sequential_prefetch: false,
@@ -140,6 +150,11 @@ impl SsdConfig {
                 });
             }
         }
+        if self.queue_depth == 0 {
+            return Err(SsdError::InvalidConfig {
+                reason: "controller queue depth must be at least 1".to_string(),
+            });
+        }
         if self.ram_bytes_per_sec == 0 {
             return Err(SsdError::InvalidConfig {
                 reason: "controller RAM bandwidth must be non-zero".to_string(),
@@ -161,6 +176,12 @@ impl SsdConfig {
     /// Returns the configuration with a different scheduler.
     pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
         self.scheduler = scheduler;
+        self
+    }
+
+    /// Returns the configuration with a different controller queue depth.
+    pub fn with_queue_depth(mut self, depth: u32) -> Self {
+        self.queue_depth = depth;
         self
     }
 
@@ -226,6 +247,16 @@ mod tests {
         let mut c = SsdConfig::tiny_page_mapped();
         c.ram_bytes_per_sec = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn zero_queue_depth_rejected() {
+        let mut c = SsdConfig::tiny_page_mapped();
+        c.queue_depth = 0;
+        assert!(c.validate().is_err());
+        let c = SsdConfig::tiny_page_mapped().with_queue_depth(8);
+        assert_eq!(c.queue_depth, 8);
+        c.validate().unwrap();
     }
 
     #[test]

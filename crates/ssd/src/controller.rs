@@ -1,0 +1,181 @@
+//! The SSD's event-engine controller.
+//!
+//! [`SsdController`] implements [`ossd_sim::Controller`] over an [`Ssd`] and
+//! a request slice: arrivals are queued, the configured [`SchedulerKind`]
+//! picks which queued request's head op is issued next into the per-element
+//! dispatch queues, and idle windows are donated to background cleaning.
+//! Both request-processing modes are drivers of this one pipeline:
+//!
+//! * [`Ssd::submit`] (closed) runs the engine over a single arrival;
+//! * [`Ssd::simulate_open`] runs it over a whole open-arrival trace.
+//!
+//! # Queue depth
+//!
+//! The controller holds a *dispatch window* of up to
+//! [`SsdConfig::queue_depth`](crate::SsdConfig::queue_depth) requests that
+//! have been issued but whose first flash op has not yet started on its
+//! target element.  At depth 1 this reproduces the request-at-a-time
+//! controller of the paper's devices: each dispatch decision waits until the
+//! previous request reaches its element, which is exactly FCFS's
+//! head-of-line blocking and what SWTF's element-wait knowledge shortens
+//! (§3.2).  At larger depths, requests targeting different elements start
+//! concurrently and their flash ops overlap across elements and gang buses
+//! until a shared resource saturates — the effect the `parallelism_sweep`
+//! experiment measures.
+
+use ossd_block::{BlockRequest, Completion, Priority};
+use ossd_sim::engine::{Controller, DispatchedOp};
+use ossd_sim::{SimDuration, SimTime};
+
+use crate::device::Ssd;
+use crate::error::SsdError;
+use crate::sched::{DispatchView, SchedulerKind};
+
+/// One request waiting at the controller for a dispatch slot.
+struct Queued {
+    arrival: SimTime,
+    /// Element the request's head op is predicted to occupy (see
+    /// [`Ssd::element_hint`]); fixed at admission, like the mapping lookup a
+    /// real controller performs when the command is accepted.
+    element: Option<usize>,
+    index: usize,
+}
+
+/// Engine controller over an [`Ssd`] for one batch of requests.
+pub(crate) struct SsdController<'a> {
+    ssd: &'a mut Ssd,
+    requests: &'a [BlockRequest],
+    scheduler: SchedulerKind,
+    queue_depth: u32,
+    /// Whether queued high-priority requests postpone cleaning (§3.6).  The
+    /// open simulation tracks this; the closed `submit` path keeps the
+    /// pre-engine behaviour of never reporting priority pressure.
+    track_priority: bool,
+    queue: Vec<Queued>,
+    /// Requests issued whose first op has not yet started (dispatch window).
+    slots_in_use: u32,
+    /// Requests issued but not yet finished.  Idle windows are delivered
+    /// only when this and the queue are empty: a dispatch slot held past its
+    /// request's finish (a stale element hint) does not keep the flash
+    /// busy, so the gap is donated to background cleaning.
+    unfinished: usize,
+    completions: Vec<Option<Completion>>,
+}
+
+impl<'a> SsdController<'a> {
+    pub(crate) fn new(
+        ssd: &'a mut Ssd,
+        requests: &'a [BlockRequest],
+        scheduler: SchedulerKind,
+        track_priority: bool,
+    ) -> Self {
+        let queue_depth = ssd.config().queue_depth;
+        SsdController {
+            ssd,
+            requests,
+            scheduler,
+            queue_depth,
+            track_priority,
+            queue: Vec::new(),
+            slots_in_use: 0,
+            unfinished: 0,
+            completions: vec![None; requests.len()],
+        }
+    }
+
+    /// One completion per request, in input order.  Panics if the engine did
+    /// not run to completion.
+    pub(crate) fn into_completions(self) -> Vec<Completion> {
+        self.completions
+            .into_iter()
+            .map(|c| c.expect("every request was dispatched"))
+            .collect()
+    }
+
+    fn priority_pending(&self, request: &BlockRequest) -> bool {
+        if !self.track_priority {
+            return false;
+        }
+        request.priority == Priority::High
+            || self
+                .queue
+                .iter()
+                .any(|q| self.requests[q.index].priority == Priority::High)
+    }
+}
+
+impl Controller for SsdController<'_> {
+    type Error = SsdError;
+
+    fn on_arrival(&mut self, index: usize, _now: SimTime) -> Result<(), SsdError> {
+        let request = &self.requests[index];
+        let element = self.ssd.element_hint(request);
+        self.queue.push(Queued {
+            arrival: request.arrival,
+            element,
+            index,
+        });
+        Ok(())
+    }
+
+    fn poll_dispatch(&mut self, now: SimTime) -> Result<Vec<DispatchedOp>, SsdError> {
+        let mut out = Vec::new();
+        while self.slots_in_use < self.queue_depth && !self.queue.is_empty() {
+            let views: Vec<DispatchView> = self
+                .queue
+                .iter()
+                .map(|q| DispatchView {
+                    arrival: q.arrival,
+                    element: q.element,
+                })
+                .collect();
+            let qi = self
+                .scheduler
+                .pick(&views, self.ssd.element_queues(), now)
+                .expect("queue is non-empty");
+            let picked = self.queue.remove(qi);
+            let request = &self.requests[picked.index];
+            let priority_pending = self.priority_pending(request);
+            let dispatch = now.max(request.arrival);
+            // The dispatch slot is held until the request's first op starts
+            // on its target element: at queue depth 1 this is what gives
+            // FCFS its head-of-line blocking and SWTF its advantage.
+            let head_of_line_wait = picked
+                .element
+                .and_then(|e| self.ssd.element_queues().get(e))
+                .map(|q| q.wait_for(dispatch))
+                .unwrap_or(SimDuration::ZERO);
+            let completion = self
+                .ssd
+                .issue_request(request, dispatch, priority_pending)?;
+            let slot_release = (dispatch + head_of_line_wait).max(completion.start);
+            self.completions[picked.index] = Some(completion);
+            self.slots_in_use += 1;
+            self.unfinished += 1;
+            out.push(DispatchedOp {
+                token: picked.index as u64,
+                start: slot_release,
+                complete: completion.finish,
+            });
+        }
+        Ok(out)
+    }
+
+    fn on_op_start(&mut self, _token: u64, _now: SimTime) -> Result<(), SsdError> {
+        self.slots_in_use -= 1;
+        Ok(())
+    }
+
+    fn on_op_complete(&mut self, _token: u64, _now: SimTime) -> Result<(), SsdError> {
+        self.unfinished -= 1;
+        Ok(())
+    }
+
+    fn on_idle(&mut self, _now: SimTime, until: SimTime) -> Result<(), SsdError> {
+        self.ssd.maybe_background_clean(until)
+    }
+
+    fn in_flight(&self) -> usize {
+        self.unfinished + self.queue.len()
+    }
+}

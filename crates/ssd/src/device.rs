@@ -1,19 +1,21 @@
 //! The SSD device model.
 //!
-//! An [`Ssd`] owns a flash translation layer and a set of timing servers —
-//! one per flash element (die) and one per gang bus — and turns host
-//! requests into timed completions.  See the crate documentation for the
-//! two request-processing modes.
+//! An [`Ssd`] owns a flash translation layer and a set of per-element and
+//! per-gang-bus dispatch queues ([`ElementQueue`]) and turns host requests
+//! into timed completions.  Requests are decomposed into per-page flash
+//! operations, issued into the dispatch queues, and driven by the event
+//! engine ([`ossd_sim::engine`]) through the crate's controller module.
+//! See the crate documentation for the two drivers of that pipeline.
 
-use ossd_block::{
-    BlockDevice, BlockOpKind, BlockRequest, Completion, DeviceError, DeviceInfo, Priority,
-};
+use ossd_block::{BlockDevice, BlockOpKind, BlockRequest, Completion, DeviceError, DeviceInfo};
 use ossd_ftl::{FlashOp, FlashOpKind, Ftl, FtlStats, Lpn, PageFtl, StripeFtl, WriteContext};
 use ossd_gc::{BackgroundCleaner, BackgroundGcStats};
-use ossd_sim::{Server, SimDuration, SimTime};
+use ossd_sim::{SimDuration, SimTime};
 
 use crate::config::{MappingKind, SsdConfig};
+use crate::controller::SsdController;
 use crate::error::SsdError;
+use crate::queue::ElementQueue;
 use crate::sched::SchedulerKind;
 use crate::stats::SsdStats;
 
@@ -21,8 +23,8 @@ use crate::stats::SsdStats;
 pub struct Ssd {
     config: SsdConfig,
     ftl: Box<dyn Ftl>,
-    elements: Vec<Server>,
-    buses: Vec<Server>,
+    elements: Vec<ElementQueue>,
+    buses: Vec<ElementQueue>,
     stats: SsdStats,
     last_read_end: Option<u64>,
     last_write_end: Option<u64>,
@@ -57,8 +59,10 @@ impl Ssd {
                 Box::new(ftl)
             }
         };
-        let elements = (0..config.elements()).map(|_| Server::new()).collect();
-        let buses = (0..config.gangs).map(|_| Server::new()).collect();
+        let elements = (0..config.elements())
+            .map(|_| ElementQueue::new())
+            .collect();
+        let buses = (0..config.gangs).map(|_| ElementQueue::new()).collect();
         let background = config.background_gc.map(BackgroundCleaner::new);
         Ok(Ssd {
             config,
@@ -105,6 +109,17 @@ impl Ssd {
         self.ftl.free_page_fraction()
     }
 
+    /// The per-element dispatch queues (one per flash die), exposing queue
+    /// occupancy and busy-time statistics.
+    pub fn element_queues(&self) -> &[ElementQueue] {
+        &self.elements
+    }
+
+    /// The per-gang-bus dispatch queues.
+    pub fn bus_queues(&self) -> &[ElementQueue] {
+        &self.buses
+    }
+
     /// Flushes any buffered writes (the stripe FTL's open stripe) to flash,
     /// starting no earlier than `at`.  Returns the completion time of the
     /// flush (equal to `at` when there was nothing to flush).
@@ -144,8 +159,9 @@ impl Ssd {
                 FlashOpKind::ReadPage => {
                     // Array read on the die, then the transfer serialises on
                     // the gang bus.
-                    let read = self.elements[element].serve(floor, timing.read_page);
-                    let xfer = self.buses[gang].serve(read.completion, timing.transfer(page_bytes));
+                    let read = self.elements[element].accept(floor, timing.read_page);
+                    let xfer =
+                        self.buses[gang].accept(read.completion, timing.transfer(page_bytes));
                     (
                         read.start,
                         xfer.completion,
@@ -154,8 +170,8 @@ impl Ssd {
                 }
                 FlashOpKind::ProgramPage => {
                     // Data crosses the gang bus first, then the die programs.
-                    let xfer = self.buses[gang].serve(floor, timing.transfer(page_bytes));
-                    let prog = self.elements[element].serve(xfer.completion, timing.program_page);
+                    let xfer = self.buses[gang].accept(floor, timing.transfer(page_bytes));
+                    let prog = self.elements[element].accept(xfer.completion, timing.program_page);
                     (
                         xfer.start,
                         prog.completion,
@@ -164,11 +180,11 @@ impl Ssd {
                 }
                 FlashOpKind::CopybackPage => {
                     let svc = timing.copyback_service();
-                    let s = self.elements[element].serve(floor, svc);
+                    let s = self.elements[element].accept(floor, svc);
                     (s.start, s.completion, svc)
                 }
                 FlashOpKind::EraseBlock => {
-                    let s = self.elements[element].serve(floor, timing.erase_block);
+                    let s = self.elements[element].accept(floor, timing.erase_block);
                     (s.start, s.completion, timing.erase_block)
                 }
             };
@@ -225,7 +241,7 @@ impl Ssd {
     /// work is scheduled inside the idle window (starting at the previous
     /// activity's end), so it only delays later requests if the window was
     /// shorter than the budgeted work.
-    fn maybe_background_clean(&mut self, now: SimTime) -> Result<(), SsdError> {
+    pub(crate) fn maybe_background_clean(&mut self, now: SimTime) -> Result<(), SsdError> {
         let free = self.ftl.free_page_fraction();
         let idle_micros = now.saturating_since(self.last_activity).as_nanos() / 1_000;
         let Some(cleaner) = self.background.as_mut() else {
@@ -259,10 +275,35 @@ impl Ssd {
         Ok(())
     }
 
-    /// Services one request starting no earlier than `dispatch`.
+    /// Services one request starting no earlier than `dispatch`, donating
+    /// any idle gap since the last activity to background cleaning first.
     /// `priority_pending` tells the FTL whether high-priority host requests
     /// are outstanding (drives priority-aware cleaning).
+    ///
+    /// This is the standalone form of the pipeline for callers that manage
+    /// their own clock (the object store); the engine-driven paths
+    /// (`Ssd::submit`, [`Ssd::simulate_open`]) receive idle windows from
+    /// the event engine instead and issue requests directly.
     pub fn service_request(
+        &mut self,
+        request: &BlockRequest,
+        dispatch: SimTime,
+        priority_pending: bool,
+    ) -> Result<Completion, SsdError> {
+        // Validate before touching device state: a rejected request must
+        // have no side effects, including background cleaning.
+        self.check_bounds(request).map_err(SsdError::Device)?;
+        let start = dispatch.max(request.arrival);
+        self.maybe_background_clean(start)?;
+        self.issue_request(request, dispatch, priority_pending)
+    }
+
+    /// Issues one request into the dispatch queues starting no earlier than
+    /// `dispatch`: splits it into logical pages, asks the FTL for the flash
+    /// operations, and times them on the per-element/per-bus queues.  Does
+    /// *not* run the background cleaner — the engine delivers idle windows
+    /// separately.
+    pub(crate) fn issue_request(
         &mut self,
         request: &BlockRequest,
         dispatch: SimTime,
@@ -270,7 +311,6 @@ impl Ssd {
     ) -> Result<Completion, SsdError> {
         self.check_bounds(request).map_err(SsdError::Device)?;
         let start = dispatch.max(request.arrival);
-        self.maybe_background_clean(start)?;
         // `service_start` is refined to the moment the first flash operation
         // actually began once the request reaches the flash array; requests
         // served entirely from controller RAM keep the dispatch time.
@@ -309,7 +349,9 @@ impl Ssd {
                         floor + self.ram_transfer(request.len())
                     } else {
                         let (begin, finish) = self.schedule_ops(&ops, floor);
-                        service_start = service_start.max(begin.min(finish));
+                        // The request's service begins with its first
+                        // scheduled flash operation.
+                        service_start = begin;
                         finish
                     }
                 }
@@ -335,92 +377,67 @@ impl Ssd {
                     // The host data still crosses controller RAM.
                     let (begin, finish) =
                         self.schedule_ops(&ops, floor + self.ram_transfer(request.len()));
-                    service_start = service_start.max(begin.min(finish));
+                    service_start = begin;
                     finish
                 }
             }
         };
         self.last_activity = self.last_activity.max(finish);
+        debug_assert!(
+            request.arrival <= service_start && service_start <= finish,
+            "completion ordering inverted: arrival {:?} start {:?} finish {:?} (request {})",
+            request.arrival,
+            service_start,
+            finish,
+            request.id
+        );
         Ok(Completion {
             request_id: request.id,
             arrival: request.arrival,
-            start: service_start.min(finish),
+            start: service_start,
             finish,
         })
     }
 
+    /// The element a queued request's head flash op is predicted to occupy:
+    /// the mapped location when the FTL knows one, otherwise — for writes —
+    /// the element the FTL will allocate on next
+    /// ([`ossd_ftl::Ftl::next_write_element`]), so SWTF sees truthful waits
+    /// instead of a round-robin guess.  `None` (unwritten reads, frees)
+    /// means no flash element is involved.
+    pub(crate) fn element_hint(&self, request: &BlockRequest) -> Option<usize> {
+        let (lpn, _) = *self
+            .split_range(request.range.offset, request.range.len)
+            .first()?;
+        if let Some(element) = self.ftl.locate(lpn) {
+            return Some(element as usize);
+        }
+        if request.kind == BlockOpKind::Write {
+            return self.ftl.next_write_element().map(|e| e as usize);
+        }
+        None
+    }
+
     /// Runs an open-arrival simulation of `requests` under the given
-    /// scheduler, returning one completion per request in the input order.
+    /// scheduler through the event engine, returning one completion per
+    /// request in the input order.
     ///
-    /// Requests are held in a controller queue after they arrive; whenever
-    /// the controller makes a dispatch decision it asks the scheduler which
-    /// queued request to issue next (FCFS picks the oldest, SWTF the one
-    /// whose target element is free soonest, §3.2).  While high-priority
-    /// requests sit in the queue the FTL's priority-aware cleaning postpones
-    /// garbage collection (§3.6).
+    /// Requests are held in a controller queue after they arrive; whenever a
+    /// dispatch slot frees (see [`SsdConfig::queue_depth`]) the scheduler
+    /// picks which queued request's head op to issue next (FCFS the oldest,
+    /// SWTF the one whose target element is free soonest, §3.2).  While
+    /// high-priority requests sit in the queue the FTL's priority-aware
+    /// cleaning postpones garbage collection (§3.6), and idle windows are
+    /// delivered to the background cleaner.
     pub fn simulate_open(
         &mut self,
         requests: &[BlockRequest],
         scheduler: SchedulerKind,
     ) -> Result<Vec<Completion>, SsdError> {
-        let n = requests.len();
-        let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by_key(|&i| (requests[i].arrival, i));
-        let mut completions: Vec<Option<Completion>> = vec![None; n];
-        let mut queue: Vec<(SimTime, usize, usize)> = Vec::new(); // (arrival, element hint, index)
-        let mut next = 0usize;
-        let mut now = SimTime::ZERO;
-        let mut fallback_element = 0usize;
-        while next < n || !queue.is_empty() {
-            if queue.is_empty() {
-                now = now.max(requests[order[next]].arrival);
-            }
-            while next < n && requests[order[next]].arrival <= now {
-                let idx = order[next];
-                let req = &requests[idx];
-                let hint = self
-                    .split_range(req.range.offset, req.range.len)
-                    .first()
-                    .and_then(|(lpn, _)| self.ftl.locate(*lpn))
-                    .map(|e| e as usize)
-                    .unwrap_or_else(|| {
-                        fallback_element = (fallback_element + 1) % self.elements.len();
-                        fallback_element
-                    });
-                queue.push((req.arrival, hint, idx));
-                next += 1;
-            }
-            if queue.is_empty() {
-                continue;
-            }
-            let pick_view: Vec<(SimTime, usize)> = queue.iter().map(|&(a, e, _)| (a, e)).collect();
-            let qi = scheduler
-                .pick(&pick_view, &self.elements, now)
-                .expect("queue is non-empty");
-            let (_, hint, idx) = queue.remove(qi);
-            let req = &requests[idx];
-            let priority_pending = req.priority == Priority::High
-                || queue
-                    .iter()
-                    .any(|&(_, _, i)| requests[i].priority == Priority::High);
-            let dispatch = now.max(req.arrival);
-            // The controller commits to this request: the next dispatch
-            // decision happens once this one can start on its target
-            // element.  This is what gives FCFS its head-of-line blocking
-            // and SWTF its advantage.
-            let head_of_line_wait = self
-                .elements
-                .get(hint)
-                .map(|s| s.wait_for(dispatch))
-                .unwrap_or(ossd_sim::SimDuration::ZERO);
-            let completion = self.service_request(req, dispatch, priority_pending)?;
-            now = now.max(dispatch + head_of_line_wait).max(completion.start);
-            completions[idx] = Some(completion);
-        }
-        Ok(completions
-            .into_iter()
-            .map(|c| c.expect("every request was dispatched"))
-            .collect())
+        let arrivals: Vec<SimTime> = requests.iter().map(|r| r.arrival).collect();
+        let mut controller = SsdController::new(self, requests, scheduler, true);
+        ossd_sim::engine::run(&mut controller, &arrivals)?;
+        Ok(controller.into_completions())
     }
 }
 
@@ -434,8 +451,19 @@ impl BlockDevice for Ssd {
     }
 
     fn submit(&mut self, request: &BlockRequest) -> Result<Completion, DeviceError> {
-        self.service_request(request, request.arrival, false)
-            .map_err(DeviceError::from)
+        // Validate before the engine runs: an invalid request must be
+        // rejected before any idle window is donated to background cleaning.
+        self.check_bounds(request)?;
+        // The closed path is the degenerate engine run: one arrival, FCFS.
+        let requests = std::slice::from_ref(request);
+        let arrivals = [request.arrival];
+        let mut controller = SsdController::new(self, requests, SchedulerKind::Fcfs, false);
+        ossd_sim::engine::run(&mut controller, &arrivals).map_err(DeviceError::from)?;
+        let completion = controller
+            .into_completions()
+            .pop()
+            .expect("one request, one completion");
+        Ok(completion)
     }
 }
 
@@ -498,6 +526,49 @@ mod tests {
         ));
         let empty = BlockRequest::write(1, 0, 0, SimTime::ZERO);
         assert!(matches!(ssd.submit(&empty), Err(DeviceError::EmptyRequest)));
+    }
+
+    #[test]
+    fn rejected_requests_have_no_side_effects() {
+        use ossd_gc::BackgroundGcConfig;
+        // A nearly full device with background GC and a long idle gap: an
+        // out-of-range request arriving after the gap must be rejected
+        // before the idle window is donated to cleaning.
+        let mut config = SsdConfig::tiny_page_mapped();
+        config.ftl = config
+            .ftl
+            .with_overprovisioning(0.25)
+            .with_watermarks(0.15, 0.05);
+        config.background_gc = Some(BackgroundGcConfig {
+            min_idle_micros: 500,
+            erase_budget: 2,
+            target_free_fraction: 0.25,
+        });
+        let mut ssd = Ssd::new(config).unwrap();
+        let pages = ssd.capacity_bytes() / 4096;
+        let mut at = SimTime::ZERO;
+        for round in 0..3 {
+            for i in 0..pages {
+                let lpn = (i * 13 + round) % pages;
+                at = ssd
+                    .submit(&BlockRequest::write(
+                        round * pages + i,
+                        lpn * 4096,
+                        4096,
+                        at,
+                    ))
+                    .unwrap()
+                    .finish;
+            }
+        }
+        let before = ssd.stats();
+        let bg_before = ssd.background_gc_stats().unwrap();
+        let cap = ssd.capacity_bytes();
+        let bad = BlockRequest::read(u64::MAX, cap, 4096, at + SimDuration::from_millis(10));
+        assert!(ssd.submit(&bad).is_err());
+        assert!(ssd.service_request(&bad, at, false).is_err());
+        assert_eq!(ssd.stats(), before);
+        assert_eq!(ssd.background_gc_stats().unwrap(), bg_before);
     }
 
     #[test]

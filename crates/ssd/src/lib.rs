@@ -8,23 +8,33 @@
 //! the FTL into flash operations, and scheduled onto per-element and per-bus
 //! servers to obtain service times.
 //!
-//! Two request-processing modes are provided:
+//! Since the engine refactor, all host requests flow through one
+//! event-driven pipeline: the SSD's controller implements
+//! [`ossd_sim::Controller`], decomposes each request into per-page flash
+//! ops, and issues them into per-element dispatch queues
+//! ([`queue::ElementQueue`]) under an NCQ-style queue depth
+//! ([`SsdConfig::queue_depth`]).  Two drivers exercise that pipeline:
 //!
-//! * [`Ssd::submit`] (via the [`ossd_block::BlockDevice`] trait) — requests
-//!   are dispatched in arrival order (FCFS at the controller), which is what
-//!   bandwidth-style experiments (Table 2, Figure 2, Tables 3–5) use.
-//! * [`Ssd::simulate_open`] — an open-arrival simulation with a controller
-//!   queue and a pluggable scheduler ([`SchedulerKind::Fcfs`] or the paper's
-//!   shortest-wait-time-first [`SchedulerKind::Swtf`], §3.2), also used by the
-//!   priority-aware cleaning study (Figure 3 / Table 6).
+//! * `Ssd::submit` (via the [`ossd_block::BlockDevice`] trait) — the
+//!   *closed* driver: one request per engine run, dispatched in arrival
+//!   order, which is what bandwidth-style experiments (Table 2, Figure 2,
+//!   Tables 3–5) use.
+//! * [`Ssd::simulate_open`] — the *open* driver: a whole arrival trace in
+//!   one engine run, with a controller queue, a pluggable scheduler
+//!   ([`SchedulerKind::Fcfs`] or the paper's shortest-wait-time-first
+//!   [`SchedulerKind::Swtf`], §3.2) and engine-delivered idle windows for
+//!   background cleaning; also used by the priority-aware cleaning study
+//!   (Figure 3 / Table 6) and the queue-depth parallelism sweep.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
+pub(crate) mod controller;
 pub mod device;
 pub mod error;
 pub mod profiles;
+pub mod queue;
 pub mod sched;
 pub mod stats;
 
@@ -32,5 +42,6 @@ pub use config::{MappingKind, SsdConfig};
 pub use device::Ssd;
 pub use error::SsdError;
 pub use profiles::DeviceProfile;
-pub use sched::SchedulerKind;
+pub use queue::ElementQueue;
+pub use sched::{DispatchView, SchedulerKind};
 pub use stats::SsdStats;

@@ -91,6 +91,7 @@ impl DeviceProfile {
                 background_gc: None,
                 gangs: 4,
                 scheduler: SchedulerKind::Fcfs,
+                queue_depth: 1,
                 controller_overhead: SimDuration::from_micros(10),
                 random_penalty: SimDuration::from_micros(60),
                 sequential_prefetch: true,
@@ -118,6 +119,7 @@ impl DeviceProfile {
                 background_gc: None,
                 gangs: 1,
                 scheduler: SchedulerKind::Fcfs,
+                queue_depth: 1,
                 controller_overhead: SimDuration::from_micros(30),
                 random_penalty: SimDuration::from_micros(600),
                 sequential_prefetch: true,
@@ -145,6 +147,7 @@ impl DeviceProfile {
                 background_gc: None,
                 gangs: 2,
                 scheduler: SchedulerKind::Fcfs,
+                queue_depth: 1,
                 controller_overhead: SimDuration::from_micros(20),
                 random_penalty: SimDuration::from_micros(50),
                 sequential_prefetch: true,
@@ -159,6 +162,7 @@ impl DeviceProfile {
                 background_gc: None,
                 gangs: 1,
                 scheduler: SchedulerKind::Fcfs,
+                queue_depth: 1,
                 controller_overhead: SimDuration::from_micros(20),
                 random_penalty: SimDuration::ZERO,
                 sequential_prefetch: false,
@@ -183,6 +187,7 @@ impl DeviceProfile {
                 background_gc: None,
                 gangs: 2,
                 scheduler: SchedulerKind::Fcfs,
+                queue_depth: 1,
                 controller_overhead: SimDuration::from_micros(20),
                 random_penalty: SimDuration::from_micros(80),
                 sequential_prefetch: true,
@@ -200,6 +205,7 @@ impl DeviceProfile {
                 background_gc: None,
                 gangs: 1,
                 scheduler: SchedulerKind::Fcfs,
+                queue_depth: 1,
                 controller_overhead: SimDuration::from_micros(20),
                 random_penalty: SimDuration::ZERO,
                 sequential_prefetch: false,
@@ -214,6 +220,7 @@ impl DeviceProfile {
                 background_gc: None,
                 gangs: 1,
                 scheduler: SchedulerKind::Fcfs,
+                queue_depth: 1,
                 controller_overhead: SimDuration::from_micros(20),
                 random_penalty: SimDuration::ZERO,
                 sequential_prefetch: false,

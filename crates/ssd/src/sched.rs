@@ -2,45 +2,65 @@
 //!
 //! §3.2 of the paper sketches *shortest wait time first* (SWTF): because an
 //! SSD is a collection of parallel elements with their own queues, the
-//! controller can pick, among the queued host requests, the one whose target
-//! element will be free soonest.  The paper reports ≈8% lower response time
-//! than FCFS on a random workload with 2/3 reads and 1/3 writes.
+//! controller can pick, among the queued flash operations, the one whose
+//! target element will be free soonest.  The paper reports ≈8% lower
+//! response time than FCFS on a random workload with 2/3 reads and 1/3
+//! writes.
+//!
+//! Since the engine refactor the scheduler works at *op* granularity: each
+//! queued host request exposes its head flash operation as a [`DispatchView`]
+//! (arrival time plus the element the mapping predicts it will occupy), and
+//! the scheduler picks which op the controller issues into the per-element
+//! dispatch queues next.
 
-use ossd_sim::{Server, SimTime};
+use ossd_sim::SimTime;
 
-/// Scheduling policy used by the open-queue simulation.
+use crate::queue::ElementQueue;
+
+/// The scheduler's view of one dispatchable operation: the head flash op of
+/// a queued host request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DispatchView {
+    /// When the owning request arrived at the controller.
+    pub arrival: SimTime,
+    /// The element the op is predicted to occupy: the mapped location for
+    /// reads, the FTL's next allocation target for writes.  `None` means the
+    /// op needs no flash element (unwritten reads, frees) and is treated as
+    /// having zero wait.
+    pub element: Option<usize>,
+}
+
+/// Scheduling policy used by the open-queue controller.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum SchedulerKind {
-    /// First come, first served: requests are dispatched in arrival order.
+    /// First come, first served: ops are dispatched in request-arrival order.
     #[default]
     Fcfs,
-    /// Shortest wait time first: dispatch the queued request whose target
+    /// Shortest wait time first: dispatch the queued op whose target
     /// element has the earliest availability.
     Swtf,
 }
 
 impl SchedulerKind {
-    /// Picks the index (into `queue`) of the next request to dispatch.
+    /// Picks the index (into `ops`) of the next operation to dispatch.
     ///
-    /// `queue` carries, for each pending request, its arrival time and the
-    /// element its first flash operation will occupy (as predicted by the
-    /// mapping); `elements` are the per-element servers; `now` is the
-    /// current dispatch time.  Returns `None` on an empty queue.
+    /// `queues` are the per-element dispatch queues; `now` is the current
+    /// dispatch time.  Returns `None` when `ops` is empty.
     pub fn pick(
         self,
-        queue: &[(SimTime, usize)],
-        elements: &[Server],
+        ops: &[DispatchView],
+        queues: &[ElementQueue],
         now: SimTime,
     ) -> Option<usize> {
-        if queue.is_empty() {
+        if ops.is_empty() {
             return None;
         }
         match self {
             SchedulerKind::Fcfs => {
                 // Arrival order with FIFO tie-break on equal arrivals.
                 let mut best = 0;
-                for (i, entry) in queue.iter().enumerate().skip(1) {
-                    if entry.0 < queue[best].0 {
+                for (i, op) in ops.iter().enumerate().skip(1) {
+                    if op.arrival < ops[best].arrival {
                         best = i;
                     }
                 }
@@ -48,10 +68,11 @@ impl SchedulerKind {
             }
             SchedulerKind::Swtf => {
                 let mut best = 0;
-                let mut best_wait = Self::wait_of(&queue[0], elements, now);
-                for (i, entry) in queue.iter().enumerate().skip(1) {
-                    let wait = Self::wait_of(entry, elements, now);
-                    let better = wait < best_wait || (wait == best_wait && entry.0 < queue[best].0);
+                let mut best_wait = Self::wait_of(&ops[0], queues, now);
+                for (i, op) in ops.iter().enumerate().skip(1) {
+                    let wait = Self::wait_of(op, queues, now);
+                    let better =
+                        wait < best_wait || (wait == best_wait && op.arrival < ops[best].arrival);
                     if better {
                         best = i;
                         best_wait = wait;
@@ -62,11 +83,10 @@ impl SchedulerKind {
         }
     }
 
-    fn wait_of(entry: &(SimTime, usize), elements: &[Server], now: SimTime) -> u64 {
-        let (arrival, element) = *entry;
-        let earliest = now.max(arrival);
-        match elements.get(element) {
-            Some(server) => server.wait_for(earliest).as_nanos(),
+    fn wait_of(op: &DispatchView, queues: &[ElementQueue], now: SimTime) -> u64 {
+        let earliest = now.max(op.arrival);
+        match op.element.and_then(|e| queues.get(e)) {
+            Some(queue) => queue.wait_for(earliest).as_nanos(),
             None => 0,
         }
     }
@@ -77,77 +97,81 @@ mod tests {
     use super::*;
     use ossd_sim::SimDuration;
 
-    fn busy_servers() -> Vec<Server> {
+    fn view(arrival_micros: u64, element: impl Into<Option<usize>>) -> DispatchView {
+        DispatchView {
+            arrival: SimTime::from_micros(arrival_micros),
+            element: element.into(),
+        }
+    }
+
+    fn busy_queues() -> Vec<ElementQueue> {
         // Element 0 busy for 1 ms, element 1 idle, element 2 busy for 10 µs.
-        let mut servers = vec![Server::new(), Server::new(), Server::new()];
-        servers[0].serve(SimTime::ZERO, SimDuration::from_millis(1));
-        servers[2].serve(SimTime::ZERO, SimDuration::from_micros(10));
-        servers
+        let mut queues = vec![
+            ElementQueue::new(),
+            ElementQueue::new(),
+            ElementQueue::new(),
+        ];
+        queues[0].accept(SimTime::ZERO, SimDuration::from_millis(1));
+        queues[2].accept(SimTime::ZERO, SimDuration::from_micros(10));
+        queues
     }
 
     #[test]
     fn empty_queue_yields_none() {
-        let servers = busy_servers();
-        assert_eq!(SchedulerKind::Fcfs.pick(&[], &servers, SimTime::ZERO), None);
-        assert_eq!(SchedulerKind::Swtf.pick(&[], &servers, SimTime::ZERO), None);
+        let queues = busy_queues();
+        assert_eq!(SchedulerKind::Fcfs.pick(&[], &queues, SimTime::ZERO), None);
+        assert_eq!(SchedulerKind::Swtf.pick(&[], &queues, SimTime::ZERO), None);
     }
 
     #[test]
     fn fcfs_picks_oldest_arrival() {
-        let servers = busy_servers();
-        let queue = vec![
-            (SimTime::from_micros(30), 1),
-            (SimTime::from_micros(10), 0),
-            (SimTime::from_micros(20), 2),
-        ];
+        let queues = busy_queues();
+        let ops = vec![view(30, 1), view(10, 0), view(20, 2)];
         assert_eq!(
-            SchedulerKind::Fcfs.pick(&queue, &servers, SimTime::from_micros(50)),
+            SchedulerKind::Fcfs.pick(&ops, &queues, SimTime::from_micros(50)),
             Some(1)
         );
     }
 
     #[test]
     fn swtf_picks_shortest_element_wait() {
-        let servers = busy_servers();
-        // The oldest request targets the busiest element; SWTF must pick a
-        // request aimed at an element that is free by now instead.  Elements
-        // 1 and 2 are both free at t=50 µs, so the older of the two requests
-        // (arrival 20 µs, element 2) wins the tie.
-        let queue = vec![
-            (SimTime::from_micros(10), 0),
-            (SimTime::from_micros(30), 1),
-            (SimTime::from_micros(20), 2),
-        ];
+        let queues = busy_queues();
+        // The oldest op targets the busiest element; SWTF must pick an op
+        // aimed at an element that is free by now instead.  Elements 1 and 2
+        // are both free at t=50 µs, so the older of the two ops (arrival
+        // 20 µs, element 2) wins the tie.
+        let ops = vec![view(10, 0), view(30, 1), view(20, 2)];
         assert_eq!(
-            SchedulerKind::Swtf.pick(&queue, &servers, SimTime::from_micros(50)),
+            SchedulerKind::Swtf.pick(&ops, &queues, SimTime::from_micros(50)),
             Some(2)
         );
         // FCFS, by contrast, picks the oldest regardless of element state.
         assert_eq!(
-            SchedulerKind::Fcfs.pick(&queue, &servers, SimTime::from_micros(50)),
+            SchedulerKind::Fcfs.pick(&ops, &queues, SimTime::from_micros(50)),
             Some(0)
         );
     }
 
     #[test]
     fn swtf_breaks_ties_by_arrival() {
-        let servers = vec![Server::new(), Server::new()];
-        let queue = vec![(SimTime::from_micros(20), 0), (SimTime::from_micros(10), 1)];
-        // Both elements are idle (equal wait); the older request wins.
+        let queues = vec![ElementQueue::new(), ElementQueue::new()];
+        let ops = vec![view(20, 0), view(10, 1)];
+        // Both elements are idle (equal wait); the older op wins.
         assert_eq!(
-            SchedulerKind::Swtf.pick(&queue, &servers, SimTime::from_micros(30)),
+            SchedulerKind::Swtf.pick(&ops, &queues, SimTime::from_micros(30)),
             Some(1)
         );
     }
 
     #[test]
-    fn unknown_element_counts_as_idle() {
-        let servers = busy_servers();
-        let queue = vec![(SimTime::ZERO, 0), (SimTime::from_micros(1), 99)];
-        // Element 99 does not exist; it is treated as idle and wins under
-        // SWTF rather than panicking.
+    fn elementless_ops_count_as_idle() {
+        let queues = busy_queues();
+        // An op with no element (unwritten read) and one aimed at a
+        // non-existent element are both treated as zero-wait rather than
+        // panicking.
+        let ops = vec![view(0, 0), view(1, None), view(2, 99)];
         assert_eq!(
-            SchedulerKind::Swtf.pick(&queue, &servers, SimTime::from_micros(5)),
+            SchedulerKind::Swtf.pick(&ops, &queues, SimTime::from_micros(5)),
             Some(1)
         );
     }
