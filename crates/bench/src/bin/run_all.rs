@@ -3,8 +3,8 @@
 use ossd_bench::{print_header, scale_from_args};
 use ossd_core::contract::ContractTerm;
 use ossd_core::experiments::{
-    figure2, figure3, parallelism_sweep, policy_compare, swtf, table1, table2, table3, table4,
-    table5,
+    figure2, figure3, multi_host, parallelism_sweep, policy_compare, swtf, table1, table2, table3,
+    table4, table5,
 };
 
 fn main() {
@@ -123,6 +123,14 @@ fn main() {
         println!(
             "elements {:>2}  qd {:>2}  {:>8.1} MB/s  mean {:>9.3} ms  p99 {:>9.3} ms  peak queue {:>3}",
             p.elements, p.queue_depth, p.bandwidth_mbps, p.mean_ms, p.p99_ms, p.peak_element_queue
+        );
+    }
+
+    print_header("Multi-host sweep (bandwidth/fairness vs initiators)", scale);
+    for p in multi_host::run(scale).expect("multi-host sweep") {
+        println!(
+            "initiators {:>2}  qd {:>2}  {:>8.1} MB/s  fairness {:>6.4}  p50 {:>8.3} ms  p99 {:>8.3} ms",
+            p.initiators, p.queue_depth, p.total_bandwidth_mbps, p.fairness, p.p50_ms, p.p99_ms
         );
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! The workspace builds hermetically with no external crates, so the bench
 //! targets use this ~80-line harness instead of criterion: each benchmark is
-//! a `harness = false` binary that calls [`bench`] for every case.  The
+//! a `harness = false` binary that calls [`bench()`](fn@bench) for every case.  The
 //! harness warms the case up, then runs timed batches until enough wall time
 //! has accumulated for a stable per-iteration estimate, and prints one
 //! `name ... time/iter` line, so `cargo bench` output stays grep-able.

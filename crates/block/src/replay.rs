@@ -1,10 +1,54 @@
-//! Trace replay against a [`BlockDevice`], collecting the metrics the paper
-//! reports: per-class response times and bandwidths.
+//! Trace replay over the queue-pair host interface, collecting the metrics
+//! the paper reports: per-class response times, percentiles and bandwidths.
+//!
+//! Both replay modes are *incremental enqueue-and-poll* drivers of one
+//! [`HostQueue`] session: each request is submitted into the queue pair,
+//! the device serves it, and the completion is polled back out before the
+//! next command is enqueued.
 
 use ossd_sim::{LatencyStats, SimDuration, SimTime, Throughput};
 
-use crate::device::{BlockDevice, DeviceError};
+use crate::device::DeviceError;
+use crate::host::{HostInterface, HostQueue};
 use crate::request::{BlockOpKind, BlockRequest};
+
+/// p50/p95/p99 response times of one request class, in milliseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencyPercentiles {
+    /// Median response time.
+    pub p50_ms: f64,
+    /// 95th-percentile response time.
+    pub p95_ms: f64,
+    /// 99th-percentile response time.
+    pub p99_ms: f64,
+}
+
+impl LatencyPercentiles {
+    /// Computes the percentiles of a latency collection (zeros when empty).
+    pub fn of(stats: &LatencyStats) -> Self {
+        LatencyPercentiles {
+            p50_ms: stats.percentile(50.0).as_millis_f64(),
+            p95_ms: stats.percentile(95.0).as_millis_f64(),
+            p99_ms: stats.percentile(99.0).as_millis_f64(),
+        }
+    }
+}
+
+/// Percentile summaries for every request class of a [`ReplayReport`] —
+/// the tail-latency view the multi-initiator fairness experiments report.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ReportPercentiles {
+    /// All data-transferring requests.
+    pub all: LatencyPercentiles,
+    /// Reads only.
+    pub reads: LatencyPercentiles,
+    /// Writes only.
+    pub writes: LatencyPercentiles,
+    /// High-priority (foreground) requests.
+    pub high_priority: LatencyPercentiles,
+    /// Normal-priority (background) requests.
+    pub normal_priority: LatencyPercentiles,
+}
 
 /// Metrics collected while replaying a request stream.
 #[derive(Clone, Debug, Default)]
@@ -53,7 +97,19 @@ impl ReplayReport {
         Throughput::from_totals(self.bytes_written, self.makespan()).megabytes_per_sec()
     }
 
-    fn record(&mut self, req: &BlockRequest, response: SimDuration, finish: SimTime) {
+    /// p50/p95/p99 response times per request class.
+    pub fn percentiles(&self) -> ReportPercentiles {
+        ReportPercentiles {
+            all: LatencyPercentiles::of(&self.all),
+            reads: LatencyPercentiles::of(&self.reads),
+            writes: LatencyPercentiles::of(&self.writes),
+            high_priority: LatencyPercentiles::of(&self.high_priority),
+            normal_priority: LatencyPercentiles::of(&self.normal_priority),
+        }
+    }
+
+    /// Records one completed request into the report.
+    pub fn record(&mut self, req: &BlockRequest, response: SimDuration, finish: SimTime) {
         if self.all.is_empty() || req.arrival < self.first_arrival {
             if self.all.is_empty() {
                 self.first_arrival = req.arrival;
@@ -85,15 +141,35 @@ impl ReplayReport {
     }
 }
 
+/// Submits one request through a queue pair and returns its completion.
+fn serve_one<D: HostInterface + ?Sized>(
+    device: &mut D,
+    queue: &mut HostQueue,
+    request: &BlockRequest,
+) -> Result<crate::request::Completion, DeviceError> {
+    queue.submit_request(request);
+    device.serve(std::slice::from_mut(queue))?;
+    Ok(queue
+        .poll()
+        .expect("serve posts one completion per command"))
+}
+
 /// Replays requests with the arrival times they carry (an *open* arrival
 /// process: requests arrive regardless of whether earlier ones finished).
-pub fn replay_open<D: BlockDevice>(
+///
+/// Requests must be in non-decreasing arrival order — the [`BlockDevice`]
+/// submission contract, now enforced loudly by the queue pair.  Sort
+/// unordered traces first (e.g. [`crate::Trace::sort_by_time`]).
+///
+/// [`BlockDevice`]: crate::device::BlockDevice
+pub fn replay_open<D: HostInterface>(
     device: &mut D,
     requests: &[BlockRequest],
 ) -> Result<ReplayReport, DeviceError> {
     let mut report = ReplayReport::default();
+    let mut queue = HostQueue::new();
     for req in requests {
-        let completion = device.submit(req)?;
+        let completion = serve_one(device, &mut queue, req)?;
         report.record(req, completion.response_time(), completion.finish);
     }
     Ok(report)
@@ -103,17 +179,18 @@ pub fn replay_open<D: BlockDevice>(
 /// request): each request is issued the moment the previous one completes.
 /// Arrival times carried by the requests are ignored except for the first.
 /// This is how steady-state bandwidth (Table 2, Figure 2) is measured.
-pub fn replay_closed<D: BlockDevice>(
+pub fn replay_closed<D: HostInterface>(
     device: &mut D,
     requests: &[BlockRequest],
 ) -> Result<ReplayReport, DeviceError> {
     let mut report = ReplayReport::default();
+    let mut queue = HostQueue::new();
     let mut next_arrival = requests.first().map(|r| r.arrival).unwrap_or(SimTime::ZERO);
     let mut first_start: Option<SimTime> = None;
     for req in requests {
         let mut adjusted = *req;
         adjusted.arrival = next_arrival;
-        let completion = device.submit(&adjusted)?;
+        let completion = serve_one(device, &mut queue, &adjusted)?;
         report.record(&adjusted, completion.response_time(), completion.finish);
         if first_start.is_none() {
             first_start = Some(completion.start);
@@ -133,7 +210,7 @@ pub fn replay_closed<D: BlockDevice>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::device::DeviceInfo;
+    use crate::device::{BlockDevice, DeviceInfo};
     use crate::request::{Completion, Priority};
 
     /// A device with a fixed service time per request and no parallelism.
@@ -176,6 +253,8 @@ mod tests {
             })
         }
     }
+
+    impl HostInterface for FixedDevice {}
 
     fn requests() -> Vec<BlockRequest> {
         vec![
@@ -231,5 +310,22 @@ mod tests {
         assert_eq!(report.all.count(), 0);
         assert_eq!(report.makespan(), SimDuration::ZERO);
         assert_eq!(report.bandwidth_mbps(), 0.0);
+        let p = report.percentiles();
+        assert_eq!(p.all.p99_ms, 0.0);
+    }
+
+    #[test]
+    fn percentiles_summarise_each_class() {
+        let mut dev = FixedDevice::new(SimDuration::from_millis(1));
+        let report = replay_open(&mut dev, &requests()).unwrap();
+        let p = report.percentiles();
+        // Responses are 1, 2, 3 ms; the median is 2 ms and the p99 is the
+        // maximum.
+        assert!((p.all.p50_ms - 2.0).abs() < 1e-9);
+        assert!((p.all.p99_ms - 3.0).abs() < 1e-9);
+        assert!(p.all.p50_ms <= p.all.p95_ms && p.all.p95_ms <= p.all.p99_ms);
+        // The one high-priority read finished at 2 ms.
+        assert!((p.high_priority.p99_ms - 2.0).abs() < 1e-9);
+        assert!(p.reads.p50_ms > 0.0 && p.writes.p50_ms > 0.0);
     }
 }

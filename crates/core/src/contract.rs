@@ -5,7 +5,7 @@
 //! device satisfies it, together with the metric the verdict is based on —
 //! the same T/F summary the paper's Table 1 gives for Disk vs. SSD.
 
-use ossd_block::{replay_closed, BlockDevice, BlockRequest, DeviceError};
+use ossd_block::{replay_closed, BlockDevice, BlockRequest, DeviceError, HostInterface};
 use ossd_hdd::{Hdd, HddConfig};
 use ossd_sim::SimTime;
 use ossd_ssd::{Ssd, SsdConfig};
@@ -138,7 +138,7 @@ fn scattered_requests(count: u64, size: u64, span: u64, write: bool) -> Vec<Bloc
         .collect()
 }
 
-fn bandwidth_of<D: BlockDevice>(
+fn bandwidth_of<D: HostInterface>(
     device: &mut D,
     requests: &[BlockRequest],
 ) -> Result<f64, DeviceError> {
@@ -147,7 +147,7 @@ fn bandwidth_of<D: BlockDevice>(
 
 /// Probes terms 1–3 on any block device (they only need the block
 /// interface).  Returns (term1, term2, term3) verdicts.
-fn probe_generic<D: BlockDevice>(device: &mut D) -> Result<Vec<TermVerdict>, DeviceError> {
+fn probe_generic<D: HostInterface>(device: &mut D) -> Result<Vec<TermVerdict>, DeviceError> {
     let region = probe_region(device);
     let capacity = device.capacity_bytes();
 

@@ -17,13 +17,16 @@
 //!
 //! Beyond the paper, [`policy_compare`] sweeps the pluggable cleaning
 //! policies (`ossd-gc`) across device utilizations and validates the greedy
-//! curve against the analytical write-amplification model, and
+//! curve against the analytical write-amplification model,
 //! [`parallelism_sweep`] measures bandwidth/latency as a function of the
 //! controller queue depth and the element count — the parallelism the
-//! event-driven engine unlocked.
+//! event-driven engine unlocked — and [`multi_host`] measures aggregate
+//! bandwidth and Jain-fairness across N initiator queue pairs arbitrated
+//! round-robin through the queue-pair host interface.
 
 pub mod figure2;
 pub mod figure3;
+pub mod multi_host;
 pub mod parallelism_sweep;
 pub mod policy_compare;
 pub mod swtf;

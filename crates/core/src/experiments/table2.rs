@@ -1,7 +1,7 @@
 //! Table 2: ratio of sequential to random bandwidth for an HDD and the five
 //! SSD device profiles.
 
-use ossd_block::{replay_closed, BlockDevice, BlockRequest, DeviceError};
+use ossd_block::{replay_closed, BlockRequest, DeviceError, HostInterface};
 use ossd_hdd::{Hdd, HddConfig};
 use ossd_sim::SimTime;
 use ossd_ssd::{DeviceProfile, Ssd};
@@ -78,7 +78,7 @@ fn scattered(count: u64, size: u64, span: u64, write: bool) -> Vec<BlockRequest>
 /// Measures one device.  The measurement order is: sequential write (which
 /// also serves as the prefill so later reads hit real data), sequential
 /// read, random read, random write.
-fn measure<D: BlockDevice>(
+fn measure<D: HostInterface>(
     device: &mut D,
     name: &str,
     region: u64,

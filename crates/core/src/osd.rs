@@ -15,64 +15,30 @@
 //!   to the FTL, so cleaning never migrates dead object data;
 //! * the `priority` attribute of an object is attached to every I/O the
 //!   object generates, feeding priority-aware cleaning;
-//! * the `temperature`/`read_only` attributes are available to placement
-//!   policies (cold data is a wear-leveling hint).
+//! * the `temperature`/`read_only` attributes travel to the device as
+//!   stream-temperature write hints on every object write.
+//!
+//! Since the queue-pair redesign, [`OsdDevice`] is a thin *command
+//! translator* over the [`ossd_block::host`] protocol: its object API (and
+//! the object-management commands it accepts through
+//! [`OsdDevice::submit_command`]) are translated into block commands and
+//! served over the identical [`HostInterface`] transport the raw block
+//! experiments use — there is no private side door into the SSD, so
+//! block-vs-object comparisons measure the interface, not the plumbing.
 
 use std::collections::BTreeMap;
 
-use ossd_block::{BlockRequest, Completion, Priority};
+use ossd_block::{Completion, HostCommand, HostInterface, HostQueue, Priority, WriteHint};
 use ossd_ftl::FtlConfig;
 use ossd_sim::SimTime;
 use ossd_ssd::{Ssd, SsdConfig, SsdError, SsdStats};
 use ossd_workload::fslite::{FsError, FsLite};
 
+pub use ossd_block::{ObjectAttrs as ObjectAttributes, StreamTemperature as Temperature};
+
 /// Identifier of an object stored on an [`OsdDevice`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ObjectId(pub u64);
-
-/// How frequently the host expects the object to change; a placement and
-/// wear-leveling hint (§3.7: read-only attributes mark cold data).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
-pub enum Temperature {
-    /// Frequently rewritten.
-    Hot,
-    /// Default.
-    #[default]
-    Warm,
-    /// Rarely or never rewritten.
-    Cold,
-}
-
-/// Host-visible attributes of an object.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct ObjectAttributes {
-    /// Priority attached to every I/O this object generates.
-    pub priority: Priority,
-    /// Expected update frequency.
-    pub temperature: Temperature,
-    /// Whether the object is read-only (its pages are candidates for cold
-    /// placement during wear-leveling).
-    pub read_only: bool,
-}
-
-impl ObjectAttributes {
-    /// Attributes of a latency-sensitive (foreground) object.
-    pub fn high_priority() -> Self {
-        ObjectAttributes {
-            priority: Priority::High,
-            ..ObjectAttributes::default()
-        }
-    }
-
-    /// Attributes of cold, read-only data.
-    pub fn cold_read_only() -> Self {
-        ObjectAttributes {
-            temperature: Temperature::Cold,
-            read_only: true,
-            ..ObjectAttributes::default()
-        }
-    }
-}
 
 /// Errors the object store can report.
 #[derive(Clone, Debug, PartialEq)]
@@ -81,6 +47,17 @@ pub enum OsdError {
     NoSuchObject {
         /// The missing object.
         object: ObjectId,
+    },
+    /// An [`HostCommand::ObjectCreate`] named an id that is already live.
+    ObjectExists {
+        /// The conflicting object.
+        object: ObjectId,
+    },
+    /// A command kind the object store does not accept (device-addressed
+    /// block commands: the host of an OSD addresses objects, not LBNs).
+    UnsupportedCommand {
+        /// Description of the rejected command.
+        what: &'static str,
     },
     /// A read or write addressed bytes beyond the end of the object.
     OutOfRange {
@@ -109,6 +86,12 @@ impl std::fmt::Display for OsdError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             OsdError::NoSuchObject { object } => write!(f, "no such object: {}", object.0),
+            OsdError::ObjectExists { object } => {
+                write!(f, "object {} already exists", object.0)
+            }
+            OsdError::UnsupportedCommand { what } => {
+                write!(f, "unsupported command: {what}")
+            }
             OsdError::OutOfRange {
                 object,
                 requested_end,
@@ -246,10 +229,30 @@ impl OsdDevice {
         id
     }
 
-    /// Creates an empty object with the given attributes.
+    /// Creates an empty object with the given attributes, letting the
+    /// device assign the id.
     pub fn create_object(&mut self, attrs: ObjectAttributes) -> ObjectId {
         let id = ObjectId(self.next_object);
-        self.next_object += 1;
+        self.insert_object(id, attrs);
+        id
+    }
+
+    /// Creates an empty object under a host-chosen id (the
+    /// [`HostCommand::ObjectCreate`] path).
+    pub fn create_object_with_id(
+        &mut self,
+        object: ObjectId,
+        attrs: ObjectAttributes,
+    ) -> Result<(), OsdError> {
+        if self.objects.contains_key(&object) {
+            return Err(OsdError::ObjectExists { object });
+        }
+        self.insert_object(object, attrs);
+        Ok(())
+    }
+
+    fn insert_object(&mut self, id: ObjectId, attrs: ObjectAttributes) {
+        self.next_object = self.next_object.max(id.0 + 1);
         // Zero-byte objects own no extents yet; the allocator file is
         // created lazily on first write.
         let file = self
@@ -270,7 +273,6 @@ impl OsdDevice {
                 attrs,
             },
         );
-        id
     }
 
     /// Maps `offset..offset+len` of an object onto device byte ranges.
@@ -306,28 +308,46 @@ impl OsdDevice {
         Ok(out)
     }
 
+    /// Sends one block command to the SSD through its queue pair and polls
+    /// the completion back: the object store's entire data path crosses the
+    /// same transport as raw block traffic.
+    fn transport(
+        &mut self,
+        command: HostCommand,
+        priority: Priority,
+        at: SimTime,
+    ) -> Result<Completion, OsdError> {
+        let arrival = at.max(self.clock);
+        let id = self.next_request_id();
+        let mut queue = HostQueue::new();
+        queue.submit_with_priority(id, command, arrival, priority);
+        self.ssd
+            .serve(std::slice::from_mut(&mut queue))
+            .map_err(|e| OsdError::Ssd(SsdError::Device(e)))?;
+        let completion = queue.poll().expect("one command, one completion");
+        self.clock = self.clock.max(completion.finish);
+        Ok(completion)
+    }
+
     fn submit_ranges(
         &mut self,
         ranges: &[ossd_block::ByteRange],
-        write: bool,
+        write: Option<WriteHint>,
         priority: Priority,
         at: SimTime,
     ) -> Result<Vec<Completion>, OsdError> {
         let mut completions = Vec::new();
         let mut arrival = at.max(self.clock);
         for range in ranges {
-            let id = self.next_request_id();
-            let req = if write {
-                BlockRequest::write(id, range.offset, range.len, arrival)
-            } else {
-                BlockRequest::read(id, range.offset, range.len, arrival)
-            }
-            .with_priority(priority);
-            let completion = self
-                .ssd
-                .service_request(&req, arrival, priority.is_high())?;
+            let command = match write {
+                Some(hint) => HostCommand::Write {
+                    range: *range,
+                    hint,
+                },
+                None => HostCommand::Read { range: *range },
+            };
+            let completion = self.transport(command, priority, arrival)?;
             arrival = completion.finish;
-            self.clock = self.clock.max(completion.finish);
             completions.push(completion);
         }
         Ok(completions)
@@ -372,7 +392,10 @@ impl OsdDevice {
                 .size = end;
         }
         let ranges = self.map_extents(object, offset, len)?;
-        let completions = self.submit_ranges(&ranges, true, attrs.priority, at)?;
+        // The object's temperature attribute rides along as a write hint:
+        // exactly the placement information §3.7 says the device should get.
+        let hint = WriteHint::with_temperature(attrs.temperature);
+        let completions = self.submit_ranges(&ranges, Some(hint), attrs.priority, at)?;
         Ok(*completions.last().expect("len > 0 so at least one range"))
     }
 
@@ -405,12 +428,13 @@ impl OsdDevice {
             });
         }
         let ranges = self.map_extents(object, offset, len)?;
-        let completions = self.submit_ranges(&ranges, false, attrs.priority, at)?;
+        let completions = self.submit_ranges(&ranges, None, attrs.priority, at)?;
         Ok(*completions.last().expect("len > 0 so at least one range"))
     }
 
     /// Deletes an object.  Every byte range it occupied is reported to the
-    /// FTL as free — the informed-cleaning path the paper advocates.
+    /// device as one batch of `Free` commands over the queue pair — the
+    /// informed-cleaning path the paper advocates.
     pub fn delete_object(&mut self, object: ObjectId, at: SimTime) -> Result<(), OsdError> {
         let state = self
             .objects
@@ -421,23 +445,86 @@ impl OsdDevice {
             .delete(state.file)
             .map_err(|_| OsdError::NoSuchObject { object })?;
         let arrival = at.max(self.clock);
+        let mut queue = HostQueue::new();
         for range in freed {
             if range.is_empty() {
                 continue;
             }
             let id = self.next_request_id();
-            let req = BlockRequest::free(id, range.offset, range.len, arrival);
-            let completion = self.ssd.service_request(&req, arrival, false)?;
+            queue.submit(id, HostCommand::Free { range }, arrival);
+        }
+        if queue.pending_submissions() == 0 {
+            return Ok(());
+        }
+        self.ssd
+            .serve(std::slice::from_mut(&mut queue))
+            .map_err(|e| OsdError::Ssd(SsdError::Device(e)))?;
+        for completion in queue.drain_completions() {
             self.clock = self.clock.max(completion.finish);
         }
         Ok(())
     }
 
-    /// Flushes device-side buffers (open stripes) to flash.
+    /// Flushes device-side buffers (open stripes) to flash, as a `Flush`
+    /// command over the queue pair.
     pub fn flush(&mut self) -> Result<(), OsdError> {
-        let finish = self.ssd.flush(self.clock)?;
-        self.clock = self.clock.max(finish);
+        self.transport(HostCommand::Flush, Priority::Normal, self.clock)?;
         Ok(())
+    }
+
+    /// Accepts one protocol command addressed to the object store and
+    /// translates it: object-management commands mutate the object table
+    /// (deletes free device space through the block transport), fences
+    /// order trivially between calls, and device-addressed block commands
+    /// are rejected — the host of an object store addresses objects, not
+    /// LBNs (§3.7).
+    pub fn submit_command(
+        &mut self,
+        command: HostCommand,
+        at: SimTime,
+    ) -> Result<Completion, OsdError> {
+        let arrival = at.max(self.clock);
+        let metadata_completion = |dev: &mut Self| {
+            let id = dev.next_request_id();
+            dev.clock = dev.clock.max(arrival);
+            Completion {
+                request_id: id,
+                arrival,
+                start: arrival,
+                finish: arrival,
+            }
+        };
+        match command {
+            HostCommand::ObjectCreate { object, attrs } => {
+                self.create_object_with_id(ObjectId(object), attrs)?;
+                Ok(metadata_completion(self))
+            }
+            HostCommand::ObjectSetAttr { object, attrs } => {
+                self.set_attributes(ObjectId(object), attrs)?;
+                Ok(metadata_completion(self))
+            }
+            HostCommand::ObjectDelete { object } => {
+                self.delete_object(ObjectId(object), arrival)?;
+                let id = self.next_request_id();
+                Ok(Completion {
+                    request_id: id,
+                    arrival,
+                    start: arrival,
+                    finish: self.clock.max(arrival),
+                })
+            }
+            HostCommand::Flush => self.transport(HostCommand::Flush, Priority::Normal, arrival),
+            HostCommand::Barrier => {
+                // The store serves commands to completion between calls, so
+                // a barrier is already drained when it arrives.
+                Ok(metadata_completion(self))
+            }
+            HostCommand::Read { .. } | HostCommand::Write { .. } | HostCommand::Free { .. } => {
+                Err(OsdError::UnsupportedCommand {
+                    what: "device-addressed block commands on an object store",
+                })
+            }
+        }
     }
 }
 
@@ -567,6 +654,87 @@ mod tests {
             dev.delete_object(obj, dev.now()).unwrap();
         }
         assert_eq!(dev.used_bytes(), 0);
+    }
+
+    #[test]
+    fn object_commands_translate_through_the_protocol() {
+        let mut dev = osd();
+        // Create under a host-chosen id, write, set attributes, delete —
+        // all as protocol commands.
+        dev.submit_command(
+            HostCommand::ObjectCreate {
+                object: 42,
+                attrs: ObjectAttributes::default(),
+            },
+            SimTime::ZERO,
+        )
+        .unwrap();
+        assert_eq!(dev.object_count(), 1);
+        dev.write(ObjectId(42), 0, 16 * 1024, dev.now()).unwrap();
+        dev.submit_command(
+            HostCommand::ObjectSetAttr {
+                object: 42,
+                attrs: ObjectAttributes::high_priority(),
+            },
+            dev.now(),
+        )
+        .unwrap();
+        assert_eq!(
+            dev.get_attributes(ObjectId(42)).unwrap().priority,
+            Priority::High
+        );
+        // Creating the same id again fails loudly.
+        assert!(matches!(
+            dev.submit_command(
+                HostCommand::ObjectCreate {
+                    object: 42,
+                    attrs: ObjectAttributes::default(),
+                },
+                dev.now(),
+            ),
+            Err(OsdError::ObjectExists { .. })
+        ));
+        // Auto-assigned ids skip past host-chosen ones.
+        let auto = dev.create_object(ObjectAttributes::default());
+        assert!(auto.0 > 42);
+        let delete = dev
+            .submit_command(HostCommand::ObjectDelete { object: 42 }, dev.now())
+            .unwrap();
+        assert!(delete.finish >= delete.arrival);
+        assert_eq!(dev.object_count(), 1);
+        assert!(dev.device_stats().ftl.frees_accepted > 0);
+        // Device-addressed block commands cannot cross the object boundary.
+        assert!(matches!(
+            dev.submit_command(
+                HostCommand::Read {
+                    range: ossd_block::ByteRange::new(0, 4096)
+                },
+                dev.now(),
+            ),
+            Err(OsdError::UnsupportedCommand { .. })
+        ));
+        // Fences are accepted and drain trivially between calls.
+        let barrier = dev.submit_command(HostCommand::Barrier, dev.now()).unwrap();
+        assert_eq!(barrier.start, barrier.finish);
+    }
+
+    #[test]
+    fn object_temperature_reaches_the_device_as_write_hints() {
+        let mut dev = osd();
+        let hot = dev.create_object(ObjectAttributes {
+            temperature: Temperature::Hot,
+            ..ObjectAttributes::default()
+        });
+        dev.write(hot, 0, 8 * 4096, SimTime::ZERO).unwrap();
+        let warm = dev.create_object(ObjectAttributes::default());
+        dev.write(warm, 0, 4096, dev.now()).unwrap();
+        let stats = dev.device_stats();
+        assert!(
+            stats.hinted_hot_writes > 0,
+            "hot object writes must carry the hot stream hint"
+        );
+        // Warm (default) objects are unhinted.
+        assert_eq!(stats.hinted_cold_writes, 0);
     }
 
     #[test]

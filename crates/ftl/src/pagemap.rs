@@ -8,7 +8,7 @@
 //! erase-count spread across blocks.
 //!
 //! Victim selection and the cleaning trigger are delegated to the
-//! [`CleaningPolicy`](ossd_gc::CleaningPolicy) chosen by
+//! [`ossd_gc::CleaningPolicy`] chosen by
 //! [`FtlConfig::cleaning_policy`]; the default
 //! ([`ossd_gc::CleaningPolicyKind::Greedy`]) reproduces the historical
 //! hard-coded greedy cleaner bit-for-bit.  Cleaning runs in the write path

@@ -5,7 +5,7 @@
 //! events: a host request *arrives*, a previously dispatched operation
 //! *starts* on its resource, an operation *completes*, or the device goes
 //! *idle*.  [`run`] is the generic dispatch loop that delivers those events
-//! in deterministic time order from an [`EventQueue`](crate::EventQueue) to
+//! in deterministic time order from an [`EventQueue`] to
 //! anything implementing [`Controller`].
 //!
 //! The engine is what lets requests from different hosts overlap on

@@ -1,27 +1,40 @@
-//! The SSD's event-engine controller.
+//! The SSD's event-engine command controller.
 //!
 //! [`SsdController`] implements [`ossd_sim::Controller`] over an [`Ssd`] and
-//! a request slice: arrivals are queued, the configured [`SchedulerKind`]
-//! picks which queued request's head op is issued next into the per-element
-//! dispatch queues, and idle windows are donated to background cleaning.
-//! Both request-processing modes are drivers of this one pipeline:
+//! one *session* of queue-pair commands: arrivals are queued, the configured
+//! [`SchedulerKind`] picks which eligible command's head op is issued next
+//! into the per-element dispatch queues, ordering fences (`Flush`/`Barrier`)
+//! constrain per-initiator dispatch, and idle windows are donated to
+//! background cleaning.  Every request-processing mode is a driver of this
+//! one pipeline:
 //!
-//! * [`Ssd::submit`] (closed) runs the engine over a single arrival;
-//! * [`Ssd::simulate_open`] runs it over a whole open-arrival trace.
+//! * `Ssd::submit` (closed) runs the engine over a single command;
+//! * `Ssd::simulate_open` runs it over a whole open-arrival trace;
+//! * `HostInterface::serve` runs it over the round-robin-arbitrated streams
+//!   of N initiator queue pairs.
 //!
 //! # Queue depth
 //!
 //! The controller holds a *dispatch window* of up to
-//! [`SsdConfig::queue_depth`](crate::SsdConfig::queue_depth) requests that
+//! [`SsdConfig::queue_depth`](crate::SsdConfig::queue_depth) commands that
 //! have been issued but whose first flash op has not yet started on its
 //! target element.  At depth 1 this reproduces the request-at-a-time
 //! controller of the paper's devices: each dispatch decision waits until the
 //! previous request reaches its element, which is exactly FCFS's
 //! head-of-line blocking and what SWTF's element-wait knowledge shortens
-//! (§3.2).  At larger depths, requests targeting different elements start
+//! (§3.2).  At larger depths, commands targeting different elements start
 //! concurrently and their flash ops overlap across elements and gang buses
 //! until a shared resource saturates — the effect the `parallelism_sweep`
-//! experiment measures.
+//! and `multi_host_sweep` experiments measure.
+//!
+//! # Fences
+//!
+//! A `Barrier` is not dispatched until every earlier command from its
+//! initiator (in this session) has finished, and no later command from that
+//! initiator is dispatched before the barrier completes; `Flush` orders the
+//! same way and additionally drains device-side write buffers.  Commands
+//! from *other* initiators are unaffected — fences are a per-initiator
+//! ordering primitive, not a global quiesce.
 
 use ossd_block::{BlockRequest, Completion, Priority};
 use ossd_sim::engine::{Controller, DispatchedOp};
@@ -31,76 +44,171 @@ use crate::device::Ssd;
 use crate::error::SsdError;
 use crate::sched::{DispatchView, SchedulerKind};
 
-/// One request waiting at the controller for a dispatch slot.
+/// What a session command asks the device to do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum CommandPayload {
+    /// A block data operation (read, write or free).
+    Data(BlockRequest),
+    /// Drain device-side write buffers; orders like a barrier.
+    Flush,
+    /// Ordering fence with no device work.
+    Barrier,
+}
+
+impl CommandPayload {
+    fn is_fence(&self) -> bool {
+        matches!(self, CommandPayload::Flush | CommandPayload::Barrier)
+    }
+}
+
+/// One command of a controller session, tagged with the initiator queue it
+/// came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct SessionCommand {
+    /// Index of the owning initiator queue (0 for the single-queue modes).
+    pub initiator: usize,
+    /// Position in the initiator's submission stream (fence ordering).
+    pub seq: u64,
+    /// Correlation id echoed in the completion.
+    pub id: u64,
+    /// When the command arrives at the controller.
+    pub arrival: SimTime,
+    /// Host-assigned priority.
+    pub priority: Priority,
+    /// The operation.
+    pub payload: CommandPayload,
+}
+
+impl SessionCommand {
+    /// A single-initiator data command wrapping a block request.
+    pub fn from_request(seq: u64, request: &BlockRequest) -> Self {
+        SessionCommand {
+            initiator: 0,
+            seq,
+            id: request.id,
+            arrival: request.arrival,
+            priority: request.priority,
+            payload: CommandPayload::Data(*request),
+        }
+    }
+}
+
+/// One command waiting at the controller for a dispatch slot.
 struct Queued {
     arrival: SimTime,
-    /// Element the request's head op is predicted to occupy (see
+    /// Element the command's head op is predicted to occupy (see
     /// [`Ssd::element_hint`]); fixed at admission, like the mapping lookup a
-    /// real controller performs when the command is accepted.
+    /// real controller performs when the command is accepted.  `None` for
+    /// fences and flushes.
     element: Option<usize>,
     index: usize,
 }
 
-/// Engine controller over an [`Ssd`] for one batch of requests.
+/// Engine controller over an [`Ssd`] for one session of commands.
 pub(crate) struct SsdController<'a> {
     ssd: &'a mut Ssd,
-    requests: &'a [BlockRequest],
+    commands: &'a [SessionCommand],
     scheduler: SchedulerKind,
     queue_depth: u32,
-    /// Whether queued high-priority requests postpone cleaning (§3.6).  The
-    /// open simulation tracks this; the closed `submit` path keeps the
-    /// pre-engine behaviour of never reporting priority pressure.
-    track_priority: bool,
     queue: Vec<Queued>,
-    /// Requests issued whose first op has not yet started (dispatch window).
+    /// Commands issued whose first op has not yet started (dispatch window).
     slots_in_use: u32,
-    /// Requests issued but not yet finished.  Idle windows are delivered
+    /// Commands issued but not yet finished.  Idle windows are delivered
     /// only when this and the queue are empty: a dispatch slot held past its
-    /// request's finish (a stale element hint) does not keep the flash
+    /// command's finish (a stale element hint) does not keep the flash
     /// busy, so the gap is donated to background cleaning.
     unfinished: usize,
+    /// Whether each command has finished (fence eligibility).
+    finished: Vec<bool>,
+    /// For each command, the nearest earlier fence of the same initiator
+    /// (global index), if any.
+    prev_fence: Vec<Option<usize>>,
+    /// For each fence (by global index), how many same-initiator commands
+    /// with a smaller sequence number have not yet finished.
+    fence_remaining: Vec<u64>,
+    /// Global indices of the fences of each initiator, ascending.
+    fences_by_initiator: Vec<Vec<usize>>,
     completions: Vec<Option<Completion>>,
 }
 
 impl<'a> SsdController<'a> {
     pub(crate) fn new(
         ssd: &'a mut Ssd,
-        requests: &'a [BlockRequest],
+        commands: &'a [SessionCommand],
         scheduler: SchedulerKind,
-        track_priority: bool,
     ) -> Self {
         let queue_depth = ssd.config().queue_depth;
+        let initiators = commands.iter().map(|c| c.initiator + 1).max().unwrap_or(0);
+        let mut prev_fence = vec![None; commands.len()];
+        let mut fence_remaining = vec![0u64; commands.len()];
+        let mut fences_by_initiator = vec![Vec::new(); initiators];
+        let mut last_fence = vec![None; initiators];
+        for (i, cmd) in commands.iter().enumerate() {
+            prev_fence[i] = last_fence[cmd.initiator];
+            if cmd.payload.is_fence() {
+                // `seq` is the command's position in its initiator's
+                // submission stream, so it equals the number of earlier
+                // same-initiator commands the fence must wait for.
+                fence_remaining[i] = cmd.seq;
+                fences_by_initiator[cmd.initiator].push(i);
+                last_fence[cmd.initiator] = Some(i);
+            }
+        }
         SsdController {
             ssd,
-            requests,
+            commands,
             scheduler,
             queue_depth,
-            track_priority,
             queue: Vec::new(),
             slots_in_use: 0,
             unfinished: 0,
-            completions: vec![None; requests.len()],
+            finished: vec![false; commands.len()],
+            prev_fence,
+            fence_remaining,
+            fences_by_initiator,
+            completions: vec![None; commands.len()],
         }
     }
 
-    /// One completion per request, in input order.  Panics if the engine did
+    /// One completion per command, in input order.  Panics if the engine did
     /// not run to completion.
     pub(crate) fn into_completions(self) -> Vec<Completion> {
         self.completions
             .into_iter()
-            .map(|c| c.expect("every request was dispatched"))
+            .map(|c| c.expect("every command was dispatched"))
             .collect()
     }
 
-    fn priority_pending(&self, request: &BlockRequest) -> bool {
-        if !self.track_priority {
-            return false;
-        }
-        request.priority == Priority::High
+    /// §3.6: cleaning is postponed while high-priority commands are
+    /// outstanding at the controller — the one being dispatched or any
+    /// still queued.  This holds uniformly for every driver of the
+    /// transport, including the closed one (the pre-redesign `submit`
+    /// never reported pressure; the open driver and the object store
+    /// always did — pinned by
+    /// `closed_driver_reports_priority_pressure_uniformly`).
+    fn priority_pending(&self, command: &SessionCommand) -> bool {
+        command.priority == Priority::High
             || self
                 .queue
                 .iter()
-                .any(|q| self.requests[q.index].priority == Priority::High)
+                .any(|q| self.commands[q.index].priority == Priority::High)
+    }
+
+    /// Whether the queued command may be dispatched now: fences wait for
+    /// every earlier command of their initiator to finish, data commands
+    /// wait for the nearest earlier fence of their initiator (a fence can
+    /// only finish once everything before it — including older fences —
+    /// finished, so one hop suffices).
+    fn eligible(&self, queued: &Queued) -> bool {
+        let index = queued.index;
+        if self.commands[index].payload.is_fence() {
+            self.fence_remaining[index] == 0
+        } else {
+            match self.prev_fence[index] {
+                None => true,
+                Some(fence) => self.finished[fence],
+            }
+        }
     }
 }
 
@@ -108,10 +216,13 @@ impl Controller for SsdController<'_> {
     type Error = SsdError;
 
     fn on_arrival(&mut self, index: usize, _now: SimTime) -> Result<(), SsdError> {
-        let request = &self.requests[index];
-        let element = self.ssd.element_hint(request);
+        let command = &self.commands[index];
+        let element = match &command.payload {
+            CommandPayload::Data(request) => self.ssd.element_hint(request),
+            CommandPayload::Flush | CommandPayload::Barrier => None,
+        };
         self.queue.push(Queued {
-            arrival: request.arrival,
+            arrival: command.arrival,
             element,
             index,
         });
@@ -121,34 +232,76 @@ impl Controller for SsdController<'_> {
     fn poll_dispatch(&mut self, now: SimTime) -> Result<Vec<DispatchedOp>, SsdError> {
         let mut out = Vec::new();
         while self.slots_in_use < self.queue_depth && !self.queue.is_empty() {
-            let views: Vec<DispatchView> = self
-                .queue
+            // Fence ordering first: only eligible commands are offered to
+            // the scheduler.  `eligible` depends on `finished`, which only
+            // changes between poll_dispatch calls, so the filter is stable
+            // within this loop iteration.
+            let eligible: Vec<usize> = (0..self.queue.len())
+                .filter(|&qi| self.eligible(&self.queue[qi]))
+                .collect();
+            if eligible.is_empty() {
+                // Everything queued is waiting on an unfinished fence (or a
+                // fence is waiting on in-flight commands); the engine will
+                // poll again when their events fire.
+                break;
+            }
+            let views: Vec<DispatchView> = eligible
                 .iter()
-                .map(|q| DispatchView {
-                    arrival: q.arrival,
-                    element: q.element,
+                .map(|&qi| {
+                    let q = &self.queue[qi];
+                    DispatchView {
+                        arrival: q.arrival,
+                        element: q.element,
+                    }
                 })
                 .collect();
-            let qi = self
+            let picked_view = self
                 .scheduler
                 .pick(&views, self.ssd.element_queues(), now)
-                .expect("queue is non-empty");
-            let picked = self.queue.remove(qi);
-            let request = &self.requests[picked.index];
-            let priority_pending = self.priority_pending(request);
-            let dispatch = now.max(request.arrival);
-            // The dispatch slot is held until the request's first op starts
-            // on its target element: at queue depth 1 this is what gives
-            // FCFS its head-of-line blocking and SWTF its advantage.
-            let head_of_line_wait = picked
-                .element
-                .and_then(|e| self.ssd.element_queues().get(e))
-                .map(|q| q.wait_for(dispatch))
-                .unwrap_or(SimDuration::ZERO);
-            let completion = self
-                .ssd
-                .issue_request(request, dispatch, priority_pending)?;
-            let slot_release = (dispatch + head_of_line_wait).max(completion.start);
+                .expect("eligible set is non-empty");
+            let picked = self.queue.remove(eligible[picked_view]);
+            let command = &self.commands[picked.index];
+            let dispatch = now.max(command.arrival);
+            let (completion, slot_release) = match &command.payload {
+                CommandPayload::Data(request) => {
+                    let priority_pending = self.priority_pending(command);
+                    // The dispatch slot is held until the command's first op
+                    // starts on its target element: at queue depth 1 this is
+                    // what gives FCFS its head-of-line blocking and SWTF its
+                    // advantage.
+                    let head_of_line_wait = picked
+                        .element
+                        .and_then(|e| self.ssd.element_queues().get(e))
+                        .map(|q| q.wait_for(dispatch))
+                        .unwrap_or(SimDuration::ZERO);
+                    let completion = self
+                        .ssd
+                        .issue_request(request, dispatch, priority_pending)?;
+                    let slot_release = (dispatch + head_of_line_wait).max(completion.start);
+                    (completion, slot_release)
+                }
+                CommandPayload::Flush => {
+                    let finish = self.ssd.flush(dispatch)?;
+                    let completion = Completion {
+                        request_id: command.id,
+                        arrival: command.arrival,
+                        start: dispatch,
+                        finish,
+                    };
+                    (completion, dispatch)
+                }
+                CommandPayload::Barrier => {
+                    // Eligibility already guaranteed the initiator drained;
+                    // the barrier completes at its dispatch instant.
+                    let completion = Completion {
+                        request_id: command.id,
+                        arrival: command.arrival,
+                        start: dispatch,
+                        finish: dispatch,
+                    };
+                    (completion, dispatch)
+                }
+            };
             self.completions[picked.index] = Some(completion);
             self.slots_in_use += 1;
             self.unfinished += 1;
@@ -166,8 +319,17 @@ impl Controller for SsdController<'_> {
         Ok(())
     }
 
-    fn on_op_complete(&mut self, _token: u64, _now: SimTime) -> Result<(), SsdError> {
+    fn on_op_complete(&mut self, token: u64, _now: SimTime) -> Result<(), SsdError> {
         self.unfinished -= 1;
+        let index = token as usize;
+        self.finished[index] = true;
+        let done = self.commands[index];
+        // Every later fence of this initiator waits on one fewer command.
+        for &fence in &self.fences_by_initiator[done.initiator] {
+            if self.commands[fence].seq > done.seq {
+                self.fence_remaining[fence] -= 1;
+            }
+        }
         Ok(())
     }
 

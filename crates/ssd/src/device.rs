@@ -7,13 +7,16 @@
 //! engine ([`ossd_sim::engine`]) through the crate's controller module.
 //! See the crate documentation for the two drivers of that pipeline.
 
-use ossd_block::{BlockDevice, BlockOpKind, BlockRequest, Completion, DeviceError, DeviceInfo};
+use ossd_block::{
+    arbitrate_round_robin, BlockDevice, BlockOpKind, BlockRequest, Completion, DeviceError,
+    DeviceInfo, HostCommand, HostInterface, HostQueue, StreamTemperature,
+};
 use ossd_ftl::{FlashOp, FlashOpKind, Ftl, FtlStats, Lpn, PageFtl, StripeFtl, WriteContext};
 use ossd_gc::{BackgroundCleaner, BackgroundGcStats};
 use ossd_sim::{SimDuration, SimTime};
 
 use crate::config::{MappingKind, SsdConfig};
-use crate::controller::SsdController;
+use crate::controller::{CommandPayload, SessionCommand, SsdController};
 use crate::error::SsdError;
 use crate::queue::ElementQueue;
 use crate::sched::SchedulerKind;
@@ -280,11 +283,13 @@ impl Ssd {
     /// `priority_pending` tells the FTL whether high-priority host requests
     /// are outstanding (drives priority-aware cleaning).
     ///
-    /// This is the standalone form of the pipeline for callers that manage
-    /// their own clock (the object store); the engine-driven paths
-    /// (`Ssd::submit`, [`Ssd::simulate_open`]) receive idle windows from
-    /// the event engine instead and issue requests directly.
-    pub fn service_request(
+    /// Test-only: every real caller — block, object, open or closed — goes
+    /// through the queue-pair protocol ([`HostInterface::serve`],
+    /// `Ssd::submit`, [`Ssd::simulate_open`]), whose controller performs
+    /// bounds and priority handling uniformly.  This standalone form exists
+    /// only for in-crate tests of the no-side-effects contract.
+    #[cfg(test)]
+    pub(crate) fn service_request(
         &mut self,
         request: &BlockRequest,
         dispatch: SimTime,
@@ -418,26 +423,51 @@ impl Ssd {
         None
     }
 
-    /// Runs an open-arrival simulation of `requests` under the given
-    /// scheduler through the event engine, returning one completion per
-    /// request in the input order.
+    /// Runs one session of queue-pair commands through the event engine
+    /// under the given scheduler, returning one completion per command in
+    /// the input order.
     ///
-    /// Requests are held in a controller queue after they arrive; whenever a
+    /// Commands are held in a controller queue after they arrive; whenever a
     /// dispatch slot frees (see [`SsdConfig::queue_depth`]) the scheduler
-    /// picks which queued request's head op to issue next (FCFS the oldest,
-    /// SWTF the one whose target element is free soonest, §3.2).  While
-    /// high-priority requests sit in the queue the FTL's priority-aware
-    /// cleaning postpones garbage collection (§3.6), and idle windows are
-    /// delivered to the background cleaner.
+    /// picks which eligible command's head op to issue next (FCFS the
+    /// oldest, SWTF the one whose target element is free soonest, §3.2).
+    /// Fences (`Flush`/`Barrier`) order per initiator.  While high-priority
+    /// commands are outstanding the FTL's priority-aware cleaning postpones
+    /// garbage collection (§3.6), and idle windows are delivered to the
+    /// background cleaner.
+    pub(crate) fn serve_session(
+        &mut self,
+        commands: &[SessionCommand],
+        scheduler: SchedulerKind,
+    ) -> Result<Vec<Completion>, SsdError> {
+        let arrivals: Vec<SimTime> = commands.iter().map(|c| c.arrival).collect();
+        let mut controller = SsdController::new(self, commands, scheduler);
+        ossd_sim::engine::run(&mut controller, &arrivals)?;
+        Ok(controller.into_completions())
+    }
+
+    /// Runs an open-arrival simulation of `requests` under the given
+    /// scheduler, as a single-initiator session of the queue-pair pipeline.
     pub fn simulate_open(
         &mut self,
         requests: &[BlockRequest],
         scheduler: SchedulerKind,
     ) -> Result<Vec<Completion>, SsdError> {
-        let arrivals: Vec<SimTime> = requests.iter().map(|r| r.arrival).collect();
-        let mut controller = SsdController::new(self, requests, scheduler, true);
-        ossd_sim::engine::run(&mut controller, &arrivals)?;
-        Ok(controller.into_completions())
+        let commands: Vec<SessionCommand> = requests
+            .iter()
+            .enumerate()
+            .map(|(seq, r)| SessionCommand::from_request(seq as u64, r))
+            .collect();
+        self.serve_session(&commands, scheduler)
+    }
+
+    /// Records the advisory placement hint of an accepted write command.
+    fn record_hint(&mut self, hint: ossd_block::WriteHint) {
+        match hint.temperature {
+            StreamTemperature::Hot => self.stats.hinted_hot_writes += 1,
+            StreamTemperature::Cold => self.stats.hinted_cold_writes += 1,
+            StreamTemperature::Warm => {}
+        }
     }
 }
 
@@ -454,16 +484,82 @@ impl BlockDevice for Ssd {
         // Validate before the engine runs: an invalid request must be
         // rejected before any idle window is donated to background cleaning.
         self.check_bounds(request)?;
-        // The closed path is the degenerate engine run: one arrival, FCFS.
-        let requests = std::slice::from_ref(request);
-        let arrivals = [request.arrival];
-        let mut controller = SsdController::new(self, requests, SchedulerKind::Fcfs, false);
-        ossd_sim::engine::run(&mut controller, &arrivals).map_err(DeviceError::from)?;
-        let completion = controller
-            .into_completions()
+        // The closed path is the degenerate queue-pair session: one
+        // command, dispatched FCFS, served to completion.
+        let commands = [SessionCommand::from_request(0, request)];
+        let completion = self
+            .serve_session(&commands, SchedulerKind::Fcfs)
+            .map_err(DeviceError::from)?
             .pop()
-            .expect("one request, one completion");
+            .expect("one command, one completion");
         Ok(completion)
+    }
+}
+
+impl HostInterface for Ssd {
+    /// Serves the initiator queues through the event engine: submissions
+    /// are arbitrated round-robin into one session, the configured
+    /// scheduler and queue depth govern dispatch, and completions are
+    /// posted back to each initiator's completion queue in completion
+    /// order.
+    fn serve(&mut self, queues: &mut [HostQueue]) -> Result<(), DeviceError> {
+        let arbitrated = arbitrate_round_robin(queues);
+        // Validation happens below, before any engine work: a rejected
+        // command aborts the serve with every submission still queued (see
+        // the trait's error semantics) and no completions posted.
+        let mut initiators = Vec::with_capacity(arbitrated.len());
+        let mut commands = Vec::with_capacity(arbitrated.len());
+        let mut hints = Vec::new();
+        for cmd in &arbitrated {
+            let sub = cmd.submission;
+            let payload = match sub.command {
+                HostCommand::Flush => CommandPayload::Flush,
+                HostCommand::Barrier => CommandPayload::Barrier,
+                ref c if c.is_object_command() => {
+                    return Err(DeviceError::Unsupported {
+                        what: "object commands on a block device",
+                    });
+                }
+                ref c => {
+                    let request = c
+                        .to_request(sub.id, sub.arrival, sub.priority)
+                        .expect("block data command");
+                    // Validate the whole session before the engine runs: a
+                    // rejected command must have no side effects, including
+                    // idle windows donated to background cleaning.
+                    self.check_bounds(&request)?;
+                    if let HostCommand::Write { hint, .. } = *c {
+                        if hint.is_hinted() {
+                            hints.push(hint);
+                        }
+                    }
+                    CommandPayload::Data(request)
+                }
+            };
+            initiators.push(cmd.initiator);
+            commands.push(SessionCommand {
+                initiator: cmd.initiator,
+                seq: cmd.seq,
+                id: sub.id,
+                arrival: sub.arrival,
+                priority: sub.priority,
+                payload,
+            });
+        }
+        let completions = self
+            .serve_session(&commands, self.config.scheduler)
+            .map_err(DeviceError::from)?;
+        // Hints are advisory; account for them only once the session has
+        // actually executed, so an aborted serve (whose submissions stay
+        // queued for a retry) never double-counts them.
+        for hint in hints {
+            self.record_hint(hint);
+        }
+        ossd_block::host::complete_session(
+            queues,
+            initiators.into_iter().zip(completions).collect(),
+        );
+        Ok(())
     }
 }
 

@@ -8,23 +8,29 @@
 //! the FTL into flash operations, and scheduled onto per-element and per-bus
 //! servers to obtain service times.
 //!
-//! Since the engine refactor, all host requests flow through one
-//! event-driven pipeline: the SSD's controller implements
-//! [`ossd_sim::Controller`], decomposes each request into per-page flash
-//! ops, and issues them into per-element dispatch queues
-//! ([`queue::ElementQueue`]) under an NCQ-style queue depth
-//! ([`SsdConfig::queue_depth`]).  Two drivers exercise that pipeline:
+//! All host traffic flows through one queue-pair command protocol
+//! ([`ossd_block::host`]) into one event-driven pipeline: the SSD's
+//! controller implements [`ossd_sim::Controller`], decomposes each command
+//! into per-page flash ops, and issues them into per-element dispatch
+//! queues ([`queue::ElementQueue`]) under an NCQ-style queue depth
+//! ([`SsdConfig::queue_depth`]).  Ordering fences (`Flush`/`Barrier`)
+//! constrain dispatch per initiator, and stream-temperature write hints are
+//! recorded as they cross the interface.  Three drivers exercise that
+//! pipeline:
 //!
 //! * `Ssd::submit` (via the [`ossd_block::BlockDevice`] trait) — the
-//!   *closed* driver: one request per engine run, dispatched in arrival
-//!   order, which is what bandwidth-style experiments (Table 2, Figure 2,
-//!   Tables 3–5) use.
-//! * [`Ssd::simulate_open`] — the *open* driver: a whole arrival trace in
-//!   one engine run, with a controller queue, a pluggable scheduler
-//!   ([`SchedulerKind::Fcfs`] or the paper's shortest-wait-time-first
-//!   [`SchedulerKind::Swtf`], §3.2) and engine-delivered idle windows for
-//!   background cleaning; also used by the priority-aware cleaning study
-//!   (Figure 3 / Table 6) and the queue-depth parallelism sweep.
+//!   *closed* driver: a one-command session dispatched FCFS, which is what
+//!   bandwidth-style experiments (Table 2, Figure 2, Tables 3–5) use.
+//! * [`Ssd::simulate_open`] — the *open* driver: a whole arrival trace as
+//!   one single-initiator session, with a controller queue, a pluggable
+//!   scheduler ([`SchedulerKind::Fcfs`] or the paper's
+//!   shortest-wait-time-first [`SchedulerKind::Swtf`], §3.2) and
+//!   engine-delivered idle windows for background cleaning; also used by
+//!   the priority-aware cleaning study (Figure 3 / Table 6) and the
+//!   queue-depth parallelism sweep.
+//! * [`ossd_block::HostInterface::serve`] — the *multi-initiator* driver: N
+//!   independent submission/completion queue pairs arbitrated round-robin
+//!   into the controller (the `multi_host_sweep` experiment).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -33,6 +33,11 @@ pub struct SsdStats {
     pub prefetch_hits: u64,
     /// Host writes absorbed by controller RAM without immediate flash work.
     pub buffered_writes: u64,
+    /// Write commands that carried a `Hot` stream-temperature hint over the
+    /// queue-pair interface (advisory; placement policies may consult it).
+    pub hinted_hot_writes: u64,
+    /// Write commands that carried a `Cold` stream-temperature hint.
+    pub hinted_cold_writes: u64,
     /// FTL-level counters (mapping, GC, wear-leveling).
     pub ftl: FtlStats,
 }

@@ -7,7 +7,7 @@
 //! improvement from stripe-aligned writes on its Exchange trace — more than
 //! TPC-C (larger writes merge better) but far less than IOzone.
 
-use ossd_block::{BlockOpKind, Priority, Trace, TraceOp};
+use ossd_block::{Trace, TraceKind, TraceOp};
 use ossd_sim::SimRng;
 
 /// Exchange model parameters.
@@ -69,40 +69,37 @@ impl ExchangeConfig {
                     .zipf_usize(pages.saturating_sub(self.burst_pages as usize), self.skew)
                     as u64;
                 for i in 0..self.burst_pages {
-                    trace.push(TraceOp {
-                        at_micros: now,
-                        kind: BlockOpKind::Write,
-                        offset: (start + i) * self.page_bytes,
-                        len: self.page_bytes,
-                        priority: Priority::Normal,
-                    });
+                    trace.push(TraceOp::new(
+                        now,
+                        TraceKind::Write,
+                        (start + i) * self.page_bytes,
+                        self.page_bytes,
+                    ));
                 }
             } else {
                 let page = rng.zipf_usize(pages, self.skew) as u64;
                 let kind = if rng.chance(self.read_fraction) {
-                    BlockOpKind::Read
+                    TraceKind::Read
                 } else {
-                    BlockOpKind::Write
+                    TraceKind::Write
                 };
-                trace.push(TraceOp {
-                    at_micros: now,
+                trace.push(TraceOp::new(
+                    now,
                     kind,
-                    offset: page * self.page_bytes,
-                    len: self.page_bytes,
-                    priority: Priority::Normal,
-                });
-                if kind == BlockOpKind::Write {
+                    page * self.page_bytes,
+                    self.page_bytes,
+                ));
+                if kind == TraceKind::Write {
                     // Each database write is accompanied by a log append.
                     if log_cursor + 4096 > self.log_bytes {
                         log_cursor = 0;
                     }
-                    trace.push(TraceOp {
-                        at_micros: now,
-                        kind: BlockOpKind::Write,
-                        offset: log_base + log_cursor,
-                        len: 4096,
-                        priority: Priority::Normal,
-                    });
+                    trace.push(TraceOp::new(
+                        now,
+                        TraceKind::Write,
+                        log_base + log_cursor,
+                        4096,
+                    ));
                     log_cursor += 4096;
                 }
             }
@@ -155,8 +152,8 @@ mod tests {
         let mut best_run = 1;
         let mut run = 1;
         for pair in trace.ops.windows(2) {
-            if pair[1].kind == BlockOpKind::Write
-                && pair[0].kind == BlockOpKind::Write
+            if pair[1].kind == TraceKind::Write
+                && pair[0].kind == TraceKind::Write
                 && pair[1].offset == pair[0].offset + pair[0].len
             {
                 run += 1;
@@ -182,10 +179,7 @@ mod tests {
             .iter()
             .filter(|o| o.offset < cfg.database_bytes)
             .collect();
-        let reads = db_ops
-            .iter()
-            .filter(|o| o.kind == BlockOpKind::Read)
-            .count();
+        let reads = db_ops.iter().filter(|o| o.kind == TraceKind::Read).count();
         let frac = reads as f64 / db_ops.len() as f64;
         assert!((frac - 0.7).abs() < 0.05, "read fraction {frac}");
     }

@@ -7,7 +7,7 @@
 //! reports a 36.54% response-time improvement (Table 4), an order of
 //! magnitude more than the small-write workloads.
 
-use ossd_block::{BlockOpKind, Priority, Trace, TraceOp};
+use ossd_block::{Trace, TraceKind, TraceOp};
 use ossd_sim::SimRng;
 
 /// IOzone model parameters.
@@ -57,38 +57,20 @@ impl IozoneConfig {
 
         // Phase 1: sequential write.
         for i in 0..records {
-            trace.push(TraceOp {
-                at_micros: now,
-                kind: BlockOpKind::Write,
-                offset: i * record,
-                len: record,
-                priority: Priority::Normal,
-            });
+            trace.push(TraceOp::new(now, TraceKind::Write, i * record, record));
             gap(&mut rng, &mut now);
         }
         // Phase 2: sequential rewrite.
         if self.include_rewrite {
             for i in 0..records {
-                trace.push(TraceOp {
-                    at_micros: now,
-                    kind: BlockOpKind::Write,
-                    offset: i * record,
-                    len: record,
-                    priority: Priority::Normal,
-                });
+                trace.push(TraceOp::new(now, TraceKind::Write, i * record, record));
                 gap(&mut rng, &mut now);
             }
         }
         // Phase 3: sequential read.
         if self.include_read {
             for i in 0..records {
-                trace.push(TraceOp {
-                    at_micros: now,
-                    kind: BlockOpKind::Read,
-                    offset: i * record,
-                    len: record,
-                    priority: Priority::Normal,
-                });
+                trace.push(TraceOp::new(now, TraceKind::Read, i * record, record));
                 gap(&mut rng, &mut now);
             }
         }
@@ -96,17 +78,11 @@ impl IozoneConfig {
         for _ in 0..self.random_ops {
             let rec = rng.next_u64_below(records);
             let kind = if rng.chance(0.5) {
-                BlockOpKind::Read
+                TraceKind::Read
             } else {
-                BlockOpKind::Write
+                TraceKind::Write
             };
-            trace.push(TraceOp {
-                at_micros: now,
-                kind,
-                offset: rec * record,
-                len: record,
-                priority: Priority::Normal,
-            });
+            trace.push(TraceOp::new(now, kind, rec * record, record));
             gap(&mut rng, &mut now);
         }
         trace
@@ -142,7 +118,7 @@ mod tests {
         let trace = cfg.generate();
         let records = (cfg.file_bytes / cfg.record_bytes) as usize;
         for (i, op) in trace.ops.iter().take(records).enumerate() {
-            assert_eq!(op.kind, BlockOpKind::Write);
+            assert_eq!(op.kind, TraceKind::Write);
             assert_eq!(op.len, cfg.record_bytes);
             assert_eq!(op.offset, i as u64 * cfg.record_bytes);
         }
@@ -160,7 +136,7 @@ mod tests {
         };
         let trace = cfg.generate();
         assert_eq!(trace.len(), 4);
-        assert!(trace.ops.iter().all(|o| o.kind == BlockOpKind::Write));
+        assert!(trace.ops.iter().all(|o| o.kind == TraceKind::Write));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! File deletion is what produces the stream of block-free notifications
 //! informed cleaning feeds on.
 
-use ossd_block::{BlockOpKind, Priority, Trace, TraceOp};
+use ossd_block::{Trace, TraceKind, TraceOp};
 use ossd_sim::SimRng;
 
 use crate::fslite::FsLite;
@@ -84,13 +84,7 @@ impl PostmarkConfig {
         let emit_write_extents =
             |trace: &mut Trace, now: u64, extents: &[ossd_block::ByteRange]| {
                 for e in extents {
-                    trace.push(TraceOp {
-                        at_micros: now,
-                        kind: BlockOpKind::Write,
-                        offset: e.offset,
-                        len: e.len,
-                        priority: Priority::Normal,
-                    });
+                    trace.push(TraceOp::new(now, TraceKind::Write, e.offset, e.len));
                 }
             };
         let emit_metadata = |trace: &mut Trace, rng: &mut SimRng, now: u64, enabled: bool| {
@@ -98,13 +92,12 @@ impl PostmarkConfig {
                 return;
             }
             let slot = rng.next_u64_below(metadata_slots);
-            trace.push(TraceOp {
-                at_micros: now,
-                kind: BlockOpKind::Write,
-                offset: slot * self.block_bytes,
-                len: self.block_bytes,
-                priority: Priority::Normal,
-            });
+            trace.push(TraceOp::new(
+                now,
+                TraceKind::Write,
+                slot * self.block_bytes,
+                self.block_bytes,
+            ));
         };
 
         // Initial pool.
@@ -133,13 +126,7 @@ impl PostmarkConfig {
                 // Read the whole file.
                 if let Ok(extents) = fs.extents(target) {
                     for e in extents.iter().copied() {
-                        trace.push(TraceOp {
-                            at_micros: now,
-                            kind: BlockOpKind::Read,
-                            offset: e.offset,
-                            len: e.len,
-                            priority: Priority::Normal,
-                        });
+                        trace.push(TraceOp::new(now, TraceKind::Read, e.offset, e.len));
                     }
                 }
             } else {
@@ -155,13 +142,7 @@ impl PostmarkConfig {
                 let victim = *rng.choose(&files).expect("files is non-empty");
                 if let Ok(freed) = fs.delete(victim) {
                     for e in freed {
-                        trace.push(TraceOp {
-                            at_micros: now,
-                            kind: BlockOpKind::Free,
-                            offset: e.offset,
-                            len: e.len,
-                            priority: Priority::Normal,
-                        });
+                        trace.push(TraceOp::new(now, TraceKind::Free, e.offset, e.len));
                     }
                 }
                 let size = rng.uniform_u64(self.min_file_bytes, self.max_file_bytes + 1);
@@ -227,14 +208,14 @@ mod tests {
         let mut written: HashSet<u64> = HashSet::new();
         for op in &trace.ops {
             match op.kind {
-                BlockOpKind::Write => {
+                TraceKind::Write => {
                     let mut b = op.offset;
                     while b < op.offset + op.len {
                         written.insert(b / 4096);
                         b += 4096;
                     }
                 }
-                BlockOpKind::Free => {
+                TraceKind::Free => {
                     let mut b = op.offset;
                     while b < op.offset + op.len {
                         assert!(
@@ -244,7 +225,7 @@ mod tests {
                         b += 4096;
                     }
                 }
-                BlockOpKind::Read => {}
+                TraceKind::Read | TraceKind::Flush | TraceKind::Barrier => {}
             }
         }
     }
@@ -259,7 +240,7 @@ mod tests {
         let mut write_sizes: Vec<u64> = trace
             .ops
             .iter()
-            .filter(|o| o.kind == BlockOpKind::Write)
+            .filter(|o| o.kind == TraceKind::Write)
             .map(|o| o.len)
             .collect();
         write_sizes.sort_unstable();

@@ -1,6 +1,6 @@
 //! Parameterised synthetic workloads.
 
-use ossd_block::{BlockOpKind, Priority, Trace, TraceOp};
+use ossd_block::{Priority, Trace, TraceKind, TraceOp};
 use ossd_sim::{SimDuration, SimRng};
 
 /// The arrival process of a synthetic workload.
@@ -152,22 +152,18 @@ impl SyntheticConfig {
             };
             next_offset = offset + self.request_bytes;
             let kind = if rng.chance(self.read_fraction) {
-                BlockOpKind::Read
+                TraceKind::Read
             } else {
-                BlockOpKind::Write
+                TraceKind::Write
             };
             let priority = if rng.chance(self.priority_fraction) {
                 Priority::High
             } else {
                 Priority::Normal
             };
-            trace.push(TraceOp {
-                at_micros: now_micros,
-                kind,
-                offset,
-                len: self.request_bytes,
-                priority,
-            });
+            trace.push(
+                TraceOp::new(now_micros, kind, offset, self.request_bytes).with_priority(priority),
+            );
             let gap = match self.inter_arrival {
                 InterArrival::Closed => SimDuration::ZERO,
                 InterArrival::Uniform { lo, hi } => rng.uniform_duration(lo, hi),
@@ -208,7 +204,7 @@ mod tests {
         for pair in trace.ops.windows(2) {
             assert_eq!(pair[1].offset, pair[0].offset + 8192);
         }
-        assert!(trace.ops.iter().all(|o| o.kind == BlockOpKind::Write));
+        assert!(trace.ops.iter().all(|o| o.kind == TraceKind::Write));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! stripe-aligned write merging helps (answer: a little — 3.08% — because
 //! most writes are small and random).
 
-use ossd_block::{BlockOpKind, Priority, Trace, TraceOp};
+use ossd_block::{StreamTemperature, Trace, TraceKind, TraceOp};
 use ossd_sim::SimRng;
 
 /// TPC-C model parameters.
@@ -65,35 +65,37 @@ impl TpccConfig {
         for _ in 0..self.transactions {
             for _ in 0..self.reads_per_txn {
                 let page = rng.zipf_usize(pages, self.skew) as u64;
-                trace.push(TraceOp {
-                    at_micros: now,
-                    kind: BlockOpKind::Read,
-                    offset: page * self.page_bytes,
-                    len: self.page_bytes,
-                    priority: Priority::Normal,
-                });
+                trace.push(TraceOp::new(
+                    now,
+                    TraceKind::Read,
+                    page * self.page_bytes,
+                    self.page_bytes,
+                ));
             }
             for _ in 0..self.writes_per_txn {
                 let page = rng.zipf_usize(pages, self.skew) as u64;
-                trace.push(TraceOp {
-                    at_micros: now,
-                    kind: BlockOpKind::Write,
-                    offset: page * self.page_bytes,
-                    len: self.page_bytes,
-                    priority: Priority::Normal,
-                });
+                trace.push(TraceOp::new(
+                    now,
+                    TraceKind::Write,
+                    page * self.page_bytes,
+                    self.page_bytes,
+                ));
             }
             // Sequential commit record in the log (wraps around).
             if log_cursor + self.log_write_bytes > self.log_bytes {
                 log_cursor = 0;
             }
-            trace.push(TraceOp {
-                at_micros: now,
-                kind: BlockOpKind::Write,
-                offset: log_base + log_cursor,
-                len: self.log_write_bytes,
-                priority: Priority::Normal,
-            });
+            // The log wraps and is rewritten constantly: a textbook hot
+            // stream, advertised to the device through the write hint.
+            trace.push(
+                TraceOp::new(
+                    now,
+                    TraceKind::Write,
+                    log_base + log_cursor,
+                    self.log_write_bytes,
+                )
+                .with_hint(StreamTemperature::Hot),
+            );
             log_cursor += self.log_write_bytes;
             now += 1 + rng.next_u64_below(2 * self.mean_gap_micros.max(1));
         }
@@ -122,6 +124,8 @@ mod tests {
         assert_eq!(stats.reads, 500 * 4);
         assert_eq!(stats.writes, 500 * 3);
         assert_eq!(stats.frees, 0);
+        // Every log append carries the hot-stream hint.
+        assert_eq!(stats.hinted_writes, 500);
         assert!(stats.max_offset <= cfg.volume_bytes());
         assert!(trace.is_time_ordered());
     }

@@ -13,7 +13,8 @@
 //!   cleaning, wear-leveling, informed cleaning and priority-aware cleaning.
 //! * [`ssd`] — the SSD device model (gangs, schedulers, device profiles).
 //! * [`hdd`] — the disk simulator used as the paper's baseline.
-//! * [`block`] — the block-level interface, traces and replay helpers.
+//! * [`block`] — the queue-pair host interface (commands, hints, fences,
+//!   per-initiator queue pairs), traces and replay helpers.
 //! * [`workload`] — synthetic and macro-benchmark workload generators.
 //! * [`core`] — the paper's contribution: the object-based storage layer,
 //!   the unwritten-contract evaluator and the experiment drivers.

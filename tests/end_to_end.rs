@@ -1,9 +1,7 @@
 //! Cross-crate integration tests: full write/read/trim flows through the
 //! block interface and the object interface, across the HDD and SSD models.
 
-use ossd::block::{
-    replay_closed, BlockDevice, BlockOpKind, BlockRequest, Priority, Trace, TraceOp,
-};
+use ossd::block::{replay_closed, BlockDevice, BlockRequest, Trace, TraceKind, TraceOp};
 use ossd::core::{ObjectAttributes, OsdDevice};
 use ossd::ftl::FtlConfig;
 use ossd::hdd::{Hdd, HddConfig};
@@ -102,22 +100,20 @@ fn stripe_mapped_profile_respects_trim_only_when_informed() {
     // the informed one uses them.
     let mut trace = Trace::new("trim-check");
     for i in 0..64u64 {
-        trace.push(TraceOp {
-            at_micros: i * 1000,
-            kind: BlockOpKind::Write,
-            offset: i * 32 * 1024,
-            len: 32 * 1024,
-            priority: Priority::Normal,
-        });
+        trace.push(TraceOp::new(
+            i * 1000,
+            TraceKind::Write,
+            i * 32 * 1024,
+            32 * 1024,
+        ));
     }
     for i in 0..32u64 {
-        trace.push(TraceOp {
-            at_micros: 100_000 + i * 1000,
-            kind: BlockOpKind::Free,
-            offset: i * 32 * 1024,
-            len: 32 * 1024,
-            priority: Priority::Normal,
-        });
+        trace.push(TraceOp::new(
+            100_000 + i * 1000,
+            TraceKind::Free,
+            i * 32 * 1024,
+            32 * 1024,
+        ));
     }
     let run = |informed: bool| {
         let mut config = SsdConfig::tiny_stripe_mapped();
