@@ -3,8 +3,8 @@
 use ossd_bench::{print_header, scale_from_args};
 use ossd_core::contract::ContractTerm;
 use ossd_core::experiments::{
-    figure2, figure3, multi_host, parallelism_sweep, policy_compare, swtf, table1, table2, table3,
-    table4, table5,
+    figure2, figure3, lifetime, multi_host, parallelism_sweep, policy_compare, swtf, table1,
+    table2, table3, table4, table5,
 };
 
 fn main() {
@@ -131,6 +131,28 @@ fn main() {
         println!(
             "initiators {:>2}  qd {:>2}  {:>8.1} MB/s  fairness {:>6.4}  p50 {:>8.3} ms  p99 {:>8.3} ms",
             p.initiators, p.queue_depth, p.total_bandwidth_mbps, p.fairness, p.p50_ms, p.p99_ms
+        );
+    }
+
+    print_header("Lifetime sweep (TBW/UBER to end-of-life)", scale);
+    for p in lifetime::run(scale).expect("lifetime sweep") {
+        println!(
+            "{:<14} OP {:.2} wl {:<5}  {:>8.2} MB TBW  {:>7.2} s  WA {:>6.3}  \
+             retired {:>3}  pfail {:>3}  efail {:>3}  retries {:>5}  uncorrectable {:>3}  \
+             UBER {:>9.3e}  ({})",
+            p.policy.name(),
+            p.overprovisioning,
+            p.wear_leveling,
+            p.tbw_bytes as f64 / 1e6,
+            p.lifetime_secs,
+            p.write_amplification,
+            p.retired_blocks,
+            p.program_fails,
+            p.erase_fails,
+            p.read_retries,
+            p.uncorrectable_reads,
+            p.uber,
+            p.end.name()
         );
     }
 }

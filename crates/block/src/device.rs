@@ -114,12 +114,12 @@ mod tests {
             if request.kind == BlockOpKind::Free {
                 return Err(DeviceError::Unsupported { what: "free" });
             }
-            Ok(Completion {
-                request_id: request.id,
-                arrival: request.arrival,
-                start: request.arrival,
-                finish: request.arrival,
-            })
+            Ok(Completion::ok(
+                request.id,
+                request.arrival,
+                request.arrival,
+                request.arrival,
+            ))
         }
     }
 

@@ -541,12 +541,7 @@ pub trait HostInterface: BlockDevice {
             let completion = match sub.command {
                 HostCommand::Flush | HostCommand::Barrier => {
                     let at = sub.arrival.max(last_finish[cmd.initiator]);
-                    Completion {
-                        request_id: sub.id,
-                        arrival: sub.arrival,
-                        start: at,
-                        finish: at,
-                    }
+                    Completion::ok(sub.id, sub.arrival, at, at)
                 }
                 ref c => {
                     let request = c
@@ -592,12 +587,7 @@ mod tests {
                 start + self.service
             };
             self.next_free = finish;
-            Ok(Completion {
-                request_id: request.id,
-                arrival: request.arrival,
-                start,
-                finish,
-            })
+            Ok(Completion::ok(request.id, request.arrival, start, finish))
         }
     }
 

@@ -46,5 +46,7 @@ pub use host::{
 };
 pub use range::ByteRange;
 pub use replay::{replay_closed, replay_open, LatencyPercentiles, ReplayReport, ReportPercentiles};
-pub use request::{BlockOpKind, BlockRequest, Completion, Priority, SECTOR_BYTES};
+pub use request::{
+    BlockOpKind, BlockRequest, Completion, CompletionStatus, Priority, SECTOR_BYTES,
+};
 pub use trace::{Trace, TraceKind, TraceOp, TraceStats};

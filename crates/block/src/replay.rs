@@ -10,7 +10,7 @@ use ossd_sim::{LatencyStats, SimDuration, SimTime, Throughput};
 
 use crate::device::DeviceError;
 use crate::host::{HostInterface, HostQueue};
-use crate::request::{BlockOpKind, BlockRequest};
+use crate::request::{BlockOpKind, BlockRequest, Completion};
 
 /// p50/p95/p99 response times of one request class, in milliseconds.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -69,6 +69,11 @@ pub struct ReplayReport {
     pub bytes_written: u64,
     /// Number of free notifications submitted.
     pub frees: u64,
+    /// Requests that completed with a media error: the data stayed
+    /// uncorrectable after every ECC read-retry.  Their (retry-laden)
+    /// response times are still included in the latency statistics — the
+    /// host waited for them.
+    pub uncorrectable_reads: u64,
     /// Arrival of the first request.
     pub first_arrival: SimTime,
     /// Completion of the last request.
@@ -109,7 +114,12 @@ impl ReplayReport {
     }
 
     /// Records one completed request into the report.
-    pub fn record(&mut self, req: &BlockRequest, response: SimDuration, finish: SimTime) {
+    pub fn record(&mut self, req: &BlockRequest, completion: &Completion) {
+        let response = completion.response_time();
+        let finish = completion.finish;
+        if !completion.is_ok() {
+            self.uncorrectable_reads += 1;
+        }
         if self.all.is_empty() || req.arrival < self.first_arrival {
             if self.all.is_empty() {
                 self.first_arrival = req.arrival;
@@ -170,7 +180,7 @@ pub fn replay_open<D: HostInterface>(
     let mut queue = HostQueue::new();
     for req in requests {
         let completion = serve_one(device, &mut queue, req)?;
-        report.record(req, completion.response_time(), completion.finish);
+        report.record(req, &completion);
     }
     Ok(report)
 }
@@ -191,7 +201,7 @@ pub fn replay_closed<D: HostInterface>(
         let mut adjusted = *req;
         adjusted.arrival = next_arrival;
         let completion = serve_one(device, &mut queue, &adjusted)?;
-        report.record(&adjusted, completion.response_time(), completion.finish);
+        report.record(&adjusted, &completion);
         if first_start.is_none() {
             first_start = Some(completion.start);
         }
@@ -245,12 +255,7 @@ mod tests {
                 start + self.service
             };
             self.next_free = finish;
-            Ok(Completion {
-                request_id: request.id,
-                arrival: request.arrival,
-                start,
-                finish,
-            })
+            Ok(Completion::ok(request.id, request.arrival, start, finish))
         }
     }
 
@@ -301,6 +306,24 @@ mod tests {
         assert_eq!(report.normal_priority.count(), 2);
         assert_eq!(report.reads.count(), 1);
         assert_eq!(report.writes.count(), 2);
+    }
+
+    #[test]
+    fn uncorrectable_completions_are_counted() {
+        use crate::request::CompletionStatus;
+        let mut report = ReplayReport::default();
+        let req = BlockRequest::read(0, 0, 4096, SimTime::ZERO);
+        let ok = Completion::ok(0, SimTime::ZERO, SimTime::ZERO, SimTime::from_micros(10));
+        report.record(&req, &ok);
+        assert_eq!(report.uncorrectable_reads, 0);
+        let failed = Completion {
+            status: CompletionStatus::UncorrectableRead,
+            ..ok
+        };
+        report.record(&req, &failed);
+        assert_eq!(report.uncorrectable_reads, 1);
+        // The failed read's response time still counts: the host waited.
+        assert_eq!(report.reads.count(), 2);
     }
 
     #[test]

@@ -162,6 +162,31 @@ impl BlockRequest {
     }
 }
 
+/// The typed outcome a completion carries back to the host.
+///
+/// Device-side media failures that a real controller reports per command —
+/// today, reads whose data stayed uncorrectable after every ECC retry —
+/// surface here, on the completion, instead of aborting the serve: the
+/// command still occupies the device for its full (retry-laden) service
+/// time, other initiators' traffic is unaffected, and the host decides how
+/// to recover.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum CompletionStatus {
+    /// The command succeeded.
+    #[default]
+    Ok,
+    /// A read's data stayed uncorrectable after every ECC read-retry; the
+    /// addressed bytes are lost.
+    UncorrectableRead,
+}
+
+impl CompletionStatus {
+    /// Whether the command succeeded.
+    pub fn is_ok(self) -> bool {
+        self == CompletionStatus::Ok
+    }
+}
+
 /// The completion record a device returns for a request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Completion {
@@ -173,9 +198,27 @@ pub struct Completion {
     pub start: SimTime,
     /// When it finished.
     pub finish: SimTime,
+    /// The typed outcome (success or a media error).
+    pub status: CompletionStatus,
 }
 
 impl Completion {
+    /// A successful completion with the given identity and timing.
+    pub fn ok(request_id: u64, arrival: SimTime, start: SimTime, finish: SimTime) -> Self {
+        Completion {
+            request_id,
+            arrival,
+            start,
+            finish,
+            status: CompletionStatus::Ok,
+        }
+    }
+
+    /// Whether the command succeeded.
+    pub fn is_ok(&self) -> bool {
+        self.status.is_ok()
+    }
+
     /// Total response time (queueing plus service).
     pub fn response_time(&self) -> SimDuration {
         self.finish.saturating_since(self.arrival)
@@ -238,15 +281,28 @@ mod tests {
 
     #[test]
     fn completion_timing_breakdown() {
-        let c = Completion {
-            request_id: 7,
-            arrival: SimTime::from_micros(100),
-            start: SimTime::from_micros(150),
-            finish: SimTime::from_micros(400),
-        };
+        let c = Completion::ok(
+            7,
+            SimTime::from_micros(100),
+            SimTime::from_micros(150),
+            SimTime::from_micros(400),
+        );
         assert_eq!(c.response_time(), SimDuration::from_micros(300));
         assert_eq!(c.queue_wait(), SimDuration::from_micros(50));
         assert_eq!(c.service_time(), SimDuration::from_micros(250));
+        assert!(c.is_ok());
+    }
+
+    #[test]
+    fn completion_status_defaults_to_ok() {
+        assert_eq!(CompletionStatus::default(), CompletionStatus::Ok);
+        assert!(CompletionStatus::Ok.is_ok());
+        assert!(!CompletionStatus::UncorrectableRead.is_ok());
+        let c = Completion {
+            status: CompletionStatus::UncorrectableRead,
+            ..Completion::ok(1, SimTime::ZERO, SimTime::ZERO, SimTime::ZERO)
+        };
+        assert!(!c.is_ok());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! stripe forces a read-modify-write of the whole stripe.
 
 use ossd_block::{BlockDevice, BlockRequest, DeviceError};
-use ossd_flash::{FlashGeometry, FlashTiming};
+use ossd_flash::{FlashGeometry, FlashTiming, ReliabilityConfig};
 use ossd_ftl::FtlConfig;
 use ossd_sim::{SimDuration, SimTime};
 use ossd_ssd::{MappingKind, SchedulerKind, Ssd, SsdConfig};
@@ -46,6 +46,7 @@ fn device_config(scale: Scale) -> SsdConfig {
             coalesce: true,
         },
         ftl: FtlConfig::default(),
+        reliability: ReliabilityConfig::none(),
         background_gc: None,
         gangs: 1,
         scheduler: SchedulerKind::Fcfs,

@@ -10,7 +10,7 @@
 //! the background requests.
 
 use ossd_block::{BlockDevice, BlockRequest, Completion, DeviceError, Priority};
-use ossd_flash::{FlashGeometry, FlashTiming};
+use ossd_flash::{FlashGeometry, FlashTiming, ReliabilityConfig};
 use ossd_ftl::{CleaningMode, FtlConfig};
 use ossd_sim::{improvement_percent, SimDuration, SimTime};
 use ossd_ssd::{MappingKind, SchedulerKind, Ssd, SsdConfig};
@@ -59,6 +59,7 @@ fn device_config(scale: Scale, mode: CleaningMode) -> SsdConfig {
             .with_overprovisioning(0.10)
             .with_watermarks(0.05, 0.02)
             .with_cleaning_mode(mode),
+        reliability: ReliabilityConfig::none(),
         background_gc: None,
         gangs: 4,
         scheduler: SchedulerKind::Fcfs,

@@ -22,10 +22,14 @@
 //! controller queue depth and the element count — the parallelism the
 //! event-driven engine unlocked — and [`multi_host`] measures aggregate
 //! bandwidth and Jain-fairness across N initiator queue pairs arbitrated
-//! round-robin through the queue-pair host interface.
+//! round-robin through the queue-pair host interface.  [`lifetime`] writes
+//! a device to end-of-life under the seeded fault model
+//! (`ossd-reliability`) and reports TBW/lifetime/UBER per
+//! over-provisioning × cleaning policy × wear-leveling.
 
 pub mod figure2;
 pub mod figure3;
+pub mod lifetime;
 pub mod multi_host;
 pub mod parallelism_sweep;
 pub mod policy_compare;

@@ -17,7 +17,7 @@
 //! follows the same queue-depth curve as the single-host parallelism sweep.
 
 use ossd_block::{BlockRequest, DeviceError, HostInterface, HostQueue, ReplayReport};
-use ossd_flash::{FlashGeometry, FlashTiming};
+use ossd_flash::{FlashGeometry, FlashTiming, ReliabilityConfig};
 use ossd_ftl::FtlConfig;
 use ossd_sim::{SimDuration, SimRng, SimTime};
 use ossd_ssd::{MappingKind, SchedulerKind, Ssd, SsdConfig};
@@ -75,6 +75,7 @@ fn device_config(scale: Scale, queue_depth: u32) -> SsdConfig {
         },
         mapping: MappingKind::PageMapped,
         ftl: FtlConfig::default(),
+        reliability: ReliabilityConfig::none(),
         background_gc: None,
         gangs: 1,
         scheduler: SchedulerKind::Fcfs,
@@ -169,8 +170,8 @@ fn run_point(
         let mut report = ReplayReport::default();
         for completion in queue.drain_completions() {
             let request = &requests[i][completion.request_id as usize];
-            report.record(request, completion.response_time(), completion.finish);
-            aggregate.record(request, completion.response_time(), completion.finish);
+            report.record(request, &completion);
+            aggregate.record(request, &completion);
         }
         per_initiator_mbps.push(report.read_bandwidth_mbps());
     }

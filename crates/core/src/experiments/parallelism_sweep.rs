@@ -19,7 +19,7 @@
 //! throughput/latency knee.
 
 use ossd_block::{BlockDevice, BlockRequest, DeviceError};
-use ossd_flash::{FlashGeometry, FlashTiming};
+use ossd_flash::{FlashGeometry, FlashTiming, ReliabilityConfig};
 use ossd_ftl::FtlConfig;
 use ossd_sim::{LatencyStats, SimDuration, SimRng, SimTime};
 use ossd_ssd::{MappingKind, SchedulerKind, Ssd, SsdConfig};
@@ -71,6 +71,7 @@ fn device_config(scale: Scale, elements: u32, queue_depth: u32) -> SsdConfig {
         },
         mapping: MappingKind::PageMapped,
         ftl: FtlConfig::default(),
+        reliability: ReliabilityConfig::none(),
         background_gc: None,
         gangs: 1,
         scheduler: SchedulerKind::Fcfs,

@@ -17,7 +17,7 @@
 //! not just staleness.
 
 use ossd_block::{BlockDevice, BlockRequest, DeviceError};
-use ossd_flash::{FlashGeometry, FlashTiming};
+use ossd_flash::{FlashGeometry, FlashTiming, ReliabilityConfig};
 use ossd_ftl::{CleaningPolicyKind, FtlConfig};
 use ossd_gc::{analytic_greedy_wa, WriteAmpAccounting};
 use ossd_sim::{SimDuration, SimRng, SimTime};
@@ -87,6 +87,7 @@ fn device_config(scale: Scale, policy: CleaningPolicyKind, utilization: f64) -> 
             .with_watermarks(0.05, 0.02)
             .with_cleaning_policy(policy)
             .without_wear_leveling(),
+        reliability: ReliabilityConfig::none(),
         background_gc: None,
         gangs: 1,
         scheduler: SchedulerKind::Fcfs,

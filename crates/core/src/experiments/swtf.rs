@@ -5,7 +5,7 @@
 //! average response time by about 8% over FCFS.
 
 use ossd_block::{BlockDevice, BlockRequest, DeviceError};
-use ossd_flash::{FlashGeometry, FlashTiming};
+use ossd_flash::{FlashGeometry, FlashTiming, ReliabilityConfig};
 use ossd_ftl::FtlConfig;
 use ossd_sim::{improvement_percent, SimDuration, SimTime};
 use ossd_ssd::{MappingKind, SchedulerKind, Ssd, SsdConfig};
@@ -48,6 +48,7 @@ fn device_config(scale: Scale) -> SsdConfig {
         },
         mapping: MappingKind::PageMapped,
         ftl: FtlConfig::default(),
+        reliability: ReliabilityConfig::none(),
         background_gc: None,
         gangs: 4,
         scheduler: SchedulerKind::Fcfs,

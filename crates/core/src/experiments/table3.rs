@@ -8,7 +8,7 @@
 //! as sequentiality grows, alignment wins by more than 50%.
 
 use ossd_block::{BlockDevice, BlockRequest, DeviceError};
-use ossd_flash::{FlashGeometry, FlashTiming};
+use ossd_flash::{FlashGeometry, FlashTiming, ReliabilityConfig};
 use ossd_ftl::FtlConfig;
 use ossd_sim::{SimDuration, SimTime};
 use ossd_ssd::{MappingKind, SchedulerKind, Ssd, SsdConfig};
@@ -57,6 +57,7 @@ pub fn device_config_for_alignment(scale: Scale, coalesce: bool) -> SsdConfig {
             coalesce,
         },
         ftl: FtlConfig::default(),
+        reliability: ReliabilityConfig::none(),
         background_gc: None,
         gangs: 1,
         scheduler: SchedulerKind::Fcfs,

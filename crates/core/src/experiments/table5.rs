@@ -13,7 +13,7 @@
 //! and garbage collection is active, which is the regime the paper measures.
 
 use ossd_block::{replay_open, DeviceError};
-use ossd_flash::{FlashGeometry, FlashTiming};
+use ossd_flash::{FlashGeometry, FlashTiming, ReliabilityConfig};
 use ossd_ftl::FtlConfig;
 use ossd_sim::SimDuration;
 use ossd_ssd::{MappingKind, SchedulerKind, Ssd, SsdConfig};
@@ -78,6 +78,7 @@ fn device_config(scale: Scale, honor_free: bool) -> SsdConfig {
         ftl: FtlConfig::default()
             .with_overprovisioning(0.08)
             .with_honor_free(honor_free),
+        reliability: ReliabilityConfig::none(),
         background_gc: None,
         gangs: 1,
         scheduler: SchedulerKind::Fcfs,

@@ -353,6 +353,18 @@ impl OsdDevice {
         Ok(completions)
     }
 
+    /// Collapses a multi-range operation into one host-visible completion:
+    /// the timing of the last device request, carrying the *worst* status
+    /// of the batch — a media error on any range must not be masked by a
+    /// later range completing cleanly.
+    fn collapse(completions: &[Completion]) -> Completion {
+        let mut out = *completions.last().expect("at least one range");
+        if let Some(failed) = completions.iter().find(|c| !c.is_ok()) {
+            out.status = failed.status;
+        }
+        out
+    }
+
     /// Writes `len` bytes at `offset` within the object, extending it (and
     /// allocating device space) as needed.  Returns the completion of the
     /// last device request the write generated.
@@ -371,12 +383,7 @@ impl OsdDevice {
             return Err(OsdError::ReadOnly { object });
         }
         if len == 0 {
-            return Ok(Completion {
-                request_id: self.next_request_id(),
-                arrival: at,
-                start: at,
-                finish: at,
-            });
+            return Ok(Completion::ok(self.next_request_id(), at, at, at));
         }
         let end = offset + len;
         if end > size {
@@ -396,7 +403,7 @@ impl OsdDevice {
         // exactly the placement information §3.7 says the device should get.
         let hint = WriteHint::with_temperature(attrs.temperature);
         let completions = self.submit_ranges(&ranges, Some(hint), attrs.priority, at)?;
-        Ok(*completions.last().expect("len > 0 so at least one range"))
+        Ok(Self::collapse(&completions))
     }
 
     /// Reads `len` bytes at `offset` within the object.
@@ -420,16 +427,11 @@ impl OsdDevice {
             });
         }
         if len == 0 {
-            return Ok(Completion {
-                request_id: self.next_request_id(),
-                arrival: at,
-                start: at,
-                finish: at,
-            });
+            return Ok(Completion::ok(self.next_request_id(), at, at, at));
         }
         let ranges = self.map_extents(object, offset, len)?;
         let completions = self.submit_ranges(&ranges, None, attrs.priority, at)?;
-        Ok(*completions.last().expect("len > 0 so at least one range"))
+        Ok(Self::collapse(&completions))
     }
 
     /// Deletes an object.  Every byte range it occupied is reported to the
@@ -487,12 +489,7 @@ impl OsdDevice {
         let metadata_completion = |dev: &mut Self| {
             let id = dev.next_request_id();
             dev.clock = dev.clock.max(arrival);
-            Completion {
-                request_id: id,
-                arrival,
-                start: arrival,
-                finish: arrival,
-            }
+            Completion::ok(id, arrival, arrival, arrival)
         };
         match command {
             HostCommand::ObjectCreate { object, attrs } => {
@@ -506,12 +503,12 @@ impl OsdDevice {
             HostCommand::ObjectDelete { object } => {
                 self.delete_object(ObjectId(object), arrival)?;
                 let id = self.next_request_id();
-                Ok(Completion {
-                    request_id: id,
+                Ok(Completion::ok(
+                    id,
                     arrival,
-                    start: arrival,
-                    finish: self.clock.max(arrival),
-                })
+                    arrival,
+                    self.clock.max(arrival),
+                ))
             }
             HostCommand::Flush => self.transport(HostCommand::Flush, Priority::Normal, arrival),
             HostCommand::Barrier => {

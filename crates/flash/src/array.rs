@@ -1,4 +1,17 @@
-//! The whole flash array: every element plus aggregate wear statistics.
+//! The whole flash array: every element, the optional reliability model,
+//! and aggregate wear statistics.
+//!
+//! When a [`ReliabilityModel`] is installed
+//! ([`FlashArray::with_reliability`]), every program, erase and read
+//! consults it in deterministic operation order: programs and erases can
+//! fail (with probability accelerating in the block's wear), failed erases
+//! retire the block as a *grown bad block*, and reads return a
+//! [`ReadStatus`] describing the ECC retries the controller needed — or an
+//! uncorrectable outcome the device surfaces to the host.  The default
+//! constructor installs no model; fault-free arrays make no random draws
+//! and behave bit-for-bit like the pre-reliability simulator.
+
+use ossd_reliability::{ReadStatus, ReliabilityConfig, ReliabilityModel};
 
 use crate::element::{ElementCounters, FlashElement};
 use crate::error::FlashError;
@@ -16,8 +29,15 @@ pub struct WearSummary {
     pub mean_erases: f64,
     /// Total block erases performed.
     pub total_erases: u64,
-    /// Number of blocks whose erase count exceeds the part's endurance.
+    /// Number of blocks out of service: past the part's rated endurance
+    /// *or* retired (grown/factory bad).  A block that is both is counted
+    /// exactly once.
     pub worn_out_blocks: u64,
+    /// Number of retired (bad) blocks — the grown-bad-block population the
+    /// bad-block manager tracks, plus any factory-marked blocks.
+    pub retired_blocks: u64,
+    /// Blocks still in service (not retired).
+    pub spare_blocks: u64,
 }
 
 impl WearSummary {
@@ -28,19 +48,54 @@ impl WearSummary {
     }
 }
 
+/// Cumulative media-reliability counters of one array.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReliabilityCounters {
+    /// Page programs the fault model failed (the page is burned and the
+    /// FTL re-programmed the data elsewhere).
+    pub program_fails: u64,
+    /// Block erases the fault model failed (each retires the block).
+    pub erase_fails: u64,
+    /// Blocks retired: grown bad (erase failure or post-program-failure
+    /// retirement by the FTL) plus factory-marked bad blocks.
+    pub retired_blocks: u64,
+    /// Extra read-retry attempts the ECC decode loop needed.
+    pub read_retries: u64,
+    /// Reads that stayed uncorrectable after every retry.
+    pub uncorrectable_reads: u64,
+    /// Raw bit errors the ECC corrected transparently.
+    pub corrected_bits: u64,
+}
+
 /// The complete flash array of an SSD.
 #[derive(Clone, Debug)]
 pub struct FlashArray {
     geometry: FlashGeometry,
     timing: FlashTiming,
     elements: Vec<FlashElement>,
+    /// The fault/ECC model; `None` (the default) means the array is
+    /// perfect and no random draws are ever made.
+    reliability: Option<ReliabilityModel>,
+    counters: ReliabilityCounters,
 }
 
 impl FlashArray {
-    /// Builds an erased array for the given geometry and timing.
+    /// Builds an erased, fault-free array for the given geometry and timing.
     pub fn new(geometry: FlashGeometry, timing: FlashTiming) -> Result<Self, FlashError> {
+        Self::with_reliability(geometry, timing, ReliabilityConfig::none())
+    }
+
+    /// Builds an array with the given reliability configuration.  A
+    /// non-trivial `factory_bad_prob` marks blocks bad up front (in
+    /// element/block order, deterministically from the seed); the FTL
+    /// excludes them from its allocation pools at construction.
+    pub fn with_reliability(
+        geometry: FlashGeometry,
+        timing: FlashTiming,
+        reliability: ReliabilityConfig,
+    ) -> Result<Self, FlashError> {
         geometry.validate()?;
-        let elements = (0..geometry.elements())
+        let elements: Vec<FlashElement> = (0..geometry.elements())
             .map(|i| {
                 FlashElement::new(
                     ElementId(i),
@@ -49,11 +104,31 @@ impl FlashArray {
                 )
             })
             .collect();
-        Ok(FlashArray {
+        let mut array = FlashArray {
             geometry,
             timing,
             elements,
-        })
+            reliability: None,
+            counters: ReliabilityCounters::default(),
+        };
+        if !reliability.is_none() {
+            let mut model = ReliabilityModel::new(&reliability);
+            if reliability.faults.factory_bad_prob > 0.0 {
+                for element in 0..geometry.elements() {
+                    for block in 0..geometry.blocks_per_element() {
+                        if model.factory_bad() {
+                            array
+                                .element_mut(ElementId(element))?
+                                .retire(block)
+                                .expect("fresh blocks hold no valid pages");
+                            array.counters.retired_blocks += 1;
+                        }
+                    }
+                }
+            }
+            array.reliability = Some(model);
+        }
+        Ok(array)
     }
 
     /// The array geometry.
@@ -64,6 +139,16 @@ impl FlashArray {
     /// The flash timing parameters.
     pub fn timing(&self) -> &FlashTiming {
         &self.timing
+    }
+
+    /// Whether a fault model is installed.
+    pub fn has_reliability_model(&self) -> bool {
+        self.reliability.is_some()
+    }
+
+    /// Cumulative reliability counters (fault and recovery events).
+    pub fn reliability_counters(&self) -> ReliabilityCounters {
+        self.counters
     }
 
     /// Number of elements.
@@ -92,15 +177,84 @@ impl FlashArray {
             })
     }
 
-    /// Reads the page at `addr`.
-    pub fn read(&mut self, addr: PhysPageAddr) -> Result<(), FlashError> {
+    /// Wear of a block as a fraction of the rated endurance.
+    fn wear_of(&self, element: ElementId, block: u32) -> Result<f64, FlashError> {
+        let erases = self.element(element)?.block(block)?.erase_count();
+        Ok(erases as f64 / self.timing.endurance.max(1) as f64)
+    }
+
+    /// Reads the page at `addr`, returning the reliability outcome: how
+    /// many ECC read-retries the controller needed and whether the data was
+    /// ultimately uncorrectable.  Fault-free arrays always return
+    /// [`ReadStatus::clean`].
+    pub fn read(&mut self, addr: PhysPageAddr) -> Result<ReadStatus, FlashError> {
         self.geometry.check_addr(addr)?;
-        self.element_mut(addr.element)?.read(addr.block, addr.page)
+        if self.reliability.is_none() {
+            // Fault-free fast path (the default everywhere): no wear
+            // lookup, no draws.
+            self.element_mut(addr.element)?
+                .read(addr.block, addr.page)?;
+            return Ok(ReadStatus::clean());
+        }
+        let (wear, reads) = {
+            let block = self.element(addr.element)?.block(addr.block)?;
+            (
+                block.erase_count() as f64 / self.timing.endurance.max(1) as f64,
+                block.reads_since_erase(),
+            )
+        };
+        self.element_mut(addr.element)?
+            .read(addr.block, addr.page)?;
+        let status = self
+            .reliability
+            .as_mut()
+            .expect("checked above")
+            .read_outcome(wear, reads);
+        self.counters.read_retries += status.retries as u64;
+        self.counters.corrected_bits += status.corrected_bits as u64;
+        if status.uncorrectable {
+            self.counters.uncorrectable_reads += 1;
+        }
+        Ok(status)
     }
 
     /// Programs the next sequential page of `block` on `element`.
+    ///
+    /// With a fault model installed the program can fail
+    /// ([`FlashError::ProgramFailed`]): the target page is consumed as
+    /// stale (burned) and the caller must re-program the data elsewhere and
+    /// schedule the block for retirement.
     pub fn program(&mut self, element: ElementId, block: u32) -> Result<PhysPageAddr, FlashError> {
+        if self.reliability.is_some() {
+            if self.element(element)?.block(block)?.is_bad() {
+                return Err(FlashError::BadBlock {
+                    element: element.0,
+                    block,
+                });
+            }
+            let wear = self.wear_of(element, block)?;
+            let fails = self
+                .reliability
+                .as_mut()
+                .expect("checked above")
+                .program_fails(wear);
+            if fails {
+                let addr = self.element_mut(element)?.skip_page(block)?;
+                self.counters.program_fails += 1;
+                return Err(FlashError::ProgramFailed { addr });
+            }
+        }
         self.element_mut(element)?.program(block)
+    }
+
+    /// Consumes the next sequential page of `block` as stale without
+    /// programming it (lockstep padding after a sibling's program failure).
+    pub fn skip_page(
+        &mut self,
+        element: ElementId,
+        block: u32,
+    ) -> Result<PhysPageAddr, FlashError> {
+        self.element_mut(element)?.skip_page(block)
     }
 
     /// Invalidates the page at `addr`.
@@ -110,12 +264,61 @@ impl FlashArray {
             .invalidate(addr.block, addr.page)
     }
 
-    /// Erases `block` on `element`.
+    /// Erases `block` on `element` (which must hold no valid pages).
+    ///
+    /// With a fault model installed the erase can fail
+    /// ([`FlashError::EraseFailed`]): the block is retired on the spot as a
+    /// grown bad block and must never be allocated again.
     pub fn erase(&mut self, element: ElementId, block: u32) -> Result<(), FlashError> {
+        if self.reliability.is_some() {
+            let (bad, valid) = {
+                let b = self.element(element)?.block(block)?;
+                (b.is_bad(), b.valid_count())
+            };
+            if bad {
+                return Err(FlashError::BadBlock {
+                    element: element.0,
+                    block,
+                });
+            }
+            if valid == 0 {
+                // Only a legal erase may fail; illegal erases keep their
+                // contract error below.
+                let wear = self.wear_of(element, block)?;
+                let fails = self
+                    .reliability
+                    .as_mut()
+                    .expect("checked above")
+                    .erase_fails(wear);
+                if fails {
+                    self.element_mut(element)?
+                        .retire(block)
+                        .expect("no valid pages");
+                    self.counters.erase_fails += 1;
+                    self.counters.retired_blocks += 1;
+                    return Err(FlashError::EraseFailed {
+                        element: element.0,
+                        block,
+                    });
+                }
+            }
+        }
         self.element_mut(element)?.erase(block)
     }
 
-    /// Total free pages across the array.
+    /// Permanently retires `block` on `element` (the bad-block manager's
+    /// explicit path, used after program failures once live data has been
+    /// migrated out).  Idempotent on already-retired blocks.
+    pub fn retire(&mut self, element: ElementId, block: u32) -> Result<(), FlashError> {
+        if self.element(element)?.block(block)?.is_bad() {
+            return Ok(());
+        }
+        self.element_mut(element)?.retire(block)?;
+        self.counters.retired_blocks += 1;
+        Ok(())
+    }
+
+    /// Total free pages across the array (retired blocks excluded).
     pub fn free_pages(&self) -> u64 {
         self.elements.iter().map(|e| e.free_pages()).sum()
     }
@@ -154,14 +357,21 @@ impl FlashArray {
         let mut total = 0u64;
         let mut count = 0u64;
         let mut worn = 0u64;
+        let mut retired = 0u64;
         for e in &self.elements {
-            for c in e.erase_counts() {
+            for (_, block) in e.iter_blocks() {
+                let c = block.erase_count();
                 min = min.min(c);
                 max = max.max(c);
                 total += c as u64;
                 count += 1;
-                if c >= self.timing.endurance {
+                // A block is out of service when worn past the rating or
+                // retired; the union is counted once per block.
+                if c >= self.timing.endurance || block.is_bad() {
                     worn += 1;
+                }
+                if block.is_bad() {
+                    retired += 1;
                 }
             }
         }
@@ -174,6 +384,8 @@ impl FlashArray {
             mean_erases: total as f64 / count as f64,
             total_erases: total,
             worn_out_blocks: worn,
+            retired_blocks: retired,
+            spare_blocks: count - retired,
         }
     }
 
@@ -188,9 +400,18 @@ mod tests {
     use super::*;
     use crate::geometry::FlashGeometry;
     use crate::timing::FlashTiming;
+    use ossd_reliability::FaultConfig;
 
     fn array() -> FlashArray {
         FlashArray::new(FlashGeometry::tiny(), FlashTiming::slc()).unwrap()
+    }
+
+    fn faulty_array(faults: FaultConfig) -> FlashArray {
+        let config = ReliabilityConfig {
+            faults,
+            ..ReliabilityConfig::none()
+        };
+        FlashArray::with_reliability(FlashGeometry::tiny(), FlashTiming::slc(), config).unwrap()
     }
 
     #[test]
@@ -200,6 +421,8 @@ mod tests {
         assert_eq!(a.total_pages(), 128);
         assert_eq!(a.free_pages(), 128);
         assert_eq!(a.valid_pages(), 0);
+        assert!(!a.has_reliability_model());
+        assert_eq!(a.reliability_counters(), ReliabilityCounters::default());
     }
 
     #[test]
@@ -216,8 +439,8 @@ mod tests {
         let p1 = a.program(ElementId(1), 3).unwrap();
         assert_eq!(p0.element, ElementId(0));
         assert_eq!(p1.element, ElementId(1));
-        a.read(p0).unwrap();
-        a.read(p1).unwrap();
+        assert_eq!(a.read(p0).unwrap(), ReadStatus::clean());
+        assert_eq!(a.read(p1).unwrap(), ReadStatus::clean());
         a.invalidate(p0).unwrap();
         a.erase(ElementId(0), 0).unwrap();
         let c = a.counters();
@@ -256,6 +479,8 @@ mod tests {
         assert_eq!(w.total_erases, 4);
         assert_eq!(w.spread(), 3);
         assert_eq!(w.worn_out_blocks, 0);
+        assert_eq!(w.retired_blocks, 0);
+        assert_eq!(w.spare_blocks, 16);
         assert!(w.mean_erases > 0.0);
     }
 
@@ -274,5 +499,116 @@ mod tests {
             a.valid_pages() + a.invalid_pages() + a.free_pages(),
             a.total_pages()
         );
+    }
+
+    #[test]
+    fn retirement_is_counted_once_in_worn_out() {
+        let mut a = array();
+        a.retire(ElementId(0), 0).unwrap();
+        // Idempotent: retiring again does not double-count.
+        a.retire(ElementId(0), 0).unwrap();
+        let w = a.wear_summary();
+        assert_eq!(w.retired_blocks, 1);
+        assert_eq!(w.worn_out_blocks, 1);
+        assert_eq!(w.spare_blocks, 15);
+        assert_eq!(a.reliability_counters().retired_blocks, 1);
+        // Retired pages no longer count as free.
+        assert_eq!(a.free_pages(), 120);
+        assert!(matches!(
+            a.program(ElementId(0), 0),
+            Err(FlashError::BadBlock { .. })
+        ));
+    }
+
+    #[test]
+    fn factory_bad_blocks_are_marked_deterministically() {
+        let faults = FaultConfig {
+            seed: 11,
+            factory_bad_prob: 0.25,
+            ..FaultConfig::none()
+        };
+        let a = faulty_array(faults);
+        let b = faulty_array(faults);
+        let marked: Vec<bool> = a
+            .iter_elements()
+            .flat_map(|e| e.iter_blocks().map(|(_, b)| b.is_bad()).collect::<Vec<_>>())
+            .collect();
+        let marked_b: Vec<bool> = b
+            .iter_elements()
+            .flat_map(|e| e.iter_blocks().map(|(_, b)| b.is_bad()).collect::<Vec<_>>())
+            .collect();
+        assert_eq!(marked, marked_b, "factory marking must be deterministic");
+        let count = marked.iter().filter(|&&m| m).count() as u64;
+        assert!(count > 0, "with p=0.25 over 16 blocks some should be bad");
+        assert_eq!(a.reliability_counters().retired_blocks, count);
+        assert_eq!(a.wear_summary().retired_blocks, count);
+    }
+
+    #[test]
+    fn program_failures_burn_the_page() {
+        let faults = FaultConfig {
+            seed: 5,
+            program_fail_base: 1.0, // every program fails
+            ..FaultConfig::none()
+        };
+        let mut a = faulty_array(faults);
+        let err = a.program(ElementId(0), 0).unwrap_err();
+        assert!(matches!(err, FlashError::ProgramFailed { .. }));
+        let block = a.element(ElementId(0)).unwrap().block(0).unwrap();
+        assert_eq!(block.invalid_count(), 1, "the failed page is consumed");
+        assert_eq!(block.valid_count(), 0);
+        assert_eq!(a.reliability_counters().program_fails, 1);
+    }
+
+    #[test]
+    fn erase_failures_retire_the_block() {
+        let faults = FaultConfig {
+            seed: 5,
+            erase_fail_base: 1.0, // every erase fails
+            ..FaultConfig::none()
+        };
+        let mut a = faulty_array(faults);
+        let err = a.erase(ElementId(0), 0).unwrap_err();
+        assert!(matches!(err, FlashError::EraseFailed { .. }));
+        assert!(a.element(ElementId(0)).unwrap().block(0).unwrap().is_bad());
+        let c = a.reliability_counters();
+        assert_eq!(c.erase_fails, 1);
+        assert_eq!(c.retired_blocks, 1);
+        // A second erase of the now-bad block reports BadBlock, not a
+        // second failure.
+        assert!(matches!(
+            a.erase(ElementId(0), 0),
+            Err(FlashError::BadBlock { .. })
+        ));
+        // Illegal erases keep their contract error even under p=1.
+        a.program(ElementId(1), 0).unwrap();
+        assert!(matches!(
+            a.erase(ElementId(1), 0),
+            Err(FlashError::EraseWithValidPages { .. })
+        ));
+    }
+
+    #[test]
+    fn heavy_ber_forces_retries_and_uncorrectable_reads() {
+        let faults = FaultConfig {
+            seed: 5,
+            raw_ber_base: 200.0, // far beyond the 8-bit ECC even after retries
+            ..FaultConfig::none()
+        };
+        let mut a = faulty_array(faults);
+        let addr = a.program(ElementId(0), 0).unwrap();
+        let mut retries = 0u64;
+        let mut uncorrectable = 0u64;
+        for _ in 0..50 {
+            let s = a.read(addr).unwrap();
+            retries += s.retries as u64;
+            uncorrectable += s.uncorrectable as u64;
+        }
+        assert!(retries > 0, "a 200-bit mean must trigger retries");
+        assert!(uncorrectable > 0, "a 200-bit mean must defeat retries");
+        let c = a.reliability_counters();
+        assert_eq!(c.read_retries, retries);
+        assert_eq!(c.uncorrectable_reads, uncorrectable);
+        assert!(c.corrected_bits > 0);
     }
 }

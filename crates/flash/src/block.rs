@@ -27,6 +27,12 @@ pub struct Block {
     write_ptr: u32,
     erase_count: u32,
     valid: u32,
+    /// Retired (grown or factory bad): the block is permanently out of
+    /// service — programs and erases are rejected.
+    bad: bool,
+    /// Page reads absorbed since the last erase; the reliability model's
+    /// retention/read-disturb term scales with it.
+    reads_since_erase: u64,
 }
 
 impl Block {
@@ -37,6 +43,8 @@ impl Block {
             write_ptr: 0,
             erase_count: 0,
             valid: 0,
+            bad: false,
+            reads_since_erase: 0,
         }
     }
 
@@ -62,6 +70,12 @@ impl Block {
     /// Fails with [`FlashError::BlockFull`] when all pages are programmed.
     /// The `element`/`block` coordinates are only used to build error values.
     pub fn program_next(&mut self, element: ElementId, block: u32) -> Result<u32, FlashError> {
+        if self.bad {
+            return Err(FlashError::BadBlock {
+                element: element.0,
+                block,
+            });
+        }
         if self.write_ptr as usize >= self.states.len() {
             return Err(FlashError::BlockFull {
                 element: element.0,
@@ -73,6 +87,30 @@ impl Block {
         self.states[page as usize] = PageState::Valid;
         self.write_ptr += 1;
         self.valid += 1;
+        Ok(page)
+    }
+
+    /// Consumes the next sequential page as stale without programming data
+    /// into it.  Used when the fault model fails a program (the page is
+    /// burned) and by lockstep FTLs that must pad sibling blocks past a
+    /// failed row.
+    pub fn skip_next(&mut self, element: ElementId, block: u32) -> Result<u32, FlashError> {
+        if self.bad {
+            return Err(FlashError::BadBlock {
+                element: element.0,
+                block,
+            });
+        }
+        if self.write_ptr as usize >= self.states.len() {
+            return Err(FlashError::BlockFull {
+                element: element.0,
+                block,
+            });
+        }
+        let page = self.write_ptr;
+        debug_assert_eq!(self.states[page as usize], PageState::Free);
+        self.states[page as usize] = PageState::Invalid;
+        self.write_ptr += 1;
         Ok(page)
     }
 
@@ -122,6 +160,12 @@ impl Block {
     /// Fails if valid pages remain (`force` is deliberately not offered: an
     /// FTL that erases live data has a bug the simulator should expose).
     pub fn erase(&mut self, element: ElementId, block: u32) -> Result<(), FlashError> {
+        if self.bad {
+            return Err(FlashError::BadBlock {
+                element: element.0,
+                block,
+            });
+        }
         if self.valid > 0 {
             return Err(FlashError::EraseWithValidPages {
                 element: element.0,
@@ -134,7 +178,38 @@ impl Block {
         }
         self.write_ptr = 0;
         self.erase_count += 1;
+        self.reads_since_erase = 0;
         Ok(())
+    }
+
+    /// Permanently retires the block (marks it bad).  Like an erase, this
+    /// requires that no valid pages remain — the FTL migrates live data
+    /// before retiring.  Idempotent on already-bad blocks.
+    pub fn retire(&mut self, element: ElementId, block: u32) -> Result<(), FlashError> {
+        if self.valid > 0 {
+            return Err(FlashError::EraseWithValidPages {
+                element: element.0,
+                block,
+                valid: self.valid,
+            });
+        }
+        self.bad = true;
+        Ok(())
+    }
+
+    /// Whether the block is retired (grown or factory bad).
+    pub fn is_bad(&self) -> bool {
+        self.bad
+    }
+
+    /// Records one page read for retention/read-disturb accounting.
+    pub(crate) fn record_read(&mut self) {
+        self.reads_since_erase += 1;
+    }
+
+    /// Page reads absorbed since the last erase.
+    pub fn reads_since_erase(&self) -> u64 {
+        self.reads_since_erase
     }
 
     /// Number of valid pages.
@@ -295,6 +370,58 @@ mod tests {
                 (2, PageState::Free)
             ]
         );
+    }
+
+    #[test]
+    fn skip_consumes_a_page_as_stale() {
+        let mut b = Block::new(4);
+        assert_eq!(b.skip_next(E, 0).unwrap(), 0);
+        assert_eq!(b.state(0).unwrap(), PageState::Invalid);
+        assert_eq!(b.valid_count(), 0);
+        assert_eq!(b.invalid_count(), 1);
+        assert_eq!(b.program_next(E, 0).unwrap(), 1);
+        // Skips respect the block capacity.
+        b.skip_next(E, 0).unwrap();
+        b.skip_next(E, 0).unwrap();
+        assert!(matches!(
+            b.skip_next(E, 0),
+            Err(FlashError::BlockFull { .. })
+        ));
+    }
+
+    #[test]
+    fn retired_blocks_reject_program_and_erase() {
+        let mut b = Block::new(2);
+        b.program_next(E, 0).unwrap();
+        // Retirement requires live data to be migrated first.
+        assert!(matches!(
+            b.retire(E, 0),
+            Err(FlashError::EraseWithValidPages { .. })
+        ));
+        b.invalidate(E, 0, 0).unwrap();
+        b.retire(E, 0).unwrap();
+        assert!(b.is_bad());
+        assert!(matches!(
+            b.program_next(E, 0),
+            Err(FlashError::BadBlock { .. })
+        ));
+        assert!(matches!(b.erase(E, 0), Err(FlashError::BadBlock { .. })));
+        // Retire is idempotent.
+        b.retire(E, 0).unwrap();
+        // Stale data on a bad block is still physically readable.
+        assert!(b.check_readable(E, 0, 0).is_ok());
+    }
+
+    #[test]
+    fn read_disturb_counter_resets_on_erase() {
+        let mut b = Block::new(2);
+        b.program_next(E, 0).unwrap();
+        b.record_read();
+        b.record_read();
+        assert_eq!(b.reads_since_erase(), 2);
+        b.invalidate(E, 0, 0).unwrap();
+        b.erase(E, 0).unwrap();
+        assert_eq!(b.reads_since_erase(), 0);
     }
 
     #[test]

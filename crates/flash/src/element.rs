@@ -73,11 +73,13 @@ impl FlashElement {
             })
     }
 
-    /// Reads a page (bumps the read counter after validating the page holds
-    /// defined data).
+    /// Reads a page (bumps the read and read-disturb counters after
+    /// validating the page holds defined data).
     pub fn read(&mut self, block: u32, page: u32) -> Result<(), FlashError> {
         let id = self.id;
-        self.block(block)?.check_readable(id, block, page)?;
+        let blk = self.block_mut(block)?;
+        blk.check_readable(id, block, page)?;
+        blk.record_read();
         self.counters.page_reads += 1;
         Ok(())
     }
@@ -94,6 +96,25 @@ impl FlashElement {
             block,
             page,
         })
+    }
+
+    /// Consumes the next sequential page of `block` as stale without
+    /// programming it (burned page after a program failure, or lockstep
+    /// padding); returns the consumed page's address.
+    pub fn skip_page(&mut self, block: u32) -> Result<PhysPageAddr, FlashError> {
+        let id = self.id;
+        let page = self.block_mut(block)?.skip_next(id, block)?;
+        Ok(PhysPageAddr {
+            element: id,
+            block,
+            page,
+        })
+    }
+
+    /// Permanently retires `block` (no valid pages may remain).
+    pub fn retire(&mut self, block: u32) -> Result<(), FlashError> {
+        let id = self.id;
+        self.block_mut(block)?.retire(id, block)
     }
 
     /// Marks a page stale.
@@ -115,9 +136,19 @@ impl FlashElement {
         self.block(block)?.state(page)
     }
 
-    /// Total free (programmable) pages on this element.
+    /// Total free (programmable) pages on this element.  Pages of retired
+    /// blocks are permanently unusable and excluded.
     pub fn free_pages(&self) -> u64 {
-        self.blocks.iter().map(|b| b.free_count() as u64).sum()
+        self.blocks
+            .iter()
+            .filter(|b| !b.is_bad())
+            .map(|b| b.free_count() as u64)
+            .sum()
+    }
+
+    /// Number of retired (bad) blocks on this element.
+    pub fn bad_blocks(&self) -> u32 {
+        self.blocks.iter().filter(|b| b.is_bad()).count() as u32
     }
 
     /// Total valid pages on this element.

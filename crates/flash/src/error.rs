@@ -64,6 +64,28 @@ pub enum FlashError {
         /// Number of valid pages remaining.
         valid: u32,
     },
+    /// The fault model failed a page program.  The target page is consumed
+    /// (burned) and the FTL must re-program the data elsewhere and mark the
+    /// block for retirement.
+    ProgramFailed {
+        /// The page that failed to program.
+        addr: PhysPageAddr,
+    },
+    /// The fault model failed a block erase; the block is now retired (a
+    /// grown bad block) and must never be allocated again.
+    EraseFailed {
+        /// Element index of the failed block.
+        element: u32,
+        /// Block index within the element.
+        block: u32,
+    },
+    /// The operation addressed a retired (bad) block.
+    BadBlock {
+        /// Element index of the bad block.
+        element: u32,
+        /// Block index within the element.
+        block: u32,
+    },
 }
 
 impl fmt::Display for FlashError {
@@ -99,6 +121,16 @@ impl fmt::Display for FlashError {
                 f,
                 "erase of block {block} on element {element} with {valid} valid pages"
             ),
+            FlashError::ProgramFailed { addr } => {
+                write!(f, "program of page {addr:?} failed (page burned)")
+            }
+            FlashError::EraseFailed { element, block } => write!(
+                f,
+                "erase of block {block} on element {element} failed; block retired"
+            ),
+            FlashError::BadBlock { element, block } => {
+                write!(f, "operation on retired block {block} of element {element}")
+            }
         }
     }
 }
@@ -150,6 +182,21 @@ mod tests {
                     valid: 5,
                 },
                 "valid pages",
+            ),
+            (FlashError::ProgramFailed { addr }, "burned"),
+            (
+                FlashError::EraseFailed {
+                    element: 0,
+                    block: 1,
+                },
+                "retired",
+            ),
+            (
+                FlashError::BadBlock {
+                    element: 0,
+                    block: 1,
+                },
+                "retired block",
             ),
         ];
         for (err, needle) in cases {

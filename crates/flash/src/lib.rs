@@ -10,7 +10,11 @@
 //!   granularity) before it can be programmed again;
 //! * pages within a block must be programmed **sequentially**;
 //! * blocks wear out after a bounded number of erase cycles (≈100K for SLC,
-//!   ≈10K for MLC).
+//!   ≈10K for MLC), and — when a fault model ([`ossd_reliability`]) is
+//!   installed — programs and erases can *fail*, failed erases retire the
+//!   block as a grown bad block, and reads suffer wear- and
+//!   retention-scaled raw bit errors that the ECC/read-retry path recovers
+//!   or surfaces as uncorrectable.
 //!
 //! Timing parameters ([`FlashTiming`]) provide the service times used by the
 //! SSD simulator; the state machine itself is untimed so it can be reused by
@@ -26,9 +30,11 @@ pub mod error;
 pub mod geometry;
 pub mod timing;
 
-pub use array::{FlashArray, WearSummary};
+pub use array::{FlashArray, ReliabilityCounters, WearSummary};
 pub use block::{Block, PageState};
 pub use element::{ElementCounters, FlashElement};
 pub use error::FlashError;
 pub use geometry::{ElementId, FlashGeometry, PhysPageAddr};
 pub use timing::{CellType, FlashTiming};
+
+pub use ossd_reliability::{EccConfig, FaultConfig, ReadStatus, ReliabilityConfig};

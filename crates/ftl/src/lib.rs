@@ -33,7 +33,7 @@ pub use config::{CleaningMode, FtlConfig, WearLevelConfig};
 pub use error::FtlError;
 pub use pagemap::PageFtl;
 pub use stripemap::StripeFtl;
-pub use types::{FlashOp, FlashOpKind, Ftl, FtlStats, Lpn, OpPurpose, WriteContext};
+pub use types::{FlashOp, FlashOpKind, Ftl, FtlStats, Lpn, OpPurpose, ReadOutcome, WriteContext};
 
 // Re-exported so device configuration can name cleaning policies without a
 // direct `ossd-gc` dependency.

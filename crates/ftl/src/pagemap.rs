@@ -27,12 +27,16 @@
 
 use std::collections::HashSet;
 
-use ossd_flash::{ElementId, FlashArray, FlashGeometry, FlashTiming, PhysPageAddr};
+use ossd_flash::{
+    ElementId, FlashArray, FlashError, FlashGeometry, FlashTiming, PhysPageAddr, ReliabilityConfig,
+};
 use ossd_gc::{AnyPolicy, BlockInfo, CleaningPolicy, TriggerContext, TriggerDecision};
 
 use crate::config::{CleaningMode, FtlConfig};
 use crate::error::FtlError;
-use crate::types::{FlashOp, FlashOpKind, Ftl, FtlStats, Lpn, OpPurpose, WriteContext};
+use crate::types::{
+    FlashOp, FlashOpKind, Ftl, FtlStats, Lpn, OpPurpose, ReadOutcome, WriteContext,
+};
 
 const UNMAPPED: u64 = u64::MAX;
 
@@ -92,27 +96,51 @@ pub struct PageFtl {
     /// `(element, block)`; used by tests to compare victim sequences across
     /// policy implementations.
     victim_trace: Option<Vec<(u32, u32)>>,
+    /// Bad-block manager state: blocks (by global index) that suffered a
+    /// program failure and must be retired instead of recycled the next
+    /// time cleaning reclaims them.
+    retire_pending: Vec<bool>,
 }
 
 impl PageFtl {
-    /// Builds a page-mapped FTL over a fresh flash array.
+    /// Builds a page-mapped FTL over a fresh, fault-free flash array.
     pub fn new(
         geometry: FlashGeometry,
         timing: FlashTiming,
         config: FtlConfig,
     ) -> Result<Self, FtlError> {
+        Self::with_reliability(geometry, timing, config, ReliabilityConfig::none())
+    }
+
+    /// Builds a page-mapped FTL over a flash array with the given
+    /// reliability model.  Factory-marked bad blocks are excluded from the
+    /// allocation pools (and from the exported capacity) up front.
+    pub fn with_reliability(
+        geometry: FlashGeometry,
+        timing: FlashTiming,
+        config: FtlConfig,
+        reliability: ReliabilityConfig,
+    ) -> Result<Self, FtlError> {
         config.validate()?;
-        let flash = FlashArray::new(geometry, timing)?;
+        reliability
+            .validate()
+            .map_err(|reason| FtlError::InvalidConfig { reason })?;
+        let flash = FlashArray::with_reliability(geometry, timing, reliability)?;
         let total_pages = geometry.total_pages();
+        let usable_pages = flash.free_pages();
+        let factory_bad_pages = total_pages - usable_pages;
         // Exported capacity is bounded both by the over-provisioning factor
         // and by what is physically placeable without cleaning: the blocks
-        // reserved for GC can never hold host data, and a device must
-        // survive a pure sequential fill of everything it advertises (no
-        // overwrites means no stale pages, so cleaning cannot help there).
+        // reserved for GC can never hold host data, factory-bad blocks hold
+        // nothing at all, and a device must survive a pure sequential fill
+        // of everything it advertises (no overwrites means no stale pages,
+        // so cleaning cannot help there).
         let reserved_pages = geometry.elements() as u64
             * config.gc_reserved_blocks as u64
             * geometry.pages_per_block as u64;
-        let placeable = total_pages.saturating_sub(reserved_pages);
+        let placeable = total_pages
+            .saturating_sub(reserved_pages)
+            .saturating_sub(factory_bad_pages);
         let logical_pages = (((total_pages as f64) * (1.0 - config.overprovisioning)).floor()
             as u64)
             .min(placeable);
@@ -122,11 +150,19 @@ impl PageFtl {
             });
         }
         let elements = (0..geometry.elements())
-            .map(|_| ElementState {
-                free_blocks: (0..geometry.blocks_per_element()).rev().collect(),
-                active_block: None,
-                free_pages: geometry.pages_per_element(),
-                clean_stalled: false,
+            .map(|e| {
+                let flash_element = flash.element(ElementId(e)).expect("element in range");
+                // Factory-bad blocks never enter the free list.
+                let free_blocks: Vec<u32> = (0..geometry.blocks_per_element())
+                    .rev()
+                    .filter(|&b| !flash_element.block(b).expect("block in range").is_bad())
+                    .collect();
+                ElementState {
+                    free_pages: free_blocks.len() as u64 * geometry.pages_per_block as u64,
+                    free_blocks,
+                    active_block: None,
+                    clean_stalled: false,
+                }
             })
             .collect();
         let total_blocks = geometry.elements() as usize * geometry.blocks_per_element() as usize;
@@ -140,7 +176,7 @@ impl PageFtl {
             elements,
             cursor: 0,
             freed_phys: HashSet::new(),
-            total_free_pages: total_pages,
+            total_free_pages: usable_pages,
             total_pages,
             stats: FtlStats::default(),
             writes_since_wear_check: 0,
@@ -148,6 +184,7 @@ impl PageFtl {
             clock: 0,
             block_last_write: vec![0; total_blocks],
             victim_trace: None,
+            retire_pending: vec![false; total_blocks],
         })
     }
 
@@ -295,25 +332,121 @@ impl PageFtl {
     /// wear-leveling (the LFS convention), otherwise a block compacted full
     /// of cold data would look hot to age-based policies.  A block's
     /// timestamp is that of its youngest data.
+    ///
+    /// `purpose`/`ops` bill the latency of *failed* program attempts (the
+    /// successful program's op is the caller's to emit, as before): a
+    /// failed program consumes a full program pass before the status is
+    /// reported, matching the erase-failure convention.
     fn program_page(
         &mut self,
         element: usize,
         allow_reserve: bool,
         data_timestamp: u64,
+        purpose: OpPurpose,
+        ops: &mut Vec<FlashOp>,
     ) -> Result<PhysPageAddr, FtlError> {
-        let block = self.ensure_active_block(element, allow_reserve)?;
-        let addr = self.flash.program(ElementId(element as u32), block)?;
-        self.elements[element].free_pages -= 1;
-        self.total_free_pages -= 1;
+        let mut allow_reserve = allow_reserve;
+        loop {
+            let block = self.ensure_active_block(element, allow_reserve)?;
+            let addr = match self.flash.program(ElementId(element as u32), block) {
+                Ok(addr) => addr,
+                Err(FlashError::ProgramFailed { .. }) => {
+                    // The target page is burned: account the consumed page,
+                    // schedule the suspect block for retirement, stop
+                    // appending to it, and re-program elsewhere.  The
+                    // abandoned block keeps at least one stale page (the
+                    // burned one), so cleaning will reclaim — and then
+                    // retire — it.  The failed attempt still occupied the
+                    // element for a full program pass.
+                    ops.push(FlashOp {
+                        element: ElementId(element as u32),
+                        kind: if purpose.is_background() {
+                            FlashOpKind::CopybackPage
+                        } else {
+                            FlashOpKind::ProgramPage
+                        },
+                        purpose,
+                    });
+                    self.elements[element].free_pages -= 1;
+                    self.total_free_pages -= 1;
+                    let global = self.global_block(element, block);
+                    self.retire_pending[global] = true;
+                    self.elements[element].active_block = None;
+                    // The retry may dip into the GC reserve even on the
+                    // host path: re-programming after a failure is
+                    // relocation of data that would otherwise be lost —
+                    // exactly what the reserve exists for.  Without this a
+                    // device at its steady-state watermark dies on the
+                    // first program failure instead of retiring the block.
+                    allow_reserve = true;
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            };
+            self.elements[element].free_pages -= 1;
+            self.total_free_pages -= 1;
+            let global = self.global_block(element, block);
+            self.block_last_write[global] = if addr.page == 0 {
+                // First program after an erase: the stale timestamp of the
+                // block's previous life no longer applies.
+                data_timestamp
+            } else {
+                self.block_last_write[global].max(data_timestamp)
+            };
+            return Ok(addr);
+        }
+    }
+
+    /// Removes `free_count` unusable pages of a block being retired from
+    /// the free-page accounting (they were counted free but can never be
+    /// programmed again).
+    fn forfeit_free_pages(&mut self, element: usize, block: u32) -> Result<(), FtlError> {
+        let free = self
+            .flash
+            .element(ElementId(element as u32))?
+            .block(block)?
+            .free_count() as u64;
+        self.elements[element].free_pages -= free;
+        self.total_free_pages -= free;
+        Ok(())
+    }
+
+    /// Finishes reclaiming `block` once its valid pages have been moved
+    /// out: a block scheduled for retirement by the bad-block manager is
+    /// retired (no erase is spent on it); otherwise the block is erased
+    /// and recycled, with an erase *failure* retiring it on the spot.
+    /// Returns whether an erase was attempted — the caller schedules the
+    /// erase latency and accounts its statistics.  Shared by cleaning and
+    /// wear-leveling so the two reclamation paths cannot drift.
+    fn recycle_or_retire(&mut self, element: usize, block: u32) -> Result<bool, FtlError> {
+        let element_id = ElementId(element as u32);
         let global = self.global_block(element, block);
-        self.block_last_write[global] = if addr.page == 0 {
-            // First program after an erase: the stale timestamp of the
-            // block's previous life no longer applies.
-            data_timestamp
-        } else {
-            self.block_last_write[global].max(data_timestamp)
+        if self.retire_pending[global] {
+            self.flash.retire(element_id, block)?;
+            self.retire_pending[global] = false;
+            self.forfeit_free_pages(element, block)?;
+            return Ok(false);
+        }
+        let freed_pages = {
+            let blk = self.flash.element(element_id)?.block(block)?;
+            (blk.pages() - blk.free_count()) as u64
         };
-        Ok(addr)
+        match self.flash.erase(element_id, block) {
+            Ok(()) => {
+                self.elements[element].free_pages += freed_pages;
+                self.total_free_pages += freed_pages;
+                self.elements[element].free_blocks.push(block);
+            }
+            Err(FlashError::EraseFailed { .. }) => {
+                // Grown bad block: the flash retired it on the spot.  Its
+                // remaining unprogrammed pages are forfeited and it never
+                // returns to the free list; the failed erase still took
+                // the erase latency, so the caller schedules the op.
+                self.forfeit_free_pages(element, block)?;
+            }
+            Err(e) => return Err(e.into()),
+        }
+        Ok(true)
     }
 
     /// Invalidates the physical page currently mapped to `lpn`, if any.
@@ -361,6 +494,10 @@ impl PageFtl {
         let base = element * self.flash.geometry().blocks_per_element() as usize;
         let mut candidates = Vec::new();
         for (idx, block) in flash_element.iter_blocks() {
+            if block.is_bad() {
+                // Retired blocks hold nothing reclaimable.
+                continue;
+            }
             if Some(idx) == state.active_block && !(include_full_active && block.is_full()) {
                 continue;
             }
@@ -433,7 +570,8 @@ impl PageFtl {
                     let lpn = self.rmap[old_ppn as usize];
                     debug_assert_ne!(lpn, UNMAPPED, "valid page with no reverse mapping");
                     // Copy the page to the element's append point.
-                    let new_addr = self.program_page(element, true, victim_timestamp)?;
+                    let new_addr =
+                        self.program_page(element, true, victim_timestamp, purpose, ops)?;
                     let new_ppn = self.encode(new_addr);
                     self.flash.invalidate(addr)?;
                     self.rmap[old_ppn as usize] = UNMAPPED;
@@ -461,15 +599,11 @@ impl PageFtl {
                 ossd_flash::PageState::Free => {}
             }
         }
-        // All pages are now stale or free; erase and recycle the block.
-        let freed_pages = {
-            let block = self.flash.element(element_id)?.block(victim)?;
-            (block.pages() - block.free_count()) as u64
-        };
-        self.flash.erase(element_id, victim)?;
-        self.elements[element].free_pages += freed_pages;
-        self.total_free_pages += freed_pages;
-        self.elements[element].free_blocks.push(victim);
+        // All pages are now stale or free: retire (deferred bad-block
+        // retirement, no erase scheduled) or erase-and-recycle the victim.
+        if !self.recycle_or_retire(element, victim)? {
+            return Ok(true);
+        }
         ops.push(FlashOp {
             element: element_id,
             kind: FlashOpKind::EraseBlock,
@@ -578,6 +712,11 @@ impl PageFtl {
         let mut min_block: Option<(u32, u32)> = None;
         let mut max_erases = 0u32;
         for (idx, block) in flash_element.iter_blocks() {
+            if block.is_bad() {
+                // Retired blocks take no further erases; they neither set
+                // the spread nor qualify as migration sources.
+                continue;
+            }
             let erases = block.erase_count();
             max_erases = max_erases.max(erases);
             if Some(idx) == state.active_block || block.is_erased() {
@@ -620,7 +759,8 @@ impl PageFtl {
             }
             let old_ppn = self.encode(addr);
             let lpn = self.rmap[old_ppn as usize];
-            let new_addr = self.program_page(element, true, cold_timestamp)?;
+            let new_addr =
+                self.program_page(element, true, cold_timestamp, OpPurpose::WearLevel, ops)?;
             let new_ppn = self.encode(new_addr);
             self.flash.invalidate(addr)?;
             self.rmap[old_ppn as usize] = UNMAPPED;
@@ -635,19 +775,17 @@ impl PageFtl {
                 purpose: OpPurpose::WearLevel,
             });
         }
-        let freed_pages = {
-            let block = self.flash.element(element_id)?.block(cold_block)?;
-            (block.pages() - block.free_count()) as u64
-        };
-        self.flash.erase(element_id, cold_block)?;
-        self.elements[element].free_pages += freed_pages;
-        self.total_free_pages += freed_pages;
-        self.elements[element].free_blocks.push(cold_block);
-        ops.push(FlashOp {
-            element: element_id,
-            kind: FlashOpKind::EraseBlock,
-            purpose: OpPurpose::WearLevel,
-        });
+        // Retire (a cold block that previously failed a program must not
+        // return to service) or erase-and-recycle the migrated block; the
+        // shared helper keeps wear-leveling's reclamation identical to
+        // cleaning's.
+        if self.recycle_or_retire(element, cold_block)? {
+            ops.push(FlashOp {
+                element: element_id,
+                kind: FlashOpKind::EraseBlock,
+                purpose: OpPurpose::WearLevel,
+            });
+        }
         Ok(())
     }
 }
@@ -665,19 +803,26 @@ impl Ftl for PageFtl {
         self.logical_pages
     }
 
-    fn read(&mut self, lpn: Lpn, _covered_bytes: u64) -> Result<Vec<FlashOp>, FtlError> {
+    fn read(&mut self, lpn: Lpn, _covered_bytes: u64) -> Result<ReadOutcome, FtlError> {
         self.check_lpn(lpn)?;
         self.stats.host_reads += 1;
         let ppn = self.map[lpn.index()];
         if ppn == UNMAPPED {
             // Reading a never-written page returns zeroes without touching
             // the flash array.
-            return Ok(Vec::new());
+            return Ok(ReadOutcome::buffered());
         }
         let addr = self.decode(ppn);
-        self.flash.read(addr)?;
+        let status = self.flash.read(addr)?;
         self.stats.pages_read_host += 1;
-        Ok(vec![FlashOp::host_read(addr.element)])
+        let mut ops = vec![FlashOp::host_read(addr.element)];
+        for _ in 0..status.retries {
+            ops.push(FlashOp::host_read_retry(addr.element));
+        }
+        Ok(ReadOutcome {
+            ops,
+            uncorrectable: status.uncorrectable,
+        })
     }
 
     fn write(
@@ -735,7 +880,7 @@ impl Ftl for PageFtl {
         if !invalidated_early {
             self.invalidate_mapping(lpn, false)?;
         }
-        let addr = self.program_page(element, false, self.clock)?;
+        let addr = self.program_page(element, false, self.clock, OpPurpose::HostWrite, &mut ops)?;
         let ppn = self.encode(addr);
         self.map[lpn.index()] = ppn;
         self.rmap[ppn as usize] = lpn.0;
@@ -795,6 +940,9 @@ impl Ftl for PageFtl {
     fn next_write_element(&self) -> Option<u32> {
         // Mirrors `pick_element` without advancing the round-robin cursor:
         // the element with the most free pages, ties broken by cursor order.
+        // Free pages of retired blocks were forfeited from the per-element
+        // counters at retirement, so a heavily degraded element stops
+        // attracting writes.
         let n = self.elements.len();
         let mut best = self.cursor % n;
         let mut best_free = self.elements[best].free_pages;
@@ -806,6 +954,14 @@ impl Ftl for PageFtl {
             }
         }
         Some(best as u32)
+    }
+
+    fn reliability_counters(&self) -> ossd_flash::ReliabilityCounters {
+        self.flash.reliability_counters()
+    }
+
+    fn wear_summary(&self) -> ossd_flash::WearSummary {
+        self.flash.wear_summary()
     }
 }
 
@@ -856,7 +1012,7 @@ mod tests {
     #[test]
     fn read_of_unwritten_page_returns_no_ops() {
         let mut ftl = tiny_ftl(FtlConfig::default());
-        assert!(ftl.read(Lpn(0), 4096).unwrap().is_empty());
+        assert!(ftl.read(Lpn(0), 4096).unwrap().ops.is_empty());
         assert!(!ftl.is_mapped(Lpn(0)));
     }
 
@@ -867,9 +1023,10 @@ mod tests {
         assert_eq!(ops.len(), 1);
         assert_eq!(ops[0].kind, FlashOpKind::ProgramPage);
         assert!(ftl.is_mapped(Lpn(5)));
-        let ops = ftl.read(Lpn(5), 4096).unwrap();
-        assert_eq!(ops.len(), 1);
-        assert_eq!(ops[0].kind, FlashOpKind::ReadPage);
+        let outcome = ftl.read(Lpn(5), 4096).unwrap();
+        assert_eq!(outcome.ops.len(), 1);
+        assert_eq!(outcome.ops[0].kind, FlashOpKind::ReadPage);
+        assert!(!outcome.uncorrectable);
         let s = ftl.stats();
         assert_eq!(s.host_writes, 1);
         assert_eq!(s.host_reads, 1);
@@ -1270,6 +1427,154 @@ mod tests {
             wear.total_erases
         );
         assert!(ftl.stats().wear_level_moves > 0 || wear.spread() <= 32);
+    }
+
+    fn faulty_ftl(faults: ossd_flash::FaultConfig, config: FtlConfig) -> PageFtl {
+        let reliability = ReliabilityConfig {
+            faults,
+            ..ReliabilityConfig::none()
+        };
+        PageFtl::with_reliability(
+            FlashGeometry::tiny(),
+            FlashTiming::slc(),
+            config,
+            reliability,
+        )
+        .unwrap()
+    }
+
+    /// Churns the FTL with strided overwrites, tolerating end-of-life:
+    /// returns `true` when the device ran out of blocks (spares exhausted).
+    fn churn_until_death_or(ftl: &mut PageFtl, rounds: usize) -> bool {
+        let logical = ftl.logical_pages();
+        for round in 0..rounds as u64 {
+            for i in 0..logical {
+                let lpn = (i * 13 + round) % logical;
+                match ftl.write(Lpn(lpn), 4096, &WriteContext::idle()) {
+                    Ok(_) => {}
+                    Err(FtlError::NoFreeBlocks { .. }) => return true,
+                    Err(e) => panic!("unexpected FTL error under faults: {e}"),
+                }
+            }
+        }
+        false
+    }
+
+    #[test]
+    fn explicit_none_reliability_matches_the_default_bit_for_bit() {
+        let config = FtlConfig::default()
+            .with_overprovisioning(0.25)
+            .with_watermarks(0.3, 0.1);
+        let mut plain = tiny_ftl(config.clone());
+        let mut explicit = PageFtl::with_reliability(
+            FlashGeometry::tiny(),
+            FlashTiming::slc(),
+            config,
+            ReliabilityConfig::none(),
+        )
+        .unwrap();
+        plain.enable_victim_trace();
+        explicit.enable_victim_trace();
+        let logical = plain.logical_pages();
+        assert_eq!(logical, explicit.logical_pages());
+        let lpns: Vec<u64> = (0..logical).collect();
+        for _ in 0..6 {
+            write_strided(&mut plain, &lpns, 13);
+            write_strided(&mut explicit, &lpns, 13);
+        }
+        assert_eq!(plain.victim_trace(), explicit.victim_trace());
+        assert_eq!(plain.stats(), explicit.stats());
+        assert_eq!(
+            explicit.reliability_counters(),
+            ossd_flash::ReliabilityCounters::default()
+        );
+    }
+
+    #[test]
+    fn factory_bad_blocks_shrink_the_export_and_survive_a_full_fill() {
+        let faults = ossd_flash::FaultConfig {
+            seed: 9,
+            factory_bad_prob: 0.2,
+            ..ossd_flash::FaultConfig::none()
+        };
+        let mut ftl = faulty_ftl(faults, FtlConfig::default());
+        let bad = ftl.wear_summary().retired_blocks;
+        assert!(bad > 0, "p=0.2 over 16 blocks should mark some bad");
+        let logical = ftl.logical_pages();
+        assert!(
+            logical <= 112 - bad * 8,
+            "export {logical} must shrink by the {bad} factory-bad blocks"
+        );
+        // The advertised capacity must still fill sequentially.
+        write_all(&mut ftl, 0..logical);
+        assert_eq!(ftl.flash().valid_pages(), logical);
+    }
+
+    #[test]
+    fn program_failures_reprogram_elsewhere_and_retire_the_block_later() {
+        let faults = ossd_flash::FaultConfig {
+            seed: 3,
+            program_fail_base: 0.001,
+            ..ossd_flash::FaultConfig::none()
+        };
+        let config = FtlConfig::default()
+            .with_overprovisioning(0.25)
+            .with_watermarks(0.3, 0.1);
+        let mut ftl = faulty_ftl(faults, config);
+        let logical = ftl.logical_pages();
+        let died = churn_until_death_or(&mut ftl, 8);
+        let c = ftl.reliability_counters();
+        assert!(c.program_fails > 0, "no program failures injected");
+        if !died {
+            // Every logical page survived the failures: the re-program
+            // path kept the mapping intact.
+            assert_eq!(ftl.flash().valid_pages(), logical);
+        }
+    }
+
+    #[test]
+    fn erase_failures_grow_bad_blocks_without_losing_data() {
+        let faults = ossd_flash::FaultConfig {
+            seed: 17,
+            erase_fail_base: 0.02,
+            ..ossd_flash::FaultConfig::none()
+        };
+        let config = FtlConfig::default()
+            .with_overprovisioning(0.25)
+            .with_watermarks(0.3, 0.1);
+        let mut ftl = faulty_ftl(faults, config);
+        let logical = ftl.logical_pages();
+        let died = churn_until_death_or(&mut ftl, 8);
+        let c = ftl.reliability_counters();
+        assert!(c.erase_fails > 0, "no erase failures injected");
+        assert_eq!(c.retired_blocks, c.erase_fails);
+        assert_eq!(ftl.wear_summary().retired_blocks, c.retired_blocks);
+        if !died {
+            assert_eq!(ftl.flash().valid_pages(), logical);
+        }
+    }
+
+    #[test]
+    fn marginal_reads_surface_retries_and_uncorrectable_outcomes() {
+        let faults = ossd_flash::FaultConfig {
+            seed: 23,
+            raw_ber_base: 200.0,
+            ..ossd_flash::FaultConfig::none()
+        };
+        let mut ftl = faulty_ftl(faults, FtlConfig::default());
+        ftl.write(Lpn(0), 4096, &WriteContext::idle()).unwrap();
+        let outcome = ftl.read(Lpn(0), 4096).unwrap();
+        assert!(outcome.uncorrectable, "a 200-bit mean must defeat the ECC");
+        let retries = outcome
+            .ops
+            .iter()
+            .filter(|o| o.kind == FlashOpKind::ReadRetry)
+            .count();
+        assert_eq!(outcome.ops.len(), 1 + retries);
+        assert!(retries > 0);
+        let c = ftl.reliability_counters();
+        assert_eq!(c.uncorrectable_reads, 1);
+        assert_eq!(c.read_retries, retries as u64);
     }
 
     #[test]

@@ -17,12 +17,16 @@
 //! full-stripe program; touching a different stripe forces the partial
 //! stripe out with a read-modify-write.
 
-use ossd_flash::{ElementId, FlashArray, FlashGeometry, FlashTiming};
+use ossd_flash::{
+    ElementId, FlashArray, FlashError, FlashGeometry, FlashTiming, ReliabilityConfig,
+};
 use ossd_gc::{AnyPolicy, BlockInfo, CleaningPolicy};
 
 use crate::config::FtlConfig;
 use crate::error::FtlError;
-use crate::types::{FlashOp, FlashOpKind, Ftl, FtlStats, Lpn, OpPurpose, WriteContext};
+use crate::types::{
+    FlashOp, FlashOpKind, Ftl, FtlStats, Lpn, OpPurpose, ReadOutcome, WriteContext,
+};
 
 const UNMAPPED: u64 = u64::MAX;
 
@@ -47,6 +51,13 @@ struct SuperBlock {
     /// Logical clock value of the last stripe programmed into this
     /// superblock; age-based cleaning policies compare it to the FTL clock.
     last_write: u64,
+    /// Retired: one of the member blocks went bad (factory-marked, erase
+    /// failure, or post-program-failure retirement) and the lockstep group
+    /// is permanently out of service.
+    bad: bool,
+    /// A program failure occurred in this superblock; it is retired instead
+    /// of recycled the next time cleaning reclaims it.
+    retire_pending: bool,
 }
 
 impl SuperBlock {
@@ -57,6 +68,8 @@ impl SuperBlock {
             valid: 0,
             erase_count: 0,
             last_write: 0,
+            bad: false,
+            retire_pending: false,
         }
     }
 
@@ -123,8 +136,30 @@ impl StripeFtl {
         config: FtlConfig,
         stripe_bytes: u64,
     ) -> Result<Self, FtlError> {
+        Self::with_reliability(
+            geometry,
+            timing,
+            config,
+            stripe_bytes,
+            ReliabilityConfig::none(),
+        )
+    }
+
+    /// Builds a stripe-mapped FTL over a flash array with the given
+    /// reliability model.  A factory-bad block in *any* element retires the
+    /// whole lockstep superblock up front.
+    pub fn with_reliability(
+        geometry: FlashGeometry,
+        timing: FlashTiming,
+        config: FtlConfig,
+        stripe_bytes: u64,
+        reliability: ReliabilityConfig,
+    ) -> Result<Self, FtlError> {
         config.validate()?;
-        let flash = FlashArray::new(geometry, timing)?;
+        reliability
+            .validate()
+            .map_err(|reason| FtlError::InvalidConfig { reason })?;
+        let flash = FlashArray::with_reliability(geometry, timing, reliability)?;
         let elements = geometry.elements() as u64;
         let row_bytes = elements * geometry.page_bytes as u64;
         if stripe_bytes == 0 || !stripe_bytes.is_multiple_of(row_bytes) {
@@ -147,10 +182,34 @@ impl StripeFtl {
         let slots_per_superblock = geometry.pages_per_block / chunk_pages;
         let superblock_count = geometry.blocks_per_element();
         let total_slots = superblock_count as u64 * slots_per_superblock as u64;
+        // A factory-bad block in any element poisons its whole lockstep
+        // superblock.
+        let mut superblocks: Vec<SuperBlock> = (0..superblock_count)
+            .map(|_| SuperBlock::new(slots_per_superblock))
+            .collect();
+        let mut bad_superblocks = 0u64;
+        for (idx, sb) in superblocks.iter_mut().enumerate() {
+            let any_bad = (0..geometry.elements()).any(|e| {
+                flash
+                    .element(ElementId(e))
+                    .expect("element in range")
+                    .block(idx as u32)
+                    .expect("block in range")
+                    .is_bad()
+            });
+            if any_bad {
+                sb.bad = true;
+                bad_superblocks += 1;
+            }
+        }
+        let bad_slots = bad_superblocks * slots_per_superblock as u64;
         // As in the page-mapped FTL, never export more than is placeable
-        // without cleaning: superblocks reserved for GC hold no host data.
+        // without cleaning: superblocks reserved for GC hold no host data,
+        // and retired superblocks hold nothing at all.
         let reserved_slots = config.gc_reserved_blocks as u64 * slots_per_superblock as u64;
-        let placeable = total_slots.saturating_sub(reserved_slots);
+        let placeable = total_slots
+            .saturating_sub(reserved_slots)
+            .saturating_sub(bad_slots);
         let logical_pages = (((total_slots as f64) * (1.0 - config.overprovisioning)).floor()
             as u64)
             .min(placeable);
@@ -160,6 +219,10 @@ impl StripeFtl {
             });
         }
         let policy = config.cleaning_policy.build();
+        let free_superblocks: Vec<u32> = (0..superblock_count)
+            .rev()
+            .filter(|&sb| !superblocks[sb as usize].bad)
+            .collect();
         Ok(StripeFtl {
             flash,
             config,
@@ -167,14 +230,12 @@ impl StripeFtl {
             slots_per_superblock,
             logical_pages,
             map: vec![UNMAPPED; logical_pages as usize],
-            superblocks: (0..superblock_count)
-                .map(|_| SuperBlock::new(slots_per_superblock))
-                .collect(),
-            free_superblocks: (0..superblock_count).rev().collect(),
+            superblocks,
+            free_superblocks,
             active_superblock: None,
             open: None,
             coalesce: true,
-            free_slots: total_slots,
+            free_slots: total_slots - bad_slots,
             total_slots,
             stats: FtlStats::default(),
             policy,
@@ -233,24 +294,30 @@ impl StripeFtl {
 
     /// Emits the flash-state mutations and ops for reading `pages` physical
     /// pages of the stripe stored in `slot`, starting at element 0.
+    ///
+    /// Returns whether any page stayed uncorrectable after its ECC
+    /// retries; the per-retry latency ops are appended alongside the reads.
+    /// The host-read path surfaces the flag as a typed completion error;
+    /// the RMW path ignores it (the stripe is being overwritten anyway).
     fn read_slot_pages(
         &mut self,
         slot: u64,
         pages: u32,
         purpose: OpPurpose,
         ops: &mut Vec<FlashOp>,
-    ) -> Result<(), FtlError> {
+    ) -> Result<bool, FtlError> {
         let superblock = self.slot_superblock(slot);
         let row = self.slot_row(slot);
         let elements = self.flash.geometry().elements();
         let mut remaining = pages;
+        let mut uncorrectable = false;
         'outer: for chunk in 0..self.chunk_pages {
             for element in 0..elements {
                 if remaining == 0 {
                     break 'outer;
                 }
                 let page = row * self.chunk_pages + chunk;
-                self.flash.read(ossd_flash::PhysPageAddr {
+                let status = self.flash.read(ossd_flash::PhysPageAddr {
                     element: ElementId(element),
                     block: superblock,
                     page,
@@ -261,10 +328,18 @@ impl StripeFtl {
                     kind: FlashOpKind::ReadPage,
                     purpose,
                 });
+                for _ in 0..status.retries {
+                    ops.push(FlashOp {
+                        element: ElementId(element),
+                        kind: FlashOpKind::ReadRetry,
+                        purpose,
+                    });
+                }
+                uncorrectable |= status.uncorrectable;
                 remaining -= 1;
             }
         }
-        Ok(())
+        Ok(uncorrectable)
     }
 
     /// Invalidates every physical page of the stripe stored in `slot`.
@@ -321,6 +396,11 @@ impl StripeFtl {
 
     /// Programs a whole stripe for `lpn` into the active superblock and
     /// updates the mapping.  Emits one program op per physical page.
+    ///
+    /// A program failure on any element burns the whole lockstep row: the
+    /// already-programmed siblings are invalidated, the remaining positions
+    /// are padded past the failed row, the superblock is scheduled for
+    /// retirement, and the stripe is re-programmed on a fresh superblock.
     fn program_stripe(
         &mut self,
         lpn: Lpn,
@@ -328,42 +408,109 @@ impl StripeFtl {
         allow_reserve: bool,
         ops: &mut Vec<FlashOp>,
     ) -> Result<(), FtlError> {
-        let superblock = self.ensure_active_superblock(allow_reserve)?;
-        let row = self.superblocks[superblock as usize].write_ptr;
+        let mut allow_reserve = allow_reserve;
+        'attempt: loop {
+            let superblock = self.ensure_active_superblock(allow_reserve)?;
+            let row = self.superblocks[superblock as usize].write_ptr;
+            let elements = self.flash.geometry().elements();
+            for chunk in 0..self.chunk_pages {
+                for element in 0..elements {
+                    let addr = match self.flash.program(ElementId(element), superblock) {
+                        Ok(addr) => addr,
+                        Err(FlashError::ProgramFailed { .. }) => {
+                            // The failed attempt still occupied the element
+                            // for a full program pass (the erase-failure
+                            // convention); the lockstep padding of the
+                            // remaining positions costs nothing.
+                            ops.push(FlashOp {
+                                element: ElementId(element),
+                                kind: if purpose.is_background() {
+                                    FlashOpKind::CopybackPage
+                                } else {
+                                    FlashOpKind::ProgramPage
+                                },
+                                purpose,
+                            });
+                            self.abandon_row(superblock, row, chunk, element)?;
+                            // Failure recovery may dip into the GC reserve
+                            // even on the host path — re-programming the
+                            // stripe is relocation of data that would
+                            // otherwise be lost.
+                            allow_reserve = true;
+                            continue 'attempt;
+                        }
+                        Err(e) => return Err(e.into()),
+                    };
+                    debug_assert_eq!(addr.page, row * self.chunk_pages + chunk);
+                    ops.push(FlashOp {
+                        element: ElementId(element),
+                        kind: if purpose.is_background() {
+                            FlashOpKind::CopybackPage
+                        } else {
+                            FlashOpKind::ProgramPage
+                        },
+                        purpose,
+                    });
+                    if purpose.is_background() {
+                        self.stats.gc_pages_moved += 1;
+                    } else {
+                        self.stats.pages_programmed_host += 1;
+                    }
+                }
+            }
+            let slot = superblock as u64 * self.slots_per_superblock as u64 + row as u64;
+            // Supersede the previous copy of this stripe, if any.
+            let old = self.map[lpn.index()];
+            if old != UNMAPPED {
+                self.invalidate_slot(old)?;
+            }
+            let sb = &mut self.superblocks[superblock as usize];
+            sb.slot_lpns[row as usize] = lpn.0;
+            sb.write_ptr += 1;
+            sb.valid += 1;
+            sb.last_write = self.clock;
+            self.map[lpn.index()] = slot;
+            self.free_slots -= 1;
+            return Ok(());
+        }
+    }
+
+    /// Burns the rest of a lockstep row after a program failure at
+    /// `(failed_chunk, failed_element)`: invalidates the siblings already
+    /// programmed for this stripe, pads the positions not yet reached (the
+    /// failed page itself was consumed by the flash), consumes the slot,
+    /// and schedules the superblock for retirement.
+    fn abandon_row(
+        &mut self,
+        superblock: u32,
+        row: u32,
+        failed_chunk: u32,
+        failed_element: u32,
+    ) -> Result<(), FtlError> {
         let elements = self.flash.geometry().elements();
         for chunk in 0..self.chunk_pages {
             for element in 0..elements {
-                let addr = self.flash.program(ElementId(element), superblock)?;
-                debug_assert_eq!(addr.page, row * self.chunk_pages + chunk);
-                ops.push(FlashOp {
-                    element: ElementId(element),
-                    kind: if purpose.is_background() {
-                        FlashOpKind::CopybackPage
-                    } else {
-                        FlashOpKind::ProgramPage
-                    },
-                    purpose,
-                });
-                if purpose.is_background() {
-                    self.stats.gc_pages_moved += 1;
-                } else {
-                    self.stats.pages_programmed_host += 1;
+                let before_failure =
+                    chunk < failed_chunk || (chunk == failed_chunk && element < failed_element);
+                let is_failed = chunk == failed_chunk && element == failed_element;
+                if before_failure {
+                    self.flash.invalidate(ossd_flash::PhysPageAddr {
+                        element: ElementId(element),
+                        block: superblock,
+                        page: row * self.chunk_pages + chunk,
+                    })?;
+                } else if !is_failed {
+                    self.flash.skip_page(ElementId(element), superblock)?;
                 }
             }
         }
-        let slot = superblock as u64 * self.slots_per_superblock as u64 + row as u64;
-        // Supersede the previous copy of this stripe, if any.
-        let old = self.map[lpn.index()];
-        if old != UNMAPPED {
-            self.invalidate_slot(old)?;
-        }
         let sb = &mut self.superblocks[superblock as usize];
-        sb.slot_lpns[row as usize] = lpn.0;
         sb.write_ptr += 1;
-        sb.valid += 1;
-        sb.last_write = self.clock;
-        self.map[lpn.index()] = slot;
+        sb.retire_pending = true;
         self.free_slots -= 1;
+        // Stop appending to the suspect superblock; cleaning will reclaim
+        // and retire it.
+        self.active_superblock = None;
         Ok(())
     }
 
@@ -381,7 +528,10 @@ impl StripeFtl {
             let page_bytes = self.flash.geometry().page_bytes as u64;
             let missing_bytes = stripe_bytes - open.covered_bytes;
             let missing_pages = missing_bytes.div_ceil(page_bytes) as u32;
-            self.read_slot_pages(old_slot, missing_pages, OpPurpose::HostWrite, ops)?;
+            // An uncorrectable read here would corrupt the merged stripe on
+            // real hardware; the simulator records it in the reliability
+            // counters and lets the overwrite proceed.
+            let _ = self.read_slot_pages(old_slot, missing_pages, OpPurpose::HostWrite, ops)?;
         }
         self.program_stripe(open.lpn, OpPurpose::HostWrite, false, ops)?;
         Ok(())
@@ -409,6 +559,10 @@ impl StripeFtl {
     fn clean_one_superblock(&mut self, ops: &mut Vec<FlashOp>) -> Result<bool, FtlError> {
         let mut candidates = Vec::new();
         for (idx, sb) in self.superblocks.iter().enumerate() {
+            if sb.bad {
+                // Retired superblocks hold nothing reclaimable.
+                continue;
+            }
             if Some(idx as u32) == self.active_superblock || sb.is_erased() {
                 continue;
             }
@@ -443,16 +597,43 @@ impl StripeFtl {
             self.program_stripe(Lpn(lpn), OpPurpose::Clean, true, ops)?;
             let _ = slot;
         }
-        // Erase the victim's block on every element.
         let elements = self.flash.geometry().elements();
         let reclaimed = self.superblocks[victim as usize].write_ptr as u64;
+        // Deferred retirement after a program failure: the live stripes are
+        // out, so take the whole lockstep group out of service without
+        // spending erases on it.
+        if self.superblocks[victim as usize].retire_pending {
+            self.retire_superblock(victim)?;
+            return Ok(true);
+        }
+        // Erase the victim's block on every element; an erase failure on
+        // any element retires the whole group (a grown bad superblock).
+        let mut erase_failed = false;
         for element in 0..elements {
-            self.flash.erase(ElementId(element), victim)?;
+            match self.flash.erase(ElementId(element), victim) {
+                Ok(()) => {}
+                Err(FlashError::EraseFailed { .. }) => {
+                    // The failed erase still took the erase latency; stop
+                    // erasing the siblings — the group is dead either way.
+                    ops.push(FlashOp {
+                        element: ElementId(element),
+                        kind: FlashOpKind::EraseBlock,
+                        purpose: OpPurpose::Clean,
+                    });
+                    erase_failed = true;
+                    break;
+                }
+                Err(e) => return Err(e.into()),
+            }
             ops.push(FlashOp {
                 element: ElementId(element),
                 kind: FlashOpKind::EraseBlock,
                 purpose: OpPurpose::Clean,
             });
+        }
+        if erase_failed {
+            self.retire_superblock(victim)?;
+            return Ok(true);
         }
         let sb = &mut self.superblocks[victim as usize];
         sb.slot_lpns.fill(UNMAPPED);
@@ -463,6 +644,24 @@ impl StripeFtl {
         self.free_slots += reclaimed;
         self.stats.gc_blocks_erased += elements as u64;
         Ok(true)
+    }
+
+    /// Takes a superblock permanently out of service: retires every
+    /// element's block (live data must already have been relocated) and
+    /// forfeits its unwritten slots from the free-space accounting.
+    fn retire_superblock(&mut self, superblock: u32) -> Result<(), FtlError> {
+        let elements = self.flash.geometry().elements();
+        for element in 0..elements {
+            // Idempotent: the element whose erase failed is already bad.
+            self.flash.retire(ElementId(element), superblock)?;
+        }
+        let sb = &mut self.superblocks[superblock as usize];
+        debug_assert_eq!(sb.valid, 0, "retiring a superblock with live stripes");
+        let unwritten = (sb.slots() - sb.write_ptr) as u64;
+        sb.bad = true;
+        sb.retire_pending = false;
+        self.free_slots -= unwritten;
+        Ok(())
     }
 
     /// Reads every page of a live stripe without bus transfers (GC move).
@@ -477,7 +676,10 @@ impl StripeFtl {
         for chunk in 0..self.chunk_pages {
             for element in 0..elements {
                 let page = row * self.chunk_pages + chunk;
-                self.flash.read(ossd_flash::PhysPageAddr {
+                // Cleaning moves the stripe regardless of its raw error
+                // count; the reliability outcome is recorded in the flash
+                // counters but does not abort the relocation.
+                let _ = self.flash.read(ossd_flash::PhysPageAddr {
                     element: ElementId(element),
                     block: superblock,
                     page,
@@ -521,19 +723,19 @@ impl Ftl for StripeFtl {
         self.logical_pages
     }
 
-    fn read(&mut self, lpn: Lpn, covered_bytes: u64) -> Result<Vec<FlashOp>, FtlError> {
+    fn read(&mut self, lpn: Lpn, covered_bytes: u64) -> Result<ReadOutcome, FtlError> {
         self.check_lpn(lpn)?;
         self.stats.host_reads += 1;
         // Reads of a stripe still sitting in the open buffer are served from
         // RAM.
         if let Some(open) = self.open {
             if open.lpn == lpn {
-                return Ok(Vec::new());
+                return Ok(ReadOutcome::buffered());
             }
         }
         let slot = self.map[lpn.index()];
         if slot == UNMAPPED {
-            return Ok(Vec::new());
+            return Ok(ReadOutcome::buffered());
         }
         let page_bytes = self.flash.geometry().page_bytes as u64;
         let pages = covered_bytes
@@ -541,8 +743,8 @@ impl Ftl for StripeFtl {
             .div_ceil(page_bytes)
             .max(1) as u32;
         let mut ops = Vec::new();
-        self.read_slot_pages(slot, pages, OpPurpose::HostRead, &mut ops)?;
-        Ok(ops)
+        let uncorrectable = self.read_slot_pages(slot, pages, OpPurpose::HostRead, &mut ops)?;
+        Ok(ReadOutcome { ops, uncorrectable })
     }
 
     fn write(
@@ -630,6 +832,14 @@ impl Ftl for StripeFtl {
             return false;
         }
         self.map[lpn.index()] != UNMAPPED || self.open.map(|o| o.lpn == lpn).unwrap_or(false)
+    }
+
+    fn reliability_counters(&self) -> ossd_flash::ReliabilityCounters {
+        self.flash.reliability_counters()
+    }
+
+    fn wear_summary(&self) -> ossd_flash::WearSummary {
+        self.flash.wear_summary()
     }
 }
 
@@ -764,12 +974,12 @@ mod tests {
         let mut ftl = tiny_stripe_ftl(FtlConfig::default(), 8192);
         ftl.write(Lpn(0), 8192, &WriteContext::idle()).unwrap();
         // 4 KB read needs one page; full-stripe read needs two.
-        assert_eq!(ftl.read(Lpn(0), 4096).unwrap().len(), 1);
-        assert_eq!(ftl.read(Lpn(0), 8192).unwrap().len(), 2);
+        assert_eq!(ftl.read(Lpn(0), 4096).unwrap().ops.len(), 1);
+        assert_eq!(ftl.read(Lpn(0), 8192).unwrap().ops.len(), 2);
         // Reads of unwritten stripes and of the open buffer cost nothing.
-        assert!(ftl.read(Lpn(5), 4096).unwrap().is_empty());
+        assert!(ftl.read(Lpn(5), 4096).unwrap().ops.is_empty());
         ftl.write(Lpn(6), 4096, &WriteContext::idle()).unwrap();
-        assert!(ftl.read(Lpn(6), 4096).unwrap().is_empty());
+        assert!(ftl.read(Lpn(6), 4096).unwrap().ops.is_empty());
     }
 
     #[test]
@@ -810,6 +1020,111 @@ mod tests {
         assert!(ftl.read(bad, 4096).is_err());
         assert!(ftl.write(bad, 4096, &WriteContext::idle()).is_err());
         assert!(ftl.free(bad).is_err());
+    }
+
+    fn faulty_stripe_ftl(faults: ossd_flash::FaultConfig, config: FtlConfig) -> StripeFtl {
+        let reliability = ReliabilityConfig {
+            faults,
+            ..ReliabilityConfig::none()
+        };
+        StripeFtl::with_reliability(
+            FlashGeometry::tiny(),
+            FlashTiming::slc(),
+            config,
+            8192,
+            reliability,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn factory_bad_superblocks_shrink_the_export() {
+        let faults = ossd_flash::FaultConfig {
+            seed: 29,
+            factory_bad_prob: 0.2,
+            ..ossd_flash::FaultConfig::none()
+        };
+        let mut ftl = faulty_stripe_ftl(faults, FtlConfig::default());
+        let retired = ftl.wear_summary().retired_blocks;
+        assert!(retired > 0, "some blocks should be factory-marked");
+        let logical = ftl.logical_pages();
+        assert!(logical < 56, "export {logical} must shrink below 56");
+        for lpn in 0..logical {
+            ftl.write(Lpn(lpn), 8192, &WriteContext::idle()).unwrap();
+        }
+        ftl.flush().unwrap();
+        assert_eq!(ftl.flash().valid_pages(), logical * 2);
+    }
+
+    #[test]
+    fn program_failures_burn_the_row_and_reprogram_the_stripe() {
+        let faults = ossd_flash::FaultConfig {
+            seed: 31,
+            program_fail_base: 0.002,
+            ..ossd_flash::FaultConfig::none()
+        };
+        let config = FtlConfig::default()
+            .with_overprovisioning(0.25)
+            .with_watermarks(0.2, 0.05);
+        let mut ftl = faulty_stripe_ftl(faults, config);
+        let logical = ftl.logical_pages();
+        let mut died = false;
+        'churn: for _ in 0..10 {
+            for lpn in 0..logical {
+                match ftl.write(Lpn(lpn), 8192, &WriteContext::idle()) {
+                    Ok(_) => {}
+                    Err(FtlError::NoFreeBlocks { .. }) => {
+                        died = true;
+                        break 'churn;
+                    }
+                    Err(e) => panic!("unexpected stripe FTL error: {e}"),
+                }
+            }
+        }
+        let c = ftl.reliability_counters();
+        assert!(c.program_fails > 0, "no program failures injected");
+        if !died {
+            ftl.flush().unwrap();
+            assert_eq!(ftl.flash().valid_pages(), logical * 2);
+        }
+    }
+
+    #[test]
+    fn erase_failures_retire_whole_superblocks() {
+        let faults = ossd_flash::FaultConfig {
+            seed: 37,
+            erase_fail_base: 0.05,
+            ..ossd_flash::FaultConfig::none()
+        };
+        let config = FtlConfig::default()
+            .with_overprovisioning(0.25)
+            .with_watermarks(0.2, 0.05);
+        let mut ftl = faulty_stripe_ftl(faults, config);
+        let logical = ftl.logical_pages();
+        let mut died = false;
+        'churn: for _ in 0..12 {
+            for lpn in 0..logical {
+                match ftl.write(Lpn(lpn), 8192, &WriteContext::idle()) {
+                    Ok(_) => {}
+                    Err(FtlError::NoFreeBlocks { .. }) => {
+                        died = true;
+                        break 'churn;
+                    }
+                    Err(e) => panic!("unexpected stripe FTL error: {e}"),
+                }
+            }
+        }
+        let c = ftl.reliability_counters();
+        assert!(c.erase_fails > 0, "no erase failures injected");
+        // Retirement is per lockstep group: every element's block of the
+        // failed superblock goes out of service.
+        let elements = ftl.flash().geometry().elements() as u64;
+        assert_eq!(c.retired_blocks % elements, 0);
+        assert!(c.retired_blocks >= elements);
+        if !died {
+            ftl.flush().unwrap();
+            assert_eq!(ftl.flash().valid_pages(), logical * 2);
+        }
     }
 
     #[test]

@@ -24,6 +24,11 @@ impl Lpn {
 pub enum FlashOpKind {
     /// Array read followed by a bus transfer to the controller.
     ReadPage,
+    /// An ECC read-retry: the array re-reads the page with shifted
+    /// thresholds and re-transfers it.  Emitted (after the initial
+    /// [`FlashOpKind::ReadPage`]) once per retry the reliability model
+    /// required, so marginal pages cost real latency at the device.
+    ReadRetry,
     /// Bus transfer from the controller followed by an array program.
     ProgramPage,
     /// Internal read+program without a bus transfer (GC page move).
@@ -91,6 +96,15 @@ impl FlashOp {
         }
     }
 
+    /// Convenience constructor for an ECC read-retry of one page.
+    pub fn host_read_retry(element: ElementId) -> Self {
+        FlashOp {
+            element,
+            kind: FlashOpKind::ReadRetry,
+            purpose: OpPurpose::HostRead,
+        }
+    }
+
     /// Convenience constructor for a GC copy-back move.
     pub fn gc_copyback(element: ElementId) -> Self {
         FlashOp {
@@ -107,6 +121,38 @@ impl FlashOp {
             kind: FlashOpKind::EraseBlock,
             purpose: OpPurpose::Clean,
         }
+    }
+}
+
+/// The result of one logical-page read: the flash operations to schedule
+/// plus the reliability verdict.
+///
+/// `ops` includes one [`FlashOpKind::ReadRetry`] per ECC retry the
+/// reliability model required, so the device times marginal reads
+/// truthfully.  `uncorrectable` is set when the data stayed unreadable
+/// after every retry; the device completes the request with a typed error
+/// status (`CompletionStatus::UncorrectableRead` in `ossd-block`) instead
+/// of aborting the session.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReadOutcome {
+    /// Flash operations to schedule (empty for unwritten/buffered data).
+    pub ops: Vec<FlashOp>,
+    /// The read failed every ECC retry; the host sees a typed error.
+    pub uncorrectable: bool,
+}
+
+impl ReadOutcome {
+    /// A successful read with the given operations.
+    pub fn ok(ops: Vec<FlashOp>) -> Self {
+        ReadOutcome {
+            ops,
+            uncorrectable: false,
+        }
+    }
+
+    /// A read served without flash work (unwritten or buffered data).
+    pub fn buffered() -> Self {
+        ReadOutcome::ok(Vec::new())
     }
 }
 
@@ -228,11 +274,11 @@ pub trait Ftl {
         self.logical_pages() * self.logical_page_bytes()
     }
 
-    /// Reads one logical page, returning the flash operations to schedule.
-    /// `covered_bytes` says how many bytes of the logical page the host
-    /// actually asked for, so a coarse-grained FTL only reads the physical
-    /// pages it needs.
-    fn read(&mut self, lpn: Lpn, covered_bytes: u64) -> Result<Vec<FlashOp>, FtlError>;
+    /// Reads one logical page, returning the flash operations to schedule
+    /// and the reliability verdict ([`ReadOutcome`]).  `covered_bytes` says
+    /// how many bytes of the logical page the host actually asked for, so a
+    /// coarse-grained FTL only reads the physical pages it needs.
+    fn read(&mut self, lpn: Lpn, covered_bytes: u64) -> Result<ReadOutcome, FtlError>;
 
     /// Writes one logical page.  `covered_bytes` says how many bytes of the
     /// logical page the host actually supplied (a sub-page write forces the
@@ -303,6 +349,19 @@ pub trait Ftl {
 
     /// Whether a logical page currently has a mapping.
     fn is_mapped(&self, lpn: Lpn) -> bool;
+
+    /// Cumulative media-reliability counters (program/erase failures,
+    /// retired blocks, ECC retries, uncorrectable reads).  The default
+    /// implementation reports a fault-free medium.
+    fn reliability_counters(&self) -> ossd_flash::ReliabilityCounters {
+        ossd_flash::ReliabilityCounters::default()
+    }
+
+    /// Aggregate wear statistics of the managed flash, including the
+    /// retired-block population.  The default reports a pristine medium.
+    fn wear_summary(&self) -> ossd_flash::WearSummary {
+        ossd_flash::WearSummary::default()
+    }
 }
 
 #[cfg(test)]

@@ -198,12 +198,7 @@ impl Controller for HddController<'_> {
                     if matches!(command.payload, HddPayload::Flush) {
                         drained = drained.max(self.hdd.arm.next_free());
                     }
-                    Completion {
-                        request_id: command.id,
-                        arrival: command.arrival,
-                        start: drained,
-                        finish: drained,
-                    }
+                    Completion::ok(command.id, command.arrival, drained, drained)
                 }
             };
             self.initiator_finish[command.initiator] =
@@ -340,12 +335,12 @@ impl BlockDevice for Hdd {
                 start + service
             }
         };
-        Ok(Completion {
-            request_id: request.id,
-            arrival: request.arrival,
+        Ok(Completion::ok(
+            request.id,
+            request.arrival,
             start,
-            finish: finish.max(start),
-        })
+            finish.max(start),
+        ))
     }
 }
 

@@ -1,6 +1,6 @@
 //! SSD device configuration.
 
-use ossd_flash::{FlashGeometry, FlashTiming};
+use ossd_flash::{FlashGeometry, FlashTiming, ReliabilityConfig};
 use ossd_ftl::FtlConfig;
 use ossd_gc::BackgroundGcConfig;
 use ossd_sim::SimDuration;
@@ -40,6 +40,12 @@ pub struct SsdConfig {
     pub mapping: MappingKind,
     /// FTL policy configuration (over-provisioning, cleaning, wear-leveling).
     pub ftl: FtlConfig,
+    /// Media reliability: the fault model (program/erase failures, grown
+    /// bad blocks, raw bit errors) and the ECC/read-retry recovery
+    /// parameters.  The default ([`ReliabilityConfig::none`]) installs no
+    /// model — the device behaves bit-for-bit like the pre-reliability
+    /// simulator.
+    pub reliability: ReliabilityConfig,
     /// Background (idle-window) cleaning.  `None` — the default on every
     /// profile — keeps all cleaning in the write path, which is the
     /// behaviour the paper's devices exhibit; `Some` lets the controller
@@ -84,6 +90,7 @@ impl SsdConfig {
             timing: FlashTiming::slc(),
             mapping: MappingKind::PageMapped,
             ftl: FtlConfig::default().with_watermarks(0.3, 0.1),
+            reliability: ReliabilityConfig::none(),
             background_gc: None,
             gangs: 1,
             scheduler: SchedulerKind::Fcfs,
@@ -126,6 +133,11 @@ impl SsdConfig {
                 reason: format!("geometry: {e}"),
             })?;
         self.ftl.validate().map_err(SsdError::Ftl)?;
+        self.reliability
+            .validate()
+            .map_err(|reason| SsdError::InvalidConfig {
+                reason: format!("reliability: {reason}"),
+            })?;
         if self.gangs == 0 {
             return Err(SsdError::InvalidConfig {
                 reason: "at least one gang is required".to_string(),
@@ -202,6 +214,12 @@ impl SsdConfig {
         self.background_gc = Some(bg);
         self
     }
+
+    /// Returns the configuration with the given reliability model.
+    pub fn with_reliability(mut self, reliability: ReliabilityConfig) -> Self {
+        self.reliability = reliability;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -257,6 +275,18 @@ mod tests {
         let c = SsdConfig::tiny_page_mapped().with_queue_depth(8);
         assert_eq!(c.queue_depth, 8);
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn reliability_defaults_to_none_and_validates() {
+        let c = SsdConfig::tiny_page_mapped();
+        assert!(c.reliability.is_none());
+        let c = c.with_reliability(ReliabilityConfig::wearout(9));
+        assert!(!c.reliability.is_none());
+        c.validate().unwrap();
+        let mut bad = SsdConfig::tiny_page_mapped();
+        bad.reliability.faults.program_fail_base = 2.0;
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -282,23 +282,14 @@ impl Controller for SsdController<'_> {
                 }
                 CommandPayload::Flush => {
                     let finish = self.ssd.flush(dispatch)?;
-                    let completion = Completion {
-                        request_id: command.id,
-                        arrival: command.arrival,
-                        start: dispatch,
-                        finish,
-                    };
+                    let completion = Completion::ok(command.id, command.arrival, dispatch, finish);
                     (completion, dispatch)
                 }
                 CommandPayload::Barrier => {
                     // Eligibility already guaranteed the initiator drained;
                     // the barrier completes at its dispatch instant.
-                    let completion = Completion {
-                        request_id: command.id,
-                        arrival: command.arrival,
-                        start: dispatch,
-                        finish: dispatch,
-                    };
+                    let completion =
+                        Completion::ok(command.id, command.arrival, dispatch, dispatch);
                     (completion, dispatch)
                 }
             };

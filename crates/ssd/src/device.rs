@@ -8,8 +8,8 @@
 //! See the crate documentation for the two drivers of that pipeline.
 
 use ossd_block::{
-    arbitrate_round_robin, BlockDevice, BlockOpKind, BlockRequest, Completion, DeviceError,
-    DeviceInfo, HostCommand, HostInterface, HostQueue, StreamTemperature,
+    arbitrate_round_robin, BlockDevice, BlockOpKind, BlockRequest, Completion, CompletionStatus,
+    DeviceError, DeviceInfo, HostCommand, HostInterface, HostQueue, StreamTemperature,
 };
 use ossd_ftl::{FlashOp, FlashOpKind, Ftl, FtlStats, Lpn, PageFtl, StripeFtl, WriteContext};
 use ossd_gc::{BackgroundCleaner, BackgroundGcStats};
@@ -43,20 +43,22 @@ impl Ssd {
     pub fn new(config: SsdConfig) -> Result<Self, SsdError> {
         config.validate()?;
         let ftl: Box<dyn Ftl> = match config.mapping {
-            MappingKind::PageMapped => Box::new(PageFtl::new(
+            MappingKind::PageMapped => Box::new(PageFtl::with_reliability(
                 config.geometry,
                 config.timing,
                 config.ftl.clone(),
+                config.reliability,
             )?),
             MappingKind::StripeMapped {
                 stripe_bytes,
                 coalesce,
             } => {
-                let mut ftl = StripeFtl::new(
+                let mut ftl = StripeFtl::with_reliability(
                     config.geometry,
                     config.timing,
                     config.ftl.clone(),
                     stripe_bytes,
+                    config.reliability,
                 )?;
                 ftl.set_coalescing(coalesce);
                 Box::new(ftl)
@@ -90,11 +92,19 @@ impl Ssd {
         &self.config
     }
 
-    /// Cumulative device statistics (FTL counters are refreshed on access).
+    /// Cumulative device statistics (FTL and reliability counters are
+    /// refreshed on access).
     pub fn stats(&self) -> SsdStats {
         let mut s = self.stats;
         s.ftl = self.ftl.stats();
+        s.reliability = self.ftl.reliability_counters();
         s
+    }
+
+    /// Aggregate wear statistics of the flash array, including the
+    /// retired-block (grown bad) population.
+    pub fn wear_summary(&self) -> ossd_flash::WearSummary {
+        self.ftl.wear_summary()
     }
 
     /// FTL statistics only.
@@ -159,9 +169,11 @@ impl Ssd {
             let element = op.element.index();
             let gang = self.gang_of(element);
             let (begin, finish, busy) = match op.kind {
-                FlashOpKind::ReadPage => {
+                FlashOpKind::ReadPage | FlashOpKind::ReadRetry => {
                     // Array read on the die, then the transfer serialises on
-                    // the gang bus.
+                    // the gang bus.  An ECC read-retry re-reads the array
+                    // with shifted thresholds and re-transfers the page, so
+                    // it costs a full read pass of latency.
                     let read = self.elements[element].accept(floor, timing.read_page);
                     let xfer =
                         self.buses[gang].accept(read.completion, timing.transfer(page_bytes));
@@ -320,6 +332,10 @@ impl Ssd {
         // actually began once the request reaches the flash array; requests
         // served entirely from controller RAM keep the dispatch time.
         let mut service_start = start;
+        // Media errors surface on the completion as a typed status rather
+        // than aborting the request: the host waited the full (retry-laden)
+        // service time and then learns the data is gone.
+        let mut status = CompletionStatus::Ok;
         let finish = match request.kind {
             BlockOpKind::Free => {
                 self.stats.host_frees += 1;
@@ -347,7 +363,12 @@ impl Ssd {
                     let mut ops = Vec::new();
                     for (lpn, covered) in self.split_range(request.range.offset, request.range.len)
                     {
-                        ops.extend(self.ftl.read(lpn, covered)?);
+                        let outcome = self.ftl.read(lpn, covered)?;
+                        if outcome.uncorrectable && status.is_ok() {
+                            status = CompletionStatus::UncorrectableRead;
+                            self.stats.failed_reads += 1;
+                        }
+                        ops.extend(outcome.ops);
                     }
                     if ops.is_empty() {
                         // Unwritten data (or data still in controller RAM).
@@ -401,6 +422,7 @@ impl Ssd {
             arrival: request.arrival,
             start: service_start,
             finish,
+            status,
         })
     }
 
@@ -899,6 +921,116 @@ mod tests {
         let acct = with_bg.accounting();
         assert!(acct.background_erases > 0);
         assert!(acct.background_nanos > 0);
+    }
+
+    #[test]
+    fn uncorrectable_read_surfaces_as_typed_completion_error() {
+        use ossd_flash::{FaultConfig, ReliabilityConfig};
+        // A BER far beyond the ECC: every read exhausts its retries and
+        // fails.  The command must complete — with the typed error status —
+        // rather than abort the serve or panic.
+        let mut config = SsdConfig::tiny_page_mapped();
+        config.reliability = ReliabilityConfig {
+            faults: FaultConfig {
+                seed: 1,
+                raw_ber_base: 500.0,
+                ..FaultConfig::none()
+            },
+            ..ReliabilityConfig::none()
+        };
+        let mut ssd = Ssd::new(config).unwrap();
+        let w = ssd
+            .submit(&BlockRequest::write(0, 0, 4096, SimTime::ZERO))
+            .unwrap();
+        assert!(w.is_ok(), "writes carry no read-path error");
+        let r = ssd
+            .submit(&BlockRequest::read(1, 0, 4096, w.finish))
+            .expect("an uncorrectable read is a completion, not a serve error");
+        assert_eq!(r.status, CompletionStatus::UncorrectableRead);
+        let s = ssd.stats();
+        assert_eq!(s.failed_reads, 1);
+        assert_eq!(s.reliability.uncorrectable_reads, 1);
+        assert!(s.reliability.read_retries > 0);
+        // The device remains serviceable afterwards.
+        let r2 = ssd
+            .submit(&BlockRequest::write(2, 4096, 4096, r.finish))
+            .unwrap();
+        assert!(r2.is_ok());
+    }
+
+    #[test]
+    fn read_retries_cost_real_latency() {
+        use ossd_flash::{FaultConfig, ReliabilityConfig};
+        let read_time = |reliability: ReliabilityConfig| -> (SimDuration, u64) {
+            let mut config = SsdConfig::tiny_page_mapped();
+            config.reliability = reliability;
+            let mut ssd = Ssd::new(config).unwrap();
+            let w = ssd
+                .submit(&BlockRequest::write(0, 0, 4096, SimTime::ZERO))
+                .unwrap();
+            let r = ssd
+                .submit(&BlockRequest::read(1, 0, 4096, w.finish))
+                .unwrap();
+            (r.response_time(), ssd.stats().reliability.read_retries)
+        };
+        let (clean, clean_retries) = read_time(ReliabilityConfig::none());
+        assert_eq!(clean_retries, 0);
+        // A mean of ~30 raw errors needs retries but (at 0.5 decay) decodes
+        // within the budget, so the read succeeds slower.
+        let marginal = ReliabilityConfig {
+            faults: FaultConfig {
+                seed: 2,
+                raw_ber_base: 30.0,
+                ..FaultConfig::none()
+            },
+            ..ReliabilityConfig::none()
+        };
+        let (slow, retries) = read_time(marginal);
+        assert!(retries > 0, "a 30-bit mean must need retries");
+        assert!(
+            slow > clean,
+            "retries must add latency: {slow:?} vs {clean:?}"
+        );
+    }
+
+    #[test]
+    fn wear_summary_reports_retired_blocks_through_the_device() {
+        use ossd_flash::{FaultConfig, ReliabilityConfig};
+        let mut config = SsdConfig::tiny_page_mapped();
+        config.ftl = config
+            .ftl
+            .with_overprovisioning(0.25)
+            .with_watermarks(0.3, 0.1);
+        config.reliability = ReliabilityConfig {
+            faults: FaultConfig {
+                seed: 3,
+                erase_fail_base: 0.05,
+                ..FaultConfig::none()
+            },
+            ..ReliabilityConfig::none()
+        };
+        let mut ssd = Ssd::new(config).unwrap();
+        let pages = ssd.capacity_bytes() / 4096;
+        let mut id = 0u64;
+        'churn: for round in 0..8u64 {
+            for i in 0..pages {
+                let lpn = (i * 13 + round) % pages;
+                if ssd
+                    .submit(&BlockRequest::write(id, lpn * 4096, 4096, SimTime::ZERO))
+                    .is_err()
+                {
+                    // Spares exhausted: acceptable end state for this rate.
+                    break 'churn;
+                }
+                id += 1;
+            }
+        }
+        let s = ssd.stats();
+        assert!(s.reliability.erase_fails > 0);
+        let wear = ssd.wear_summary();
+        assert_eq!(wear.retired_blocks, s.reliability.retired_blocks);
+        assert!(wear.worn_out_blocks >= wear.retired_blocks);
+        assert_eq!(wear.spare_blocks + wear.retired_blocks, 16);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! collapse on random writes, and by roughly what factors).  Absolute MB/s
 //! values are not calibrated to the anonymous hardware.
 
-use ossd_flash::{FlashGeometry, FlashTiming};
+use ossd_flash::{FlashGeometry, FlashTiming, ReliabilityConfig};
 use ossd_ftl::FtlConfig;
 use ossd_sim::SimDuration;
 
@@ -88,6 +88,7 @@ impl DeviceProfile {
                     coalesce: true,
                 },
                 ftl: FtlConfig::default(),
+                reliability: ReliabilityConfig::none(),
                 background_gc: None,
                 gangs: 4,
                 scheduler: SchedulerKind::Fcfs,
@@ -116,6 +117,7 @@ impl DeviceProfile {
                     coalesce: true,
                 },
                 ftl: FtlConfig::default(),
+                reliability: ReliabilityConfig::none(),
                 background_gc: None,
                 gangs: 1,
                 scheduler: SchedulerKind::Fcfs,
@@ -144,6 +146,7 @@ impl DeviceProfile {
                     coalesce: true,
                 },
                 ftl: FtlConfig::default(),
+                reliability: ReliabilityConfig::none(),
                 background_gc: None,
                 gangs: 2,
                 scheduler: SchedulerKind::Fcfs,
@@ -159,6 +162,7 @@ impl DeviceProfile {
                 timing: FlashTiming::slc(),
                 mapping: MappingKind::PageMapped,
                 ftl: FtlConfig::default(),
+                reliability: ReliabilityConfig::none(),
                 background_gc: None,
                 gangs: 1,
                 scheduler: SchedulerKind::Fcfs,
@@ -184,6 +188,7 @@ impl DeviceProfile {
                 },
                 mapping: MappingKind::PageMapped,
                 ftl: FtlConfig::default(),
+                reliability: ReliabilityConfig::none(),
                 background_gc: None,
                 gangs: 2,
                 scheduler: SchedulerKind::Fcfs,
@@ -202,6 +207,7 @@ impl DeviceProfile {
                     coalesce: true,
                 },
                 ftl: FtlConfig::default(),
+                reliability: ReliabilityConfig::none(),
                 background_gc: None,
                 gangs: 1,
                 scheduler: SchedulerKind::Fcfs,
@@ -217,6 +223,7 @@ impl DeviceProfile {
                 timing: FlashTiming::slc(),
                 mapping: MappingKind::PageMapped,
                 ftl: FtlConfig::default(),
+                reliability: ReliabilityConfig::none(),
                 background_gc: None,
                 gangs: 1,
                 scheduler: SchedulerKind::Fcfs,

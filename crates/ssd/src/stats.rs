@@ -1,5 +1,6 @@
 //! Cumulative SSD device statistics.
 
+use ossd_flash::ReliabilityCounters;
 use ossd_ftl::FtlStats;
 use ossd_gc::WriteAmpAccounting;
 use ossd_sim::SimDuration;
@@ -29,6 +30,11 @@ pub struct SsdStats {
     pub background_cleaning_busy: SimDuration,
     /// Flash busy time spent on explicit wear-leveling migrations.
     pub wear_level_busy: SimDuration,
+    /// Host read *requests* that completed with
+    /// `CompletionStatus::UncorrectableRead` (at least one of their pages
+    /// stayed uncorrectable; the per-page count is in
+    /// [`SsdStats::reliability`]).
+    pub failed_reads: u64,
     /// Host reads served from the sequential read-ahead buffer.
     pub prefetch_hits: u64,
     /// Host writes absorbed by controller RAM without immediate flash work.
@@ -40,6 +46,10 @@ pub struct SsdStats {
     pub hinted_cold_writes: u64,
     /// FTL-level counters (mapping, GC, wear-leveling).
     pub ftl: FtlStats,
+    /// Media-reliability counters (program/erase failures, retired blocks,
+    /// ECC read retries, uncorrectable reads).  All zero on a fault-free
+    /// device.
+    pub reliability: ReliabilityCounters,
 }
 
 impl SsdStats {

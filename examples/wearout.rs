@@ -1,0 +1,149 @@
+//! Wear-out: drive a tiny low-endurance device to end-of-life under the
+//! seeded fault model and print the retirement timeline — every grown bad
+//! block as it is retired, the ECC retry/uncorrectable activity near the
+//! end, and the post-mortem wear summary.
+//!
+//! Run with: `cargo run --release --example wearout`
+
+use ossd::block::{BlockDevice, BlockRequest, CompletionStatus};
+use ossd::flash::{FlashGeometry, FlashTiming, ReliabilityConfig};
+use ossd::ftl::FtlConfig;
+use ossd::sim::{SimRng, SimTime};
+use ossd::ssd::{MappingKind, SchedulerKind, Ssd, SsdConfig};
+
+fn main() {
+    // 2 elements x 32 blocks x 16 pages, rated for only 32 erase cycles:
+    // a flash part that dies within seconds of simulated burn-in.
+    let config = SsdConfig {
+        name: "wearout-demo".to_string(),
+        geometry: FlashGeometry {
+            packages: 2,
+            dies_per_package: 1,
+            planes_per_die: 1,
+            blocks_per_plane: 32,
+            pages_per_block: 16,
+            page_bytes: 4096,
+        },
+        timing: FlashTiming {
+            endurance: 32,
+            ..FlashTiming::slc()
+        },
+        mapping: MappingKind::PageMapped,
+        ftl: {
+            let mut ftl = FtlConfig::default()
+                .with_overprovisioning(0.2)
+                .with_watermarks(0.05, 0.02);
+            // The GC reserve is the spare pool: deep enough that one grown
+            // bad block cannot wedge an element.
+            ftl.gc_reserved_blocks = 3;
+            ftl
+        },
+        reliability: ReliabilityConfig::wearout(0xDEAD_F1A5),
+        background_gc: None,
+        gangs: 1,
+        scheduler: SchedulerKind::Fcfs,
+        queue_depth: 1,
+        controller_overhead: ossd::sim::SimDuration::from_micros(20),
+        random_penalty: ossd::sim::SimDuration::ZERO,
+        sequential_prefetch: false,
+        ram_bytes_per_sec: 200_000_000,
+    };
+    let mut ssd = Ssd::new(config).expect("valid config");
+    let logical_pages = ssd.capacity_bytes() / 4096;
+    println!(
+        "device: {} logical pages, {} blocks, endurance {} cycles",
+        logical_pages,
+        ssd.wear_summary().spare_blocks,
+        32
+    );
+    println!();
+    println!("{:>9}  {:>8}  event", "writes", "sim time");
+
+    let mut rng = SimRng::seed_from_u64(7);
+    let mut at = SimTime::ZERO;
+    let mut id = 0u64;
+    let mut writes = 0u64;
+    let mut last = ssd.stats().reliability;
+    loop {
+        let lpn = if writes < logical_pages {
+            writes
+        } else if rng.chance(0.8) {
+            rng.next_u64_below((logical_pages / 5).max(1))
+        } else {
+            rng.next_u64_below(logical_pages)
+        };
+        match ssd.submit(&BlockRequest::write(id, lpn * 4096, 4096, at)) {
+            Ok(c) => at = c.finish,
+            Err(e) => {
+                println!(
+                    "{writes:>9}  {:>7.2}s  END OF LIFE: {e}",
+                    at.as_nanos() as f64 / 1e9
+                );
+                break;
+            }
+        }
+        id += 1;
+        writes += 1;
+        // Sample a read so ECC activity shows up in the timeline.
+        if writes.is_multiple_of(4) {
+            let read_lpn = rng.next_u64_below(logical_pages.min(writes));
+            let c = ssd
+                .submit(&BlockRequest::read(id, read_lpn * 4096, 4096, at))
+                .expect("reads complete even when uncorrectable");
+            at = c.finish;
+            id += 1;
+            if c.status == CompletionStatus::UncorrectableRead {
+                println!(
+                    "{writes:>9}  {:>7.2}s  uncorrectable read of page {read_lpn} (data lost)",
+                    at.as_nanos() as f64 / 1e9
+                );
+            }
+        }
+        let now = ssd.stats().reliability;
+        if now.retired_blocks > last.retired_blocks {
+            let wear = ssd.wear_summary();
+            println!(
+                "{writes:>9}  {:>7.2}s  block retired ({} gone, {} still in service, \
+                 mean wear {:.1} cycles)",
+                at.as_nanos() as f64 / 1e9,
+                now.retired_blocks,
+                wear.spare_blocks,
+                wear.mean_erases
+            );
+        }
+        if now.program_fails > last.program_fails {
+            println!(
+                "{writes:>9}  {:>7.2}s  program failure (page burned, data re-programmed)",
+                at.as_nanos() as f64 / 1e9
+            );
+        }
+        if now.erase_fails > last.erase_fails {
+            println!(
+                "{writes:>9}  {:>7.2}s  erase failure (grown bad block)",
+                at.as_nanos() as f64 / 1e9
+            );
+        }
+        last = now;
+    }
+
+    println!();
+    let s = ssd.stats();
+    let wear = ssd.wear_summary();
+    println!(
+        "post-mortem: {:.2} MB written, WA {:.2}, {} retired / {} in service, \
+         spread {} cycles",
+        s.bytes_written as f64 / 1e6,
+        s.write_amplification(),
+        wear.retired_blocks,
+        wear.spare_blocks,
+        wear.spread()
+    );
+    println!(
+        "             {} program fails, {} erase fails, {} ECC retries, \
+         {} uncorrectable reads",
+        s.reliability.program_fails,
+        s.reliability.erase_fails,
+        s.reliability.read_retries,
+        s.reliability.uncorrectable_reads
+    );
+}

@@ -5,6 +5,8 @@
 //! package:
 //!
 //! * [`sim`] — deterministic simulation engine (time, RNG, statistics).
+//! * [`reliability`] — the seeded fault model: program/erase failures,
+//!   grown bad blocks, raw bit errors and the ECC/read-retry parameters.
 //! * [`flash`] — NAND geometry, timing and wear model.
 //! * [`gc`] — the pluggable cleaning-policy subsystem: victim-selection
 //!   policies, background (idle-window) cleaning and write-amplification
@@ -40,6 +42,7 @@ pub use ossd_flash as flash;
 pub use ossd_ftl as ftl;
 pub use ossd_gc as gc;
 pub use ossd_hdd as hdd;
+pub use ossd_reliability as reliability;
 pub use ossd_sim as sim;
 pub use ossd_ssd as ssd;
 pub use ossd_workload as workload;

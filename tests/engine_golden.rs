@@ -19,7 +19,7 @@
 //!   `idle_windows_trigger_background_cleaning` in `ossd-ssd`.
 
 use ossd::block::{BlockDevice, BlockRequest, Completion};
-use ossd::flash::{FlashGeometry, FlashTiming};
+use ossd::flash::{FlashGeometry, FlashTiming, ReliabilityConfig};
 use ossd::ftl::FtlConfig;
 use ossd::gc::BackgroundGcConfig;
 use ossd::sim::{SimDuration, SimRng, SimTime};
@@ -39,6 +39,10 @@ fn golden_config() -> SsdConfig {
         timing: FlashTiming::slc(),
         mapping: MappingKind::PageMapped,
         ftl: FtlConfig::default().with_watermarks(0.3, 0.1),
+        // The explicit fault-free model: these pins double as the proof
+        // that `ReliabilityConfig::none()` leaves the engine schedule
+        // untouched bit-for-bit.
+        reliability: ReliabilityConfig::none(),
         background_gc: None,
         gangs: 2,
         scheduler: SchedulerKind::Fcfs,
