@@ -1,0 +1,75 @@
+//! Victim-pick micro-benchmark: pick latency vs. blocks per element.
+//!
+//! The point of the incremental `VictimIndex` is that a Greedy pick no
+//! longer scans every block: its cost must stay flat (O(1) amortized) as
+//! the element grows from 256 to 4096 blocks, while the legacy full-scan
+//! path it replaced grows linearly (shown alongside for contrast).  The
+//! scan-tier policies (cost-benefit here) stay linear in the *candidate*
+//! count but drop the per-pick allocation.
+//!
+//! Run with `cargo bench --bench gc_victim_pick`.
+
+use ossd_bench::micro::{bench, black_box, header};
+use ossd_gc::{BlockInfo, CleaningPolicy, CostBenefit, Greedy, PickContext, VictimIndex};
+use ossd_sim::SimRng;
+
+const PAGES_PER_BLOCK: u32 = 64;
+
+/// Populates an index (and a parallel "flash state" table for the legacy
+/// scan) into a steady-state-like shape: most blocks hold a seeded random
+/// mix of live and stale pages.
+fn populate(blocks: u32, seed: u64) -> (VictimIndex, Vec<BlockInfo>) {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut index = VictimIndex::new(blocks, PAGES_PER_BLOCK);
+    let mut state = Vec::with_capacity(blocks as usize);
+    for block in 0..blocks {
+        let programmed = PAGES_PER_BLOCK - rng.next_u64_below(4) as u32;
+        let invalid = rng.next_u64_below(programmed as u64 / 2 + 1) as u32;
+        let last_write = rng.next_u64_below(1 << 20);
+        for _ in 0..programmed {
+            index.on_program(block, last_write);
+        }
+        for _ in 0..invalid {
+            index.on_invalidate(block);
+        }
+        state.push(BlockInfo {
+            block,
+            valid_pages: programmed - invalid,
+            invalid_pages: invalid,
+            total_pages: PAGES_PER_BLOCK,
+            erase_count: 0,
+            age: 0,
+        });
+    }
+    (index, state)
+}
+
+fn main() {
+    header("gc_victim_pick: pick latency vs blocks per element");
+    for blocks in [256u32, 1024, 4096] {
+        let (mut index, state) = populate(blocks, 0x5EED ^ blocks as u64);
+        let ctx = PickContext::at(1 << 20);
+
+        // The index-backed Greedy pick: must stay flat across sizes.
+        bench(&format!("greedy_indexed/{blocks}"), || {
+            black_box(index.pick_greedy(black_box(None)));
+        });
+
+        // The legacy path this PR deleted: rebuild the candidate vector by
+        // scanning every block, then scan it again to select.
+        bench(&format!("greedy_full_scan/{blocks}"), || {
+            let candidates: Vec<BlockInfo> = state
+                .iter()
+                .filter(|b| b.invalid_pages > 0)
+                .copied()
+                .collect();
+            black_box(Greedy.select_victim(&candidates));
+        });
+
+        // Scan-tier policy over the index: linear in candidates but
+        // allocation-free (reusable scratch, non-empty buckets only).
+        bench(&format!("cost_benefit_indexed/{blocks}"), || {
+            black_box(CostBenefit.select_from_index(&mut index, &ctx));
+        });
+    }
+}

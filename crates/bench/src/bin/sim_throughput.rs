@@ -1,0 +1,175 @@
+//! End-to-end simulation throughput: simulated host operations per second
+//! of *wall-clock* time on a large-geometry, GC-heavy steady-state workload.
+//!
+//! This is the perf-smoke companion of the incremental victim index: the
+//! workload parks the device at its cleaning watermark (the regime of
+//! Dayan et al.'s steady-state write-amplification models) where, before
+//! the index, every victim pick re-scanned every block of the element and
+//! allocated a fresh candidate vector.  The binary reports the measured
+//! rate, compares it against the recorded pre-index baseline, and emits
+//! machine-readable `BENCH_sim.json` for CI trending.
+//!
+//! Pass `--quick` for the small configuration CI runs as a smoke test.
+
+use std::time::Instant;
+
+use ossd_bench::{print_header, scale_from_args, Scale};
+use ossd_block::{BlockDevice, BlockRequest};
+use ossd_flash::{FlashGeometry, FlashTiming, ReliabilityConfig};
+use ossd_ftl::FtlConfig;
+use ossd_sim::{SimDuration, SimRng, SimTime};
+use ossd_ssd::{MappingKind, SchedulerKind, Ssd, SsdConfig};
+
+/// Simulated-ops-per-wall-second measured on the paper-scale configuration
+/// immediately *before* the incremental victim index landed (scan-based
+/// victim selection, per-command allocation).  Recorded here and in the
+/// README so the speedup is auditable; re-measure with this binary.
+const PRE_INDEX_BASELINE_OPS_PER_SEC: f64 = 63_721.0;
+
+struct Config {
+    name: &'static str,
+    geometry: FlashGeometry,
+    churn_ops: u64,
+}
+
+fn config_for(scale: Scale) -> Config {
+    match scale {
+        Scale::Paper => Config {
+            name: "large",
+            // 2 elements x 8192 blocks x 64 pages x 4 KB = 4 GiB: a
+            // blocks-per-element count where scan-based victim picks are
+            // clearly super-constant, churned long enough to sit at the
+            // steady-state watermark for most of the timed phase.
+            geometry: FlashGeometry {
+                packages: 2,
+                dies_per_package: 1,
+                planes_per_die: 1,
+                blocks_per_plane: 8192,
+                pages_per_block: 64,
+                page_bytes: 4096,
+            },
+            churn_ops: 300_000,
+        },
+        Scale::Quick => Config {
+            name: "quick",
+            geometry: FlashGeometry {
+                packages: 2,
+                dies_per_package: 1,
+                planes_per_die: 1,
+                blocks_per_plane: 256,
+                pages_per_block: 32,
+                page_bytes: 4096,
+            },
+            churn_ops: 20_000,
+        },
+    }
+}
+
+fn ssd_config(geometry: FlashGeometry) -> SsdConfig {
+    SsdConfig {
+        name: "sim-throughput".to_string(),
+        geometry,
+        timing: FlashTiming::slc(),
+        mapping: MappingKind::PageMapped,
+        // Modest over-provisioning and watermarks a little above it keep
+        // the device cleaning on the write path for the whole churn phase.
+        ftl: FtlConfig::default()
+            .with_overprovisioning(0.12)
+            .with_watermarks(0.10, 0.04),
+        reliability: ReliabilityConfig::none(),
+        background_gc: None,
+        gangs: 2,
+        scheduler: SchedulerKind::Fcfs,
+        queue_depth: 1,
+        controller_overhead: SimDuration::from_micros(20),
+        random_penalty: SimDuration::ZERO,
+        sequential_prefetch: false,
+        ram_bytes_per_sec: 200_000_000,
+    }
+}
+
+fn main() {
+    let scale = scale_from_args();
+    print_header(
+        "Simulation throughput: simulated ops per wall-clock second",
+        scale,
+    );
+    let config = config_for(scale);
+    let mut ssd = Ssd::new(ssd_config(config.geometry)).expect("valid config");
+    let page = ssd.logical_page_bytes();
+    let logical_pages = ssd.capacity_bytes() / page;
+
+    // Phase 1 (untimed): sequential fill so every later write supersedes a
+    // mapped page and the churn phase runs at the steady-state watermark.
+    let mut at = SimTime::ZERO;
+    let mut id = 0u64;
+    for lpn in 0..logical_pages {
+        let c = ssd
+            .submit(&BlockRequest::write(id, lpn * page, page, at))
+            .expect("fill write");
+        at = c.finish;
+        id += 1;
+    }
+
+    // Phase 2 (timed): uniform random single-page overwrites, closed loop.
+    let mut rng = SimRng::seed_from_u64(0x51B0_7EE7);
+    let wall_start = Instant::now();
+    for _ in 0..config.churn_ops {
+        let lpn = rng.next_u64_below(logical_pages);
+        let c = ssd
+            .submit(&BlockRequest::write(id, lpn * page, page, at))
+            .expect("churn write");
+        at = c.finish;
+        id += 1;
+    }
+    let wall = wall_start.elapsed().as_secs_f64();
+    let ops_per_sec = config.churn_ops as f64 / wall;
+
+    let stats = ssd.stats();
+    let speedup = if PRE_INDEX_BASELINE_OPS_PER_SEC > 0.0 && scale == Scale::Paper {
+        ops_per_sec / PRE_INDEX_BASELINE_OPS_PER_SEC
+    } else {
+        0.0
+    };
+    println!("config: {} ({} logical pages)", config.name, logical_pages);
+    println!(
+        "churn: {} ops in {:.3} s wall -> {:.0} simulated ops/s",
+        config.churn_ops, wall, ops_per_sec
+    );
+    println!(
+        "write amplification {:.3}, gc blocks erased {}, gc pages moved {}",
+        stats.write_amplification(),
+        stats.ftl.gc_blocks_erased,
+        stats.ftl.gc_pages_moved
+    );
+    if scale == Scale::Paper {
+        println!(
+            "pre-index baseline {:.0} ops/s -> speedup {:.2}x",
+            PRE_INDEX_BASELINE_OPS_PER_SEC, speedup
+        );
+    }
+
+    // The paper-scale result is the audited, committed artifact; quick
+    // (CI-smoke) runs write alongside it so they never clobber it.
+    let json_path = match scale {
+        Scale::Paper => "BENCH_sim.json",
+        Scale::Quick => "BENCH_sim_quick.json",
+    };
+    let json = format!(
+        "{{\n  \"config\": \"{}\",\n  \"blocks_per_element\": {},\n  \
+         \"churn_ops\": {},\n  \"wall_seconds\": {:.6},\n  \
+         \"sim_ops_per_wall_second\": {:.1},\n  \
+         \"pre_index_baseline_ops_per_sec\": {:.1},\n  \"speedup\": {:.3},\n  \
+         \"write_amplification\": {:.4}\n}}\n",
+        config.name,
+        config.geometry.blocks_per_element(),
+        config.churn_ops,
+        wall,
+        ops_per_sec,
+        PRE_INDEX_BASELINE_OPS_PER_SEC,
+        speedup,
+        stats.write_amplification()
+    );
+    std::fs::write(json_path, &json).expect("write bench json");
+    println!("wrote {json_path}");
+}

@@ -257,8 +257,13 @@ impl FlashArray {
         self.element_mut(element)?.skip_page(block)
     }
 
-    /// Invalidates the page at `addr`.
-    pub fn invalidate(&mut self, addr: PhysPageAddr) -> Result<(), FlashError> {
+    /// Invalidates the page at `addr`, reporting the block-state change so
+    /// the FTL can maintain incremental indexes (e.g. the victim-selection
+    /// index) without re-reading block state.
+    pub fn invalidate(
+        &mut self,
+        addr: PhysPageAddr,
+    ) -> Result<crate::BlockStateChange, FlashError> {
         self.geometry.check_addr(addr)?;
         self.element_mut(addr.element)?
             .invalidate(addr.block, addr.page)

@@ -8,6 +8,22 @@
 use crate::error::FlashError;
 use crate::geometry::{ElementId, PhysPageAddr};
 
+/// The block-state delta reported by a page invalidation.
+///
+/// Mutating flash operations report the state change they caused so an FTL
+/// can maintain incremental structures — above all `ossd-gc`'s
+/// `VictimIndex` — without re-reading block state after every operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockStateChange {
+    /// Whether the page transitioned `Valid` → `Invalid` (false when it was
+    /// already stale; invalidation is idempotent).
+    pub newly_stale: bool,
+    /// The block's stale-page count after the operation.
+    pub invalid_pages: u32,
+    /// The block's live-page count after the operation.
+    pub valid_pages: u32,
+}
+
 /// The lifecycle state of one physical page.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum PageState {
@@ -114,27 +130,33 @@ impl Block {
         Ok(page)
     }
 
-    /// Marks a previously programmed page as stale.
+    /// Marks a previously programmed page as stale, reporting the
+    /// [`BlockStateChange`] so callers can maintain incremental indexes.
     pub fn invalidate(
         &mut self,
         element: ElementId,
         block: u32,
         page: u32,
-    ) -> Result<(), FlashError> {
+    ) -> Result<BlockStateChange, FlashError> {
         let addr = PhysPageAddr {
             element,
             block,
             page,
         };
-        match self.state(page)? {
-            PageState::Free => Err(FlashError::InvalidateFreePage { addr }),
-            PageState::Invalid => Ok(()), // Idempotent: already stale.
+        let newly_stale = match self.state(page)? {
+            PageState::Free => return Err(FlashError::InvalidateFreePage { addr }),
+            PageState::Invalid => false, // Idempotent: already stale.
             PageState::Valid => {
                 self.states[page as usize] = PageState::Invalid;
                 self.valid -= 1;
-                Ok(())
+                true
             }
-        }
+        };
+        Ok(BlockStateChange {
+            newly_stale,
+            invalid_pages: self.invalid_count(),
+            valid_pages: self.valid,
+        })
     }
 
     /// Checks that reading `page` would return defined data.

@@ -1,6 +1,6 @@
 //! A flash element: one independently operating die and its blocks.
 
-use crate::block::{Block, PageState};
+use crate::block::{Block, BlockStateChange, PageState};
 use crate::error::FlashError;
 use crate::geometry::{ElementId, PhysPageAddr};
 
@@ -117,8 +117,8 @@ impl FlashElement {
         self.block_mut(block)?.retire(id, block)
     }
 
-    /// Marks a page stale.
-    pub fn invalidate(&mut self, block: u32, page: u32) -> Result<(), FlashError> {
+    /// Marks a page stale, reporting the block-state change.
+    pub fn invalidate(&mut self, block: u32, page: u32) -> Result<BlockStateChange, FlashError> {
         let id = self.id;
         self.block_mut(block)?.invalidate(id, block, page)
     }

@@ -31,7 +31,7 @@ pub mod geometry;
 pub mod timing;
 
 pub use array::{FlashArray, ReliabilityCounters, WearSummary};
-pub use block::{Block, PageState};
+pub use block::{Block, BlockStateChange, PageState};
 pub use element::{ElementCounters, FlashElement};
 pub use error::FlashError;
 pub use geometry::{ElementId, FlashGeometry, PhysPageAddr};

@@ -1,0 +1,139 @@
+//! A vendored fixed-size bitset.
+//!
+//! The FTL tracks which physical pages the *host* freed (informed
+//! cleaning's bookkeeping, §3.5) keyed by physical page number.  A
+//! `HashSet<u64>` put a SipHash computation and a possible rehash on the
+//! free-hint path of every write; physical page numbers are dense and
+//! bounded by the geometry, so a flat bitset — one `u64` word per 64 pages,
+//! sized once at construction — does the same job with two shifts and a
+//! mask.  The workspace builds hermetically with no external crates, so
+//! this is hand-rolled rather than pulled from `fixedbitset`.
+
+/// A fixed-capacity set of `u64` keys in `[0, capacity)`, one bit each.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FixedBitset {
+    words: Vec<u64>,
+    /// Number of set bits (kept so emptiness/cardinality are O(1)).
+    len: u64,
+}
+
+impl FixedBitset {
+    /// An empty set over keys `0..capacity`.
+    pub fn with_capacity(capacity: u64) -> Self {
+        FixedBitset {
+            words: vec![0; capacity.div_ceil(64) as usize],
+            len: 0,
+        }
+    }
+
+    /// Number of keys the set can hold.
+    pub fn capacity(&self) -> u64 {
+        self.words.len() as u64 * 64
+    }
+
+    /// Number of keys currently in the set.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn split(key: u64) -> (usize, u64) {
+        ((key >> 6) as usize, 1u64 << (key & 63))
+    }
+
+    /// Inserts `key`; returns `true` when it was not already present.
+    ///
+    /// # Panics
+    /// Panics when `key` is outside the capacity fixed at construction.
+    #[inline]
+    pub fn insert(&mut self, key: u64) -> bool {
+        let (word, mask) = Self::split(key);
+        let w = &mut self.words[word];
+        let newly = *w & mask == 0;
+        *w |= mask;
+        self.len += newly as u64;
+        newly
+    }
+
+    /// Removes `key`; returns `true` when it was present.
+    ///
+    /// # Panics
+    /// Panics when `key` is outside the capacity fixed at construction.
+    #[inline]
+    pub fn remove(&mut self, key: u64) -> bool {
+        let (word, mask) = Self::split(key);
+        let w = &mut self.words[word];
+        let present = *w & mask != 0;
+        *w &= !mask;
+        self.len -= present as u64;
+        present
+    }
+
+    /// Whether `key` is in the set (keys beyond the capacity are absent).
+    #[inline]
+    pub fn contains(&self, key: u64) -> bool {
+        let (word, mask) = Self::split(key);
+        self.words.get(word).map(|w| w & mask != 0).unwrap_or(false)
+    }
+
+    /// Removes every key.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains_round_trip() {
+        let mut s = FixedBitset::with_capacity(200);
+        assert!(s.is_empty());
+        assert!(s.capacity() >= 200);
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(199));
+        // Re-inserting reports "already present".
+        assert!(!s.insert(63));
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(0) && s.contains(63) && s.contains(64) && s.contains(199));
+        assert!(!s.contains(1));
+        assert!(s.remove(63));
+        assert!(!s.remove(63));
+        assert!(!s.contains(63));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn contains_beyond_capacity_is_false() {
+        let s = FixedBitset::with_capacity(64);
+        assert!(!s.contains(1_000_000));
+    }
+
+    #[test]
+    fn clear_empties_the_set() {
+        let mut s = FixedBitset::with_capacity(128);
+        for k in (0..128).step_by(3) {
+            s.insert(k);
+        }
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn insert_beyond_capacity_panics() {
+        let mut s = FixedBitset::with_capacity(64);
+        s.insert(64);
+    }
+}

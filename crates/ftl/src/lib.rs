@@ -23,12 +23,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitset;
 pub mod config;
 pub mod error;
+mod indexcheck;
 pub mod pagemap;
 pub mod stripemap;
 pub mod types;
 
+pub use bitset::FixedBitset;
 pub use config::{CleaningMode, FtlConfig, WearLevelConfig};
 pub use error::FtlError;
 pub use pagemap::PageFtl;

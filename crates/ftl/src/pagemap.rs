@@ -25,18 +25,17 @@
 //!   high-priority requests are outstanding, cleaning is postponed until
 //!   the critical watermark (§3.6, Figure 3, Table 6).
 
-use std::collections::HashSet;
-
 use ossd_flash::{
     ElementId, FlashArray, FlashError, FlashGeometry, FlashTiming, PhysPageAddr, ReliabilityConfig,
 };
-use ossd_gc::{AnyPolicy, BlockInfo, CleaningPolicy, TriggerContext, TriggerDecision};
+use ossd_gc::{
+    AnyPolicy, CleaningPolicy, PickContext, TriggerContext, TriggerDecision, VictimIndex,
+};
 
+use crate::bitset::FixedBitset;
 use crate::config::{CleaningMode, FtlConfig};
 use crate::error::FtlError;
-use crate::types::{
-    FlashOp, FlashOpKind, Ftl, FtlStats, Lpn, OpPurpose, ReadOutcome, WriteContext,
-};
+use crate::types::{FlashOp, FlashOpKind, Ftl, FtlStats, Lpn, OpPurpose, WriteContext};
 
 const UNMAPPED: u64 = u64::MAX;
 
@@ -77,8 +76,10 @@ pub struct PageFtl {
     /// Round-robin allocation cursor over elements.
     cursor: usize,
     /// Physical pages invalidated because the host freed their logical page;
-    /// used to report how much work informed cleaning avoided.
-    freed_phys: HashSet<u64>,
+    /// used to report how much work informed cleaning avoided.  A flat
+    /// bitset over the (dense, geometry-bounded) physical page numbers, so
+    /// the free-hint path of every write costs a mask instead of a hash.
+    freed_phys: FixedBitset,
     total_free_pages: u64,
     total_pages: u64,
     stats: FtlStats,
@@ -89,9 +90,11 @@ pub struct PageFtl {
     /// Logical clock: host writes served so far.  Block ages are measured
     /// against it.
     clock: u64,
-    /// Per-block (global index) clock value of the last program; age =
-    /// `clock - block_last_write`.
-    block_last_write: Vec<u64>,
+    /// Per-element incremental victim-selection index, maintained on every
+    /// page-state change (program, invalidation, burned page, erase,
+    /// retirement).  It also carries each block's youngest-data timestamp
+    /// (age = `clock - last_write`), replacing the old per-block scan.
+    index: Vec<VictimIndex>,
     /// When enabled, every cleaning victim is appended here as
     /// `(element, block)`; used by tests to compare victim sequences across
     /// policy implementations.
@@ -167,6 +170,19 @@ impl PageFtl {
             .collect();
         let total_blocks = geometry.elements() as usize * geometry.blocks_per_element() as usize;
         let policy = config.cleaning_policy.build();
+        let index = (0..geometry.elements())
+            .map(|e| {
+                let mut index =
+                    VictimIndex::new(geometry.blocks_per_element(), geometry.pages_per_block);
+                let flash_element = flash.element(ElementId(e)).expect("element in range");
+                for (b, block) in flash_element.iter_blocks() {
+                    if block.is_bad() {
+                        index.mark_bad(b);
+                    }
+                }
+                index
+            })
+            .collect();
         Ok(PageFtl {
             flash,
             config,
@@ -175,14 +191,14 @@ impl PageFtl {
             rmap: vec![UNMAPPED; total_pages as usize],
             elements,
             cursor: 0,
-            freed_phys: HashSet::new(),
+            freed_phys: FixedBitset::with_capacity(total_pages),
             total_free_pages: usable_pages,
             total_pages,
             stats: FtlStats::default(),
             writes_since_wear_check: 0,
             policy,
             clock: 0,
-            block_last_write: vec![0; total_blocks],
+            index,
             victim_trace: None,
             retire_pending: vec![false; total_blocks],
         })
@@ -216,6 +232,60 @@ impl PageFtl {
     /// Read-only access to the underlying flash array (used by reports).
     pub fn flash(&self) -> &FlashArray {
         &self.flash
+    }
+
+    /// Validates the incremental victim index against a from-scratch
+    /// full-scan recompute of the candidate set, and proves every built-in
+    /// policy picks the same victim from both representations.
+    ///
+    /// A test/validation aid like [`PageFtl::enable_victim_trace`]: the
+    /// seeded property suite calls it throughout randomized
+    /// write/free/GC/wear-level/retire sequences with fault injection on.
+    pub fn check_victim_index(&mut self) -> Result<(), String> {
+        let pages_per_block = self.flash.geometry().pages_per_block;
+        for element in 0..self.elements.len() {
+            let what = format!("element {element}");
+            let flash_element = self
+                .flash
+                .element(ElementId(element as u32))
+                .map_err(|e| e.to_string())?;
+            // The recompute mirrors the pre-index candidate scan: every
+            // non-retired block holding at least one stale page, in
+            // ascending block order.  Block timestamps live only in the
+            // index (they are not flash state), so `last_write` is read
+            // back from it; counts and membership are fully cross-checked.
+            let rows: Vec<crate::indexcheck::CandidateRow> = flash_element
+                .iter_blocks()
+                .filter(|(_, block)| !block.is_bad() && block.invalid_count() > 0)
+                .map(|(b, block)| {
+                    (
+                        b,
+                        block.valid_count(),
+                        block.invalid_count(),
+                        block.erase_count(),
+                        self.index[element].last_write(b),
+                    )
+                })
+                .collect();
+            crate::indexcheck::check_against_recompute(&self.index[element], &rows, &what)?;
+            // Pick equivalence under both exclusion variants the cleaner
+            // uses (strict active-block exclusion, and the relaxed filter
+            // that admits a full active block).
+            for include_full_active in [false, true] {
+                let ctx = PickContext {
+                    clock: self.clock,
+                    exclude: self.cleaning_exclusion(element, include_full_active),
+                };
+                crate::indexcheck::check_policy_equivalence(
+                    &mut self.index[element],
+                    &rows,
+                    pages_per_block,
+                    &ctx,
+                    &what,
+                )?;
+            }
+        }
+        Ok(())
     }
 
     fn encode(&self, addr: PhysPageAddr) -> u64 {
@@ -371,6 +441,9 @@ impl PageFtl {
                     self.total_free_pages -= 1;
                     let global = self.global_block(element, block);
                     self.retire_pending[global] = true;
+                    // The burned page is a fresh stale page: the block
+                    // becomes (or stays) a cleaning candidate.
+                    self.index[element].on_skip(block);
                     self.elements[element].active_block = None;
                     // The retry may dip into the GC reserve even on the
                     // host path: re-programming after a failure is
@@ -385,14 +458,14 @@ impl PageFtl {
             };
             self.elements[element].free_pages -= 1;
             self.total_free_pages -= 1;
-            let global = self.global_block(element, block);
-            self.block_last_write[global] = if addr.page == 0 {
+            let timestamp = if addr.page == 0 {
                 // First program after an erase: the stale timestamp of the
                 // block's previous life no longer applies.
                 data_timestamp
             } else {
-                self.block_last_write[global].max(data_timestamp)
+                self.index[element].last_write(block).max(data_timestamp)
             };
+            self.index[element].on_program(block, timestamp);
             return Ok(addr);
         }
     }
@@ -424,6 +497,7 @@ impl PageFtl {
         if self.retire_pending[global] {
             self.flash.retire(element_id, block)?;
             self.retire_pending[global] = false;
+            self.index[element].on_retire(block);
             self.forfeit_free_pages(element, block)?;
             return Ok(false);
         }
@@ -433,6 +507,7 @@ impl PageFtl {
         };
         match self.flash.erase(element_id, block) {
             Ok(()) => {
+                self.index[element].on_erase(block);
                 self.elements[element].free_pages += freed_pages;
                 self.total_free_pages += freed_pages;
                 self.elements[element].free_blocks.push(block);
@@ -442,6 +517,7 @@ impl PageFtl {
                 // remaining unprogrammed pages are forfeited and it never
                 // returns to the free list; the failed erase still took
                 // the erase latency, so the caller schedules the op.
+                self.index[element].on_retire(block);
                 self.forfeit_free_pages(element, block)?;
             }
             Err(e) => return Err(e.into()),
@@ -456,7 +532,10 @@ impl PageFtl {
             return Ok(());
         }
         let addr = self.decode(ppn);
-        self.flash.invalidate(addr)?;
+        let change = self.flash.invalidate(addr)?;
+        if change.newly_stale {
+            self.index[addr.element.index()].on_invalidate(addr.block);
+        }
         self.rmap[ppn as usize] = UNMAPPED;
         self.map[lpn.index()] = UNMAPPED;
         if freed_by_host {
@@ -475,9 +554,10 @@ impl PageFtl {
         self.elements[element].free_pages as f64 / per_element as f64
     }
 
-    /// Builds the candidate snapshot the cleaning policy selects over:
-    /// every non-active, non-erased block on `element` holding at least one
-    /// stale page, in ascending block order.
+    /// Asks the policy for the cleaning victim on `element`, picking over
+    /// the element's incremental [`VictimIndex`] (no block scan, no
+    /// allocation).  The index holds every non-retired block with at least
+    /// one stale page; the active (append) block is excluded at pick time.
     ///
     /// `include_full_active` additionally admits the active block once it
     /// is full (a closed log segment in all but name).  The watermark path
@@ -485,47 +565,34 @@ impl PageFtl {
     /// stays seed-exact; the forced and background paths use the relaxed
     /// filter, without which a completely full device whose only stale
     /// page was relocated into the append block can wedge permanently.
-    fn victim_candidates(&self, element: usize, include_full_active: bool) -> Vec<BlockInfo> {
-        let state = &self.elements[element];
-        let Ok(flash_element) = self.flash.element(ElementId(element as u32)) else {
-            return Vec::new();
+    fn select_victim(&mut self, element: usize, include_full_active: bool) -> Option<u32> {
+        let ctx = PickContext {
+            clock: self.clock,
+            exclude: self.cleaning_exclusion(element, include_full_active),
         };
-        let pages_per_block = self.flash.geometry().pages_per_block;
-        let base = element * self.flash.geometry().blocks_per_element() as usize;
-        let mut candidates = Vec::new();
-        for (idx, block) in flash_element.iter_blocks() {
-            if block.is_bad() {
-                // Retired blocks hold nothing reclaimable.
-                continue;
-            }
-            if Some(idx) == state.active_block && !(include_full_active && block.is_full()) {
-                continue;
-            }
-            if block.is_erased() {
-                continue;
-            }
-            let invalid = block.invalid_count();
-            if invalid == 0 {
-                continue;
-            }
-            candidates.push(BlockInfo {
-                block: idx,
-                valid_pages: block.valid_count(),
-                invalid_pages: invalid,
-                total_pages: pages_per_block,
-                erase_count: block.erase_count(),
-                age: self
-                    .clock
-                    .saturating_sub(self.block_last_write[base + idx as usize]),
-            });
-        }
-        candidates
+        self.policy
+            .select_from_index(&mut self.index[element], &ctx)
     }
 
-    /// Asks the policy for the cleaning victim on `element`.
-    fn select_victim(&mut self, element: usize, include_full_active: bool) -> Option<u32> {
-        let candidates = self.victim_candidates(element, include_full_active);
-        self.policy.select_victim(&candidates)
+    /// The block a cleaning pick on `element` must skip: the active append
+    /// block, unless `include_full_active` and the block is full.  Shared
+    /// by the production pick and the index-validation hook so the two can
+    /// never check different exclusions.
+    fn cleaning_exclusion(&self, element: usize, include_full_active: bool) -> Option<u32> {
+        let active = self.elements[element].active_block?;
+        let admit_full = include_full_active
+            && self
+                .flash
+                .element(ElementId(element as u32))
+                .expect("element in range")
+                .block(active)
+                .expect("block in range")
+                .is_full();
+        if admit_full {
+            None
+        } else {
+            Some(active)
+        }
     }
 
     /// Reclaims one victim block on `element`, appending the flash
@@ -552,7 +619,7 @@ impl PageFtl {
             self.elements[element].active_block = None;
         }
         // Relocated data keeps the victim block's age (LFS convention).
-        let victim_timestamp = self.block_last_write[self.global_block(element, victim)];
+        let victim_timestamp = self.index[element].last_write(victim);
         let element_id = ElementId(element as u32);
         let pages_per_block = self.flash.geometry().pages_per_block;
         // Move every valid page; count stale pages that the host had freed
@@ -573,7 +640,10 @@ impl PageFtl {
                     let new_addr =
                         self.program_page(element, true, victim_timestamp, purpose, ops)?;
                     let new_ppn = self.encode(new_addr);
-                    self.flash.invalidate(addr)?;
+                    let change = self.flash.invalidate(addr)?;
+                    if change.newly_stale {
+                        self.index[element].on_invalidate(victim);
+                    }
                     self.rmap[old_ppn as usize] = UNMAPPED;
                     self.rmap[new_ppn as usize] = lpn;
                     if lpn != UNMAPPED {
@@ -592,7 +662,7 @@ impl PageFtl {
                 }
                 ossd_flash::PageState::Invalid => {
                     let ppn = self.encode(addr);
-                    if self.freed_phys.remove(&ppn) {
+                    if self.freed_phys.remove(ppn) {
                         self.stats.gc_pages_skipped_free += 1;
                     }
                 }
@@ -667,8 +737,8 @@ impl PageFtl {
         &mut self,
         max_erases: u32,
         target_free_fraction: f64,
-    ) -> Result<Vec<FlashOp>, FtlError> {
-        let mut ops = Vec::new();
+        ops: &mut Vec<FlashOp>,
+    ) -> Result<(), FtlError> {
         let mut budget = max_erases;
         while budget > 0 {
             // Elements below the free-space target, neediest first; ties
@@ -680,7 +750,7 @@ impl PageFtl {
             needy.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("free fractions are finite"));
             let mut progressed = false;
             for (element, _) in needy {
-                if self.clean_one_block(element, OpPurpose::BackgroundClean, true, &mut ops)? {
+                if self.clean_one_block(element, OpPurpose::BackgroundClean, true, ops)? {
                     progressed = true;
                     budget -= 1;
                     break;
@@ -690,7 +760,7 @@ impl PageFtl {
                 break;
             }
         }
-        Ok(ops)
+        Ok(())
     }
 
     /// Periodic explicit wear-leveling: when the erase spread on an element
@@ -738,7 +808,7 @@ impl PageFtl {
             return Ok(());
         }
         // Migrated data keeps the cold block's age (LFS convention).
-        let cold_timestamp = self.block_last_write[self.global_block(element, cold_block)];
+        let cold_timestamp = self.index[element].last_write(cold_block);
         // Migrate the cold block's contents; `clean_one_block` requires a
         // victim with stale pages, so move the pages directly here.
         let pages_per_block = self.flash.geometry().pages_per_block;
@@ -762,7 +832,10 @@ impl PageFtl {
             let new_addr =
                 self.program_page(element, true, cold_timestamp, OpPurpose::WearLevel, ops)?;
             let new_ppn = self.encode(new_addr);
-            self.flash.invalidate(addr)?;
+            let change = self.flash.invalidate(addr)?;
+            if change.newly_stale {
+                self.index[element].on_invalidate(cold_block);
+            }
             self.rmap[old_ppn as usize] = UNMAPPED;
             self.rmap[new_ppn as usize] = lpn;
             if lpn != UNMAPPED {
@@ -803,45 +876,47 @@ impl Ftl for PageFtl {
         self.logical_pages
     }
 
-    fn read(&mut self, lpn: Lpn, _covered_bytes: u64) -> Result<ReadOutcome, FtlError> {
+    fn read_into(
+        &mut self,
+        lpn: Lpn,
+        _covered_bytes: u64,
+        ops: &mut Vec<FlashOp>,
+    ) -> Result<bool, FtlError> {
         self.check_lpn(lpn)?;
         self.stats.host_reads += 1;
         let ppn = self.map[lpn.index()];
         if ppn == UNMAPPED {
             // Reading a never-written page returns zeroes without touching
             // the flash array.
-            return Ok(ReadOutcome::buffered());
+            return Ok(false);
         }
         let addr = self.decode(ppn);
         let status = self.flash.read(addr)?;
         self.stats.pages_read_host += 1;
-        let mut ops = vec![FlashOp::host_read(addr.element)];
+        ops.push(FlashOp::host_read(addr.element));
         for _ in 0..status.retries {
             ops.push(FlashOp::host_read_retry(addr.element));
         }
-        Ok(ReadOutcome {
-            ops,
-            uncorrectable: status.uncorrectable,
-        })
+        Ok(status.uncorrectable)
     }
 
-    fn write(
+    fn write_into(
         &mut self,
         lpn: Lpn,
         _covered_bytes: u64,
         ctx: &WriteContext,
-    ) -> Result<Vec<FlashOp>, FtlError> {
+        ops: &mut Vec<FlashOp>,
+    ) -> Result<(), FtlError> {
         self.check_lpn(lpn)?;
         self.stats.host_writes += 1;
         self.clock += 1;
-        let mut ops = Vec::new();
         let element = self.pick_element();
 
         // Watermark-driven cleaning and wear-leveling happen before the
         // write so their cost lands ahead of the host page program, exactly
         // as the paper's "foreground requests wait for cleaning" framing.
-        self.maybe_clean(element, ctx, &mut ops)?;
-        self.maybe_wear_level(element, &mut ops)?;
+        self.maybe_clean(element, ctx, ops)?;
+        self.maybe_wear_level(element, ops)?;
 
         // Forced cleaning: allocation must be able to make progress even if
         // the watermark policy decided not to clean (e.g. priority-aware
@@ -852,7 +927,7 @@ impl Ftl for PageFtl {
             match self.ensure_active_block(element, false) {
                 Ok(_) => break,
                 Err(FtlError::NoFreeBlocks { .. }) => {
-                    if !self.clean_one_block(element, OpPurpose::Clean, true, &mut ops)? {
+                    if !self.clean_one_block(element, OpPurpose::Clean, true, ops)? {
                         // No block on this element holds a stale page.  If
                         // this write supersedes an older copy, invalidate it
                         // now (it would be invalidated below anyway) and
@@ -880,13 +955,13 @@ impl Ftl for PageFtl {
         if !invalidated_early {
             self.invalidate_mapping(lpn, false)?;
         }
-        let addr = self.program_page(element, false, self.clock, OpPurpose::HostWrite, &mut ops)?;
+        let addr = self.program_page(element, false, self.clock, OpPurpose::HostWrite, ops)?;
         let ppn = self.encode(addr);
         self.map[lpn.index()] = ppn;
         self.rmap[ppn as usize] = lpn.0;
         self.stats.pages_programmed_host += 1;
         ops.push(FlashOp::host_program(addr.element));
-        Ok(ops)
+        Ok(())
     }
 
     fn free(&mut self, lpn: Lpn) -> Result<bool, FtlError> {
@@ -902,12 +977,13 @@ impl Ftl for PageFtl {
         Ok(true)
     }
 
-    fn background_clean(
+    fn background_clean_into(
         &mut self,
         max_erases: u32,
         target_free_fraction: f64,
-    ) -> Result<Vec<FlashOp>, FtlError> {
-        self.background_clean_impl(max_erases, target_free_fraction)
+        ops: &mut Vec<FlashOp>,
+    ) -> Result<(), FtlError> {
+        self.background_clean_impl(max_erases, target_free_fraction, ops)
     }
 
     fn stats(&self) -> FtlStats {

@@ -20,13 +20,11 @@
 use ossd_flash::{
     ElementId, FlashArray, FlashError, FlashGeometry, FlashTiming, ReliabilityConfig,
 };
-use ossd_gc::{AnyPolicy, BlockInfo, CleaningPolicy};
+use ossd_gc::{AnyPolicy, CleaningPolicy, PickContext, VictimIndex};
 
 use crate::config::FtlConfig;
 use crate::error::FtlError;
-use crate::types::{
-    FlashOp, FlashOpKind, Ftl, FtlStats, Lpn, OpPurpose, ReadOutcome, WriteContext,
-};
+use crate::types::{FlashOp, FlashOpKind, Ftl, FtlStats, Lpn, OpPurpose, WriteContext};
 
 const UNMAPPED: u64 = u64::MAX;
 
@@ -81,10 +79,6 @@ impl SuperBlock {
         self.write_ptr == self.slots()
     }
 
-    fn is_erased(&self) -> bool {
-        self.write_ptr == 0
-    }
-
     fn invalid(&self) -> u32 {
         self.write_ptr - self.valid
     }
@@ -123,6 +117,13 @@ pub struct StripeFtl {
     policy: AnyPolicy,
     /// Logical clock: host stripe writes served so far.
     clock: u64,
+    /// When enabled, every cleaning victim (superblock index) is appended
+    /// here; used by tests to pin victim sequences across refactors.
+    victim_trace: Option<Vec<u32>>,
+    /// Incremental victim-selection index over the superblocks (one
+    /// "block" of `slots_per_superblock` slot-pages per superblock),
+    /// maintained on every slot-state change.
+    index: VictimIndex,
 }
 
 impl StripeFtl {
@@ -223,6 +224,12 @@ impl StripeFtl {
             .rev()
             .filter(|&sb| !superblocks[sb as usize].bad)
             .collect();
+        let mut index = VictimIndex::new(superblock_count, slots_per_superblock);
+        for (sb, state) in superblocks.iter().enumerate() {
+            if state.bad {
+                index.mark_bad(sb as u32);
+            }
+        }
         Ok(StripeFtl {
             flash,
             config,
@@ -240,7 +247,23 @@ impl StripeFtl {
             stats: FtlStats::default(),
             policy,
             clock: 0,
+            victim_trace: None,
+            index,
         })
+    }
+
+    /// Starts recording every cleaning victim (superblock index).
+    ///
+    /// A validation/debugging aid, like [`crate::PageFtl::enable_victim_trace`]:
+    /// tests use it to pin the victim sequence of a deterministic trace.
+    /// Recording is off by default and unbounded when on.
+    pub fn enable_victim_trace(&mut self) {
+        self.victim_trace = Some(Vec::new());
+    }
+
+    /// The victims recorded since [`StripeFtl::enable_victim_trace`].
+    pub fn victim_trace(&self) -> &[u32] {
+        self.victim_trace.as_deref().unwrap_or(&[])
     }
 
     /// Enables or disables write coalescing.  With coalescing off, every
@@ -271,6 +294,40 @@ impl StripeFtl {
     /// Read-only access to the underlying flash array.
     pub fn flash(&self) -> &FlashArray {
         &self.flash
+    }
+
+    /// Validates the incremental victim index against a from-scratch
+    /// recompute over the superblock table, and proves every built-in
+    /// policy picks the same victim from both representations.  See
+    /// [`crate::PageFtl::check_victim_index`].
+    pub fn check_victim_index(&mut self) -> Result<(), String> {
+        let rows: Vec<crate::indexcheck::CandidateRow> = self
+            .superblocks
+            .iter()
+            .enumerate()
+            .filter(|(_, sb)| !sb.bad && sb.invalid() > 0)
+            .map(|(i, sb)| {
+                (
+                    i as u32,
+                    sb.valid,
+                    sb.invalid(),
+                    sb.erase_count,
+                    sb.last_write,
+                )
+            })
+            .collect();
+        crate::indexcheck::check_against_recompute(&self.index, &rows, "superblocks")?;
+        let ctx = PickContext {
+            clock: self.clock,
+            exclude: self.active_superblock,
+        };
+        crate::indexcheck::check_policy_equivalence(
+            &mut self.index,
+            &rows,
+            self.slots_per_superblock,
+            &ctx,
+            "superblocks",
+        )
     }
 
     fn check_lpn(&self, lpn: Lpn) -> Result<(), FtlError> {
@@ -360,6 +417,7 @@ impl StripeFtl {
         let sb = &mut self.superblocks[superblock as usize];
         sb.slot_lpns[row as usize] = UNMAPPED;
         sb.valid -= 1;
+        self.index.on_invalidate(superblock);
         Ok(())
     }
 
@@ -469,6 +527,7 @@ impl StripeFtl {
             sb.write_ptr += 1;
             sb.valid += 1;
             sb.last_write = self.clock;
+            self.index.on_program(superblock, self.clock);
             self.map[lpn.index()] = slot;
             self.free_slots -= 1;
             return Ok(());
@@ -507,6 +566,10 @@ impl StripeFtl {
         let sb = &mut self.superblocks[superblock as usize];
         sb.write_ptr += 1;
         sb.retire_pending = true;
+        // The burned row is a fresh stale slot: the superblock becomes (or
+        // stays) a cleaning candidate, which is how it gets reclaimed and
+        // then retired.
+        self.index.on_skip(superblock);
         self.free_slots -= 1;
         // Stop appending to the suspect superblock; cleaning will reclaim
         // and retire it.
@@ -545,42 +608,28 @@ impl StripeFtl {
     }
 
     /// Policy-driven cleaning of one superblock; returns false when nothing
-    /// could be reclaimed.  The candidate snapshot treats each superblock
-    /// as one "block" of `slots_per_superblock` pages (the mapping
-    /// granularity of this FTL), so the same policy objects drive both
-    /// FTLs.
+    /// could be reclaimed.  The incremental [`VictimIndex`] treats each
+    /// superblock as one "block" of `slots_per_superblock` pages (the
+    /// mapping granularity of this FTL), so the same policy objects drive
+    /// both FTLs; the active superblock is excluded at pick time.
     ///
     /// Deliberate behaviour change vs. the pre-policy cleaner: the shared
     /// `Greedy` breaks equal-staleness ties towards the superblock with
     /// fewer erases, where the old inline loop kept the first candidate
-    /// regardless of wear.  Only the page-mapped FTL's greedy victim
-    /// sequence is pinned bit-for-bit to the historical behaviour (it had
-    /// the erase tie-break all along).
+    /// regardless of wear.  Both FTLs' greedy victim sequences are now
+    /// pinned bit-for-bit across index refactors
+    /// (`greedy_victim_sequence_is_pinned_across_index_refactors`).
     fn clean_one_superblock(&mut self, ops: &mut Vec<FlashOp>) -> Result<bool, FtlError> {
-        let mut candidates = Vec::new();
-        for (idx, sb) in self.superblocks.iter().enumerate() {
-            if sb.bad {
-                // Retired superblocks hold nothing reclaimable.
-                continue;
-            }
-            if Some(idx as u32) == self.active_superblock || sb.is_erased() {
-                continue;
-            }
-            if sb.invalid() == 0 {
-                continue;
-            }
-            candidates.push(BlockInfo {
-                block: idx as u32,
-                valid_pages: sb.valid,
-                invalid_pages: sb.invalid(),
-                total_pages: sb.slots(),
-                erase_count: sb.erase_count,
-                age: self.clock.saturating_sub(sb.last_write),
-            });
-        }
-        let Some(victim) = self.policy.select_victim(&candidates) else {
+        let ctx = PickContext {
+            clock: self.clock,
+            exclude: self.active_superblock,
+        };
+        let Some(victim) = self.policy.select_from_index(&mut self.index, &ctx) else {
             return Ok(false);
         };
+        if let Some(trace) = self.victim_trace.as_mut() {
+            trace.push(victim);
+        }
         // Move live stripes.
         let live: Vec<(u32, u64)> = self.superblocks[victim as usize]
             .slot_lpns
@@ -640,6 +689,7 @@ impl StripeFtl {
         sb.write_ptr = 0;
         sb.valid = 0;
         sb.erase_count += 1;
+        self.index.on_erase(victim);
         self.free_superblocks.push(victim);
         self.free_slots += reclaimed;
         self.stats.gc_blocks_erased += elements as u64;
@@ -660,6 +710,7 @@ impl StripeFtl {
         let unwritten = (sb.slots() - sb.write_ptr) as u64;
         sb.bad = true;
         sb.retire_pending = false;
+        self.index.on_retire(superblock);
         self.free_slots -= unwritten;
         Ok(())
     }
@@ -723,41 +774,44 @@ impl Ftl for StripeFtl {
         self.logical_pages
     }
 
-    fn read(&mut self, lpn: Lpn, covered_bytes: u64) -> Result<ReadOutcome, FtlError> {
+    fn read_into(
+        &mut self,
+        lpn: Lpn,
+        covered_bytes: u64,
+        ops: &mut Vec<FlashOp>,
+    ) -> Result<bool, FtlError> {
         self.check_lpn(lpn)?;
         self.stats.host_reads += 1;
         // Reads of a stripe still sitting in the open buffer are served from
         // RAM.
         if let Some(open) = self.open {
             if open.lpn == lpn {
-                return Ok(ReadOutcome::buffered());
+                return Ok(false);
             }
         }
         let slot = self.map[lpn.index()];
         if slot == UNMAPPED {
-            return Ok(ReadOutcome::buffered());
+            return Ok(false);
         }
         let page_bytes = self.flash.geometry().page_bytes as u64;
         let pages = covered_bytes
             .min(self.stripe_bytes())
             .div_ceil(page_bytes)
             .max(1) as u32;
-        let mut ops = Vec::new();
-        let uncorrectable = self.read_slot_pages(slot, pages, OpPurpose::HostRead, &mut ops)?;
-        Ok(ReadOutcome { ops, uncorrectable })
+        self.read_slot_pages(slot, pages, OpPurpose::HostRead, ops)
     }
 
-    fn write(
+    fn write_into(
         &mut self,
         lpn: Lpn,
         covered_bytes: u64,
         _ctx: &WriteContext,
-    ) -> Result<Vec<FlashOp>, FtlError> {
+        ops: &mut Vec<FlashOp>,
+    ) -> Result<(), FtlError> {
         self.check_lpn(lpn)?;
         self.stats.host_writes += 1;
         self.clock += 1;
-        let mut ops = Vec::new();
-        self.maybe_clean(&mut ops)?;
+        self.maybe_clean(ops)?;
         let stripe_bytes = self.stripe_bytes();
         let covered = covered_bytes.min(stripe_bytes);
         match self.open {
@@ -765,19 +819,19 @@ impl Ftl for StripeFtl {
                 // Sequential fill of the open stripe: absorb in RAM.
                 open.covered_bytes = (open.covered_bytes + covered).min(stripe_bytes);
                 if open.covered_bytes >= stripe_bytes {
-                    self.flush_open(&mut ops)?;
+                    self.flush_open(ops)?;
                 }
             }
             Some(_) => {
                 // A different stripe (or coalescing is disabled): the open
                 // one must be written out first.
-                self.flush_open(&mut ops)?;
+                self.flush_open(ops)?;
                 self.open = Some(OpenStripe {
                     lpn,
                     covered_bytes: covered,
                 });
                 if covered >= stripe_bytes || !self.coalesce {
-                    self.flush_open(&mut ops)?;
+                    self.flush_open(ops)?;
                 }
             }
             None => {
@@ -786,11 +840,11 @@ impl Ftl for StripeFtl {
                     covered_bytes: covered,
                 });
                 if covered >= stripe_bytes || !self.coalesce {
-                    self.flush_open(&mut ops)?;
+                    self.flush_open(ops)?;
                 }
             }
         }
-        Ok(ops)
+        Ok(())
     }
 
     fn free(&mut self, lpn: Lpn) -> Result<bool, FtlError> {
@@ -813,10 +867,8 @@ impl Ftl for StripeFtl {
         Ok(true)
     }
 
-    fn flush(&mut self) -> Result<Vec<FlashOp>, FtlError> {
-        let mut ops = Vec::new();
-        self.flush_open(&mut ops)?;
-        Ok(ops)
+    fn flush_into(&mut self, ops: &mut Vec<FlashOp>) -> Result<(), FtlError> {
+        self.flush_open(ops)
     }
 
     fn stats(&self) -> FtlStats {
@@ -997,6 +1049,36 @@ mod tests {
         let s = ftl.stats();
         assert!(s.gc_blocks_erased > 0, "cleaning never ran");
         assert!(ftl.free_page_fraction() > 0.0);
+    }
+
+    /// Pins the stripe FTL's greedy victim sequence on a deterministic
+    /// strided-overwrite churn.  The expected fingerprint was captured from
+    /// the scan-based victim selection before the incremental
+    /// [`ossd_gc::VictimIndex`] landed; the index must reproduce it
+    /// bit-for-bit.
+    #[test]
+    fn greedy_victim_sequence_is_pinned_across_index_refactors() {
+        let config = FtlConfig::default()
+            .with_overprovisioning(0.25)
+            .with_watermarks(0.2, 0.05);
+        let mut ftl = tiny_stripe_ftl(config, 8192);
+        ftl.enable_victim_trace();
+        let logical = ftl.logical_pages();
+        for round in 0..8u64 {
+            for i in 0..logical {
+                let lpn = (i * 13 + round) % logical;
+                ftl.write(Lpn(lpn), 8192, &WriteContext::idle()).unwrap();
+            }
+        }
+        let trace = ftl.victim_trace();
+        assert_eq!(trace.len(), 164, "victim count diverged");
+        let fingerprint = trace.iter().fold(0u64, |h, &v| {
+            h.wrapping_mul(1_000_003).wrapping_add(v as u64)
+        });
+        assert_eq!(
+            fingerprint, 0x7d23_9f6a_7eb2_10ca,
+            "victim sequence fingerprint diverged"
+        );
     }
 
     #[test]

@@ -274,23 +274,59 @@ pub trait Ftl {
         self.logical_pages() * self.logical_page_bytes()
     }
 
-    /// Reads one logical page, returning the flash operations to schedule
-    /// and the reliability verdict ([`ReadOutcome`]).  `covered_bytes` says
-    /// how many bytes of the logical page the host actually asked for, so a
-    /// coarse-grained FTL only reads the physical pages it needs.
-    fn read(&mut self, lpn: Lpn, covered_bytes: u64) -> Result<ReadOutcome, FtlError>;
+    /// Reads one logical page, *appending* the flash operations to schedule
+    /// to `ops` (one [`FlashOpKind::ReadRetry`] per ECC retry after the
+    /// initial read) and returning whether the data stayed uncorrectable.
+    /// `covered_bytes` says how many bytes of the logical page the host
+    /// actually asked for, so a coarse-grained FTL only reads the physical
+    /// pages it needs.
+    ///
+    /// This is the device's hot path: the caller owns a scratch buffer it
+    /// reuses across commands, so steady-state service performs no per-read
+    /// allocation.  [`Ftl::read`] is the allocating convenience wrapper.
+    fn read_into(
+        &mut self,
+        lpn: Lpn,
+        covered_bytes: u64,
+        ops: &mut Vec<FlashOp>,
+    ) -> Result<bool, FtlError>;
 
-    /// Writes one logical page.  `covered_bytes` says how many bytes of the
+    /// Allocating wrapper over [`Ftl::read_into`], returning a
+    /// [`ReadOutcome`] (kept for tests and simple callers).
+    fn read(&mut self, lpn: Lpn, covered_bytes: u64) -> Result<ReadOutcome, FtlError> {
+        let mut ops = Vec::new();
+        let uncorrectable = self.read_into(lpn, covered_bytes, &mut ops)?;
+        Ok(ReadOutcome { ops, uncorrectable })
+    }
+
+    /// Writes one logical page, *appending* the flash operations to schedule
+    /// — including any cleaning or wear-leveling work triggered by the
+    /// allocation — to `ops`.  `covered_bytes` says how many bytes of the
     /// logical page the host actually supplied (a sub-page write forces the
-    /// stripe FTL into a read-modify-write).  Returns the flash operations
-    /// to schedule, including any cleaning or wear-leveling work triggered
-    /// by the allocation.
+    /// stripe FTL into a read-modify-write).
+    ///
+    /// Like [`Ftl::read_into`], this is the allocation-free hot path;
+    /// [`Ftl::write`] is the allocating convenience wrapper.
+    fn write_into(
+        &mut self,
+        lpn: Lpn,
+        covered_bytes: u64,
+        ctx: &WriteContext,
+        ops: &mut Vec<FlashOp>,
+    ) -> Result<(), FtlError>;
+
+    /// Allocating wrapper over [`Ftl::write_into`] (kept for tests and
+    /// simple callers).
     fn write(
         &mut self,
         lpn: Lpn,
         covered_bytes: u64,
         ctx: &WriteContext,
-    ) -> Result<Vec<FlashOp>, FtlError>;
+    ) -> Result<Vec<FlashOp>, FtlError> {
+        let mut ops = Vec::new();
+        self.write_into(lpn, covered_bytes, ctx, &mut ops)?;
+        Ok(ops)
+    }
 
     /// Accepts a free (TRIM) notification for one logical page.  Returns
     /// `true` if the FTL used the information (informed cleaning enabled and
@@ -298,27 +334,48 @@ pub trait Ftl {
     fn free(&mut self, lpn: Lpn) -> Result<bool, FtlError>;
 
     /// Flushes any data held in the FTL's volatile buffers to flash,
-    /// returning the flash operations to schedule.  The default
-    /// implementation does nothing; the stripe-mapped FTL uses this to drain
-    /// its open-stripe coalescing buffer.
+    /// *appending* the flash operations to schedule to `ops`.  The default
+    /// implementation does nothing; the stripe-mapped FTL uses this to
+    /// drain its open-stripe coalescing buffer.
+    fn flush_into(&mut self, ops: &mut Vec<FlashOp>) -> Result<(), FtlError> {
+        let _ = ops;
+        Ok(())
+    }
+
+    /// Allocating wrapper over [`Ftl::flush_into`].
     fn flush(&mut self) -> Result<Vec<FlashOp>, FtlError> {
-        Ok(Vec::new())
+        let mut ops = Vec::new();
+        self.flush_into(&mut ops)?;
+        Ok(ops)
     }
 
     /// Performs up to `max_erases` block reclamations of background
     /// cleaning, stopping early once the free-page fraction reaches
-    /// `target_free_fraction` or nothing is reclaimable.  Called by the
-    /// device during idle windows (see [`ossd_gc::BackgroundCleaner`]);
-    /// the returned operations carry [`OpPurpose::BackgroundClean`] so the
-    /// device accounts their time separately from host-visible stalls.
-    /// The default implementation does nothing.
+    /// `target_free_fraction` or nothing is reclaimable, *appending* the
+    /// flash operations performed to `ops`.  Called by the device during
+    /// idle windows (see [`ossd_gc::BackgroundCleaner`]); the operations
+    /// carry [`OpPurpose::BackgroundClean`] so the device accounts their
+    /// time separately from host-visible stalls.  The default
+    /// implementation does nothing.
+    fn background_clean_into(
+        &mut self,
+        max_erases: u32,
+        target_free_fraction: f64,
+        ops: &mut Vec<FlashOp>,
+    ) -> Result<(), FtlError> {
+        let _ = (max_erases, target_free_fraction, ops);
+        Ok(())
+    }
+
+    /// Allocating wrapper over [`Ftl::background_clean_into`].
     fn background_clean(
         &mut self,
         max_erases: u32,
         target_free_fraction: f64,
     ) -> Result<Vec<FlashOp>, FtlError> {
-        let _ = (max_erases, target_free_fraction);
-        Ok(Vec::new())
+        let mut ops = Vec::new();
+        self.background_clean_into(max_erases, target_free_fraction, &mut ops)?;
+        Ok(ops)
     }
 
     /// Cumulative statistics.

@@ -1,6 +1,7 @@
 //! Policy selection: the [`CleaningPolicyKind`] configuration enum and the
 //! [`AnyPolicy`] dispatcher the FTLs embed.
 
+use crate::index::{PickContext, VictimIndex};
 use crate::policies::{CostAge, CostBenefit, Greedy, WindowedGreedy};
 use crate::policy::{BlockInfo, CleaningPolicy, TriggerContext, TriggerDecision};
 
@@ -100,6 +101,15 @@ impl CleaningPolicy for AnyPolicy {
             AnyPolicy::CostBenefit(p) => p.select_victim(candidates),
             AnyPolicy::CostAge(p) => p.select_victim(candidates),
             AnyPolicy::WindowedGreedy(p) => p.select_victim(candidates),
+        }
+    }
+
+    fn select_from_index(&mut self, index: &mut VictimIndex, ctx: &PickContext) -> Option<u32> {
+        match self {
+            AnyPolicy::Greedy(p) => p.select_from_index(index, ctx),
+            AnyPolicy::CostBenefit(p) => p.select_from_index(index, ctx),
+            AnyPolicy::CostAge(p) => p.select_from_index(index, ctx),
+            AnyPolicy::WindowedGreedy(p) => p.select_from_index(index, ctx),
         }
     }
 }

@@ -1,0 +1,612 @@
+//! The incremental victim-selection index.
+//!
+//! Before this module, every victim pick re-scanned every block of the
+//! element and heap-allocated a fresh candidate vector — quadratic-ish in
+//! device size for the GC-heavy sweeps the paper's cleaning study rests on
+//! (§4, Figures 2–3, Table 5).  Nagel et al. (*Time-efficient Garbage
+//! Collection in SSDs*) make the case that victim selection must be
+//! sub-linear to matter at scale; [`VictimIndex`] is that structure:
+//!
+//! * **Invalid-count buckets.**  Bucket `i` holds the blocks with exactly
+//!   `i` stale pages, ordered by `(erase_count, block)` ascending — exactly
+//!   the greedy tie-break (most stale pages, then fewest erases, then the
+//!   lowest block index), so a [`Greedy`](crate::Greedy) pick is the first
+//!   entry of the highest non-empty bucket: O(1) amortized via the
+//!   `max_invalid` cursor.
+//! * **Incremental maintenance.**  The FTL notifies the index on every
+//!   program, invalidation, burned/padded page, erase and retirement; no
+//!   operation ever walks all blocks.
+//! * **Reusable scratch.**  Policies whose score genuinely drifts with age
+//!   ([`CostBenefit`](crate::CostBenefit), [`CostAge`](crate::CostAge))
+//!   select over a scratch buffer filled from the non-empty buckets only —
+//!   no per-pick allocation once the buffer has warmed up, and candidates
+//!   are presented in the ascending-block order the pre-index scan used, so
+//!   victim sequences stay bit-for-bit identical.
+//!
+//! A block is a *candidate* (an index member) exactly when it is not
+//! retired and holds at least one stale page; the currently active (append)
+//! block is excluded at pick time via [`PickContext::exclude`] rather than
+//! by membership, because it can become eligible (a full append block) and
+//! ineligible without any page-state change.
+
+use crate::policy::{BlockInfo, CleaningPolicy};
+
+/// Everything a pick needs beyond the index itself.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PickContext {
+    /// The FTL's logical clock (host writes served); candidate ages are
+    /// `clock - last_write`.
+    pub clock: u64,
+    /// Block excluded from this pick (the element's active append block,
+    /// unless the caller deliberately admits it once full).
+    pub exclude: Option<u32>,
+}
+
+impl PickContext {
+    /// A pick context with the given clock and no exclusion.
+    pub fn at(clock: u64) -> Self {
+        PickContext {
+            clock,
+            exclude: None,
+        }
+    }
+
+    /// Returns this context with `exclude` set.
+    pub fn excluding(mut self, block: Option<u32>) -> Self {
+        self.exclude = block;
+        self
+    }
+}
+
+/// Per-block state mirrored by the index.
+#[derive(Clone, Copy, Debug, Default)]
+struct Slot {
+    valid: u32,
+    invalid: u32,
+    erase: u32,
+    last_write: u64,
+    bad: bool,
+}
+
+impl Slot {
+    /// Candidate membership: not retired and holding at least one stale
+    /// page.  (A block with a stale page is necessarily not erased.)
+    fn is_member(&self) -> bool {
+        !self.bad && self.invalid > 0
+    }
+}
+
+/// Incremental invalid-count index over the blocks of one element (or the
+/// superblocks of a stripe-mapped FTL).
+#[derive(Clone, Debug)]
+pub struct VictimIndex {
+    /// Pages per block, reported as `BlockInfo::total_pages` (slots per
+    /// superblock on the stripe FTL).
+    pages_per_block: u32,
+    slots: Vec<Slot>,
+    /// `buckets[i]`: blocks with exactly `i` stale pages, sorted by
+    /// `(erase_count, block)` ascending.  Bucket 0 is never populated.
+    buckets: Vec<Vec<u32>>,
+    /// Upper bound on the highest non-empty bucket, settled lazily.
+    max_invalid: usize,
+    /// Number of candidate blocks across all buckets.
+    members: usize,
+    /// Reusable candidate buffer for scan-tier policies.
+    scratch: Vec<BlockInfo>,
+}
+
+impl VictimIndex {
+    /// An index over `blocks` erased blocks of `pages_per_block` pages.
+    pub fn new(blocks: u32, pages_per_block: u32) -> Self {
+        VictimIndex {
+            pages_per_block,
+            slots: vec![Slot::default(); blocks as usize],
+            buckets: vec![Vec::new(); pages_per_block as usize + 1],
+            max_invalid: 0,
+            members: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Number of candidate blocks currently indexed.
+    pub fn len(&self) -> usize {
+        self.members
+    }
+
+    /// Whether no block is a cleaning candidate.
+    pub fn is_empty(&self) -> bool {
+        self.members == 0
+    }
+
+    /// Number of candidates a pick excluding `exclude` would consider.
+    pub fn candidates_excluding(&self, exclude: Option<u32>) -> usize {
+        let excluded = exclude
+            .and_then(|b| self.slots.get(b as usize))
+            .map(|s| s.is_member() as usize)
+            .unwrap_or(0);
+        self.members - excluded
+    }
+
+    /// The block's logical-clock timestamp of its youngest data.
+    pub fn last_write(&self, block: u32) -> u64 {
+        self.slots[block as usize].last_write
+    }
+
+    /// The block's erase count as tracked by the index.
+    pub fn erase_count(&self, block: u32) -> u32 {
+        self.slots[block as usize].erase
+    }
+
+    /// Whether `block` is currently a cleaning candidate.
+    pub fn is_member(&self, block: u32) -> bool {
+        self.slots[block as usize].is_member()
+    }
+
+    /// Position of `block` in `bucket` under the `(erase, block)` order.
+    fn bucket_pos(&self, bucket: &[u32], block: u32) -> Result<usize, usize> {
+        let key = (self.slots[block as usize].erase, block);
+        bucket.binary_search_by_key(&key, |&b| (self.slots[b as usize].erase, b))
+    }
+
+    fn bucket_insert(&mut self, block: u32) {
+        let invalid = self.slots[block as usize].invalid as usize;
+        debug_assert!(invalid > 0 && invalid < self.buckets.len());
+        let bucket = std::mem::take(&mut self.buckets[invalid]);
+        let pos = self
+            .bucket_pos(&bucket, block)
+            .expect_err("block already in its bucket");
+        self.buckets[invalid] = bucket;
+        self.buckets[invalid].insert(pos, block);
+        self.max_invalid = self.max_invalid.max(invalid);
+    }
+
+    fn bucket_remove(&mut self, block: u32, invalid: u32) {
+        let bucket = std::mem::take(&mut self.buckets[invalid as usize]);
+        let pos = self
+            .bucket_pos(&bucket, block)
+            .expect("member block missing from its bucket");
+        self.buckets[invalid as usize] = bucket;
+        self.buckets[invalid as usize].remove(pos);
+    }
+
+    /// Marks a block permanently out of service at construction time
+    /// (factory-marked bad).  For blocks retiring mid-life use
+    /// [`VictimIndex::on_retire`].
+    pub fn mark_bad(&mut self, block: u32) {
+        debug_assert!(!self.slots[block as usize].is_member());
+        self.slots[block as usize].bad = true;
+    }
+
+    /// One page of `block` was programmed with data stamped `last_write`
+    /// (the block's new youngest-data timestamp, which the FTL computes —
+    /// host clock for host writes, the source block's timestamp for
+    /// relocations).
+    pub fn on_program(&mut self, block: u32, last_write: u64) {
+        let slot = &mut self.slots[block as usize];
+        slot.valid += 1;
+        slot.last_write = last_write;
+    }
+
+    /// A previously valid page of `block` went stale.
+    pub fn on_invalidate(&mut self, block: u32) {
+        let was_member = self.slots[block as usize].is_member();
+        let old_invalid = self.slots[block as usize].invalid;
+        {
+            let slot = &mut self.slots[block as usize];
+            debug_assert!(slot.valid > 0, "invalidate with no valid pages");
+            slot.valid -= 1;
+            slot.invalid += 1;
+        }
+        if self.slots[block as usize].bad {
+            return;
+        }
+        if was_member {
+            self.bucket_remove(block, old_invalid);
+        } else {
+            self.members += 1;
+        }
+        self.bucket_insert(block);
+    }
+
+    /// A free page of `block` was consumed as stale without being
+    /// programmed (a burned page after a program failure, or lockstep
+    /// padding past a failed row).
+    pub fn on_skip(&mut self, block: u32) {
+        let was_member = self.slots[block as usize].is_member();
+        let old_invalid = self.slots[block as usize].invalid;
+        self.slots[block as usize].invalid += 1;
+        if self.slots[block as usize].bad {
+            return;
+        }
+        if was_member {
+            self.bucket_remove(block, old_invalid);
+        } else {
+            self.members += 1;
+        }
+        self.bucket_insert(block);
+    }
+
+    /// `block` was erased and recycled.
+    pub fn on_erase(&mut self, block: u32) {
+        let slot = self.slots[block as usize];
+        debug_assert_eq!(slot.valid, 0, "erase with valid pages");
+        if slot.is_member() {
+            self.bucket_remove(block, slot.invalid);
+            self.members -= 1;
+        }
+        let slot = &mut self.slots[block as usize];
+        slot.valid = 0;
+        slot.invalid = 0;
+        slot.erase += 1;
+    }
+
+    /// `block` was permanently retired (grown bad).
+    pub fn on_retire(&mut self, block: u32) {
+        let slot = self.slots[block as usize];
+        if slot.bad {
+            return;
+        }
+        if slot.is_member() {
+            self.bucket_remove(block, slot.invalid);
+            self.members -= 1;
+        }
+        let slot = &mut self.slots[block as usize];
+        slot.valid = 0;
+        slot.invalid = 0;
+        slot.bad = true;
+    }
+
+    /// Settles the lazy `max_invalid` cursor onto the highest non-empty
+    /// bucket (amortized O(1): every decrement is paid for by an earlier
+    /// insertion that raised the cursor).
+    fn settle_max(&mut self) {
+        while self.max_invalid > 0 && self.buckets[self.max_invalid].is_empty() {
+            self.max_invalid -= 1;
+        }
+    }
+
+    /// The greedy victim: most stale pages, then fewest erases, then the
+    /// lowest block index — the first entry of the highest non-empty bucket,
+    /// skipping the excluded block.  O(1) amortized.
+    pub fn pick_greedy(&mut self, exclude: Option<u32>) -> Option<u32> {
+        self.settle_max();
+        let mut level = self.max_invalid;
+        while level > 0 {
+            for &block in &self.buckets[level] {
+                if Some(block) != exclude {
+                    return Some(block);
+                }
+            }
+            // Only the excluded block lives at this level; look lower.
+            level -= 1;
+        }
+        None
+    }
+
+    /// Fills the scratch buffer with every candidate except `exclude`.
+    /// When `by_block` is set the candidates are sorted into the ascending
+    /// block order of the pre-index scan (required for bit-for-bit victim
+    /// sequences on tie-breaking scan policies).
+    fn fill_scratch(&mut self, ctx: &PickContext, by_block: bool) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        for bucket in &self.buckets[1..=self.max_invalid] {
+            for &block in bucket {
+                if Some(block) == ctx.exclude {
+                    continue;
+                }
+                let slot = &self.slots[block as usize];
+                scratch.push(BlockInfo {
+                    block,
+                    valid_pages: slot.valid,
+                    invalid_pages: slot.invalid,
+                    total_pages: self.pages_per_block,
+                    erase_count: slot.erase,
+                    age: ctx.clock.saturating_sub(slot.last_write),
+                });
+            }
+        }
+        if by_block {
+            scratch.sort_unstable_by_key(|c| c.block);
+        }
+        self.scratch = scratch;
+    }
+
+    /// The candidate snapshot a scan-tier policy selects over: every
+    /// candidate except the excluded block, in ascending block order,
+    /// built in the index's reusable scratch buffer (no allocation once
+    /// the buffer is warm).
+    pub fn scan_candidates(&mut self, ctx: &PickContext) -> &[BlockInfo] {
+        self.settle_max();
+        self.fill_scratch(ctx, true);
+        &self.scratch
+    }
+
+    /// The windowed-greedy victim: greedy restricted to the `window` oldest
+    /// candidates (largest age, ties towards the lower block index).  Cost
+    /// is O(candidates) via `select_nth_unstable` on the scratch buffer —
+    /// no allocation, no full-device scan.
+    ///
+    /// Callers should fall back to [`VictimIndex::pick_greedy`] when the
+    /// candidate count (excluding `exclude`) does not exceed the window;
+    /// [`crate::WindowedGreedy`] does.
+    pub fn pick_windowed(&mut self, window: usize, ctx: &PickContext) -> Option<u32> {
+        self.settle_max();
+        self.fill_scratch(ctx, false);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let pick = windowed_best(&mut scratch, window);
+        self.scratch = scratch;
+        pick
+    }
+
+    /// A debug/validation snapshot of every candidate as
+    /// `(block, valid, invalid, erase_count, last_write)`, sorted by block.
+    /// Used by the FTLs' index-verification helpers and property tests.
+    pub fn snapshot(&self) -> Vec<(u32, u32, u32, u32, u64)> {
+        let mut out: Vec<(u32, u32, u32, u32, u64)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_member())
+            .map(|(b, s)| (b as u32, s.valid, s.invalid, s.erase, s.last_write))
+            .collect();
+        out.sort_unstable_by_key(|&(b, ..)| b);
+        out
+    }
+
+    /// Verifies the index's internal invariants (bucket placement and
+    /// ordering, member count, cursor bound).  Test/validation aid.
+    pub fn verify_internal(&self) -> Result<(), String> {
+        let mut counted = 0usize;
+        for (invalid, bucket) in self.buckets.iter().enumerate() {
+            let mut prev: Option<(u32, u32)> = None;
+            for &block in bucket {
+                let slot = &self.slots[block as usize];
+                if slot.invalid as usize != invalid || !slot.is_member() {
+                    return Err(format!(
+                        "block {block} in bucket {invalid} has invalid={} bad={}",
+                        slot.invalid, slot.bad
+                    ));
+                }
+                let key = (slot.erase, block);
+                if let Some(p) = prev {
+                    if p >= key {
+                        return Err(format!("bucket {invalid} out of order at block {block}"));
+                    }
+                }
+                prev = Some(key);
+                counted += 1;
+            }
+            if invalid > self.max_invalid && !bucket.is_empty() {
+                return Err(format!("bucket {invalid} above the max_invalid cursor"));
+            }
+        }
+        if counted != self.members {
+            return Err(format!(
+                "member count {} != bucketed blocks {counted}",
+                self.members
+            ));
+        }
+        for (block, slot) in self.slots.iter().enumerate() {
+            if slot.is_member() {
+                let bucket = &self.buckets[slot.invalid as usize];
+                if self.bucket_pos(bucket, block as u32).is_err() {
+                    return Err(format!("member block {block} missing from its bucket"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Greedy over the `window` oldest entries of `candidates` (which is
+/// consumed as scratch): the age order is `(age descending, block
+/// ascending)`, matching the pre-index windowed scan.  The window is then
+/// re-sorted into the ascending block order [`crate::Greedy`] expects and
+/// handed to it, so the greedy tie-break lives in exactly one place.
+fn windowed_best(candidates: &mut [BlockInfo], window: usize) -> Option<u32> {
+    if candidates.is_empty() || window == 0 {
+        return None;
+    }
+    let cmp_age =
+        |a: &BlockInfo, b: &BlockInfo| b.age.cmp(&a.age).then_with(|| a.block.cmp(&b.block));
+    if candidates.len() > window {
+        // Partition so the first `window` entries are exactly the `window`
+        // oldest candidates; the comparator is a total order (the block
+        // index breaks age ties), so the partition set is deterministic.
+        candidates.select_nth_unstable_by(window - 1, cmp_age);
+    }
+    let pool_len = window.min(candidates.len());
+    let pool = &mut candidates[..pool_len];
+    pool.sort_unstable_by_key(|c| c.block);
+    crate::policies::Greedy.select_victim(pool)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::{Greedy, WindowedGreedy};
+    use crate::policy::CleaningPolicy;
+
+    /// Builds the legacy candidate slice (ascending block order) from the
+    /// index's own snapshot, for equivalence checks.
+    fn legacy_candidates(index: &VictimIndex, ctx: &PickContext) -> Vec<BlockInfo> {
+        index
+            .snapshot()
+            .into_iter()
+            .filter(|&(b, ..)| Some(b) != ctx.exclude)
+            .map(|(b, valid, invalid, erase, lw)| BlockInfo {
+                block: b,
+                valid_pages: valid,
+                invalid_pages: invalid,
+                total_pages: index.pages_per_block,
+                erase_count: erase,
+                age: ctx.clock.saturating_sub(lw),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn greedy_pick_matches_the_linear_scan() {
+        let mut index = VictimIndex::new(8, 4);
+        // Block 1: 2 stale; block 3: 3 stale; block 5: 3 stale, more worn.
+        for (block, programs, stales) in [(1, 4, 2), (3, 4, 3), (5, 4, 3)] {
+            for _ in 0..programs {
+                index.on_program(block, 7);
+            }
+            for _ in 0..stales {
+                index.on_invalidate(block);
+            }
+        }
+        // Give block 5 a higher erase count by cycling it once first is not
+        // possible post-hoc; instead check the base tie-break: equal stale
+        // counts break towards the lower block.
+        assert_eq!(index.pick_greedy(None), Some(3));
+        assert_eq!(index.pick_greedy(Some(3)), Some(5));
+        let ctx = PickContext::at(10);
+        let legacy = legacy_candidates(&index, &ctx);
+        assert_eq!(Greedy.select_victim(&legacy), index.pick_greedy(None));
+        assert_eq!(index.len(), 3);
+        assert_eq!(index.candidates_excluding(Some(3)), 2);
+        assert_eq!(index.candidates_excluding(Some(0)), 3);
+        index.verify_internal().unwrap();
+    }
+
+    #[test]
+    fn erase_tie_break_prefers_less_worn_blocks() {
+        let mut index = VictimIndex::new(4, 4);
+        // Cycle block 0 once so its erase count is 1.
+        for _ in 0..4 {
+            index.on_program(0, 1);
+        }
+        for _ in 0..4 {
+            index.on_invalidate(0);
+        }
+        index.on_erase(0);
+        assert_eq!(index.erase_count(0), 1);
+        // Now blocks 0 and 2 both reach 2 stale pages; block 2 has fewer
+        // erases and must win despite the higher index.
+        for block in [0, 2] {
+            for _ in 0..3 {
+                index.on_program(block, 2);
+            }
+            index.on_invalidate(block);
+            index.on_invalidate(block);
+        }
+        assert_eq!(index.pick_greedy(None), Some(2));
+        let ctx = PickContext::at(5);
+        let mut idx2 = index.clone();
+        let legacy = legacy_candidates(&index, &ctx);
+        assert_eq!(Greedy.select_victim(&legacy), idx2.pick_greedy(None));
+    }
+
+    #[test]
+    fn erase_and_retire_remove_membership() {
+        let mut index = VictimIndex::new(4, 4);
+        for block in 0..3 {
+            index.on_program(block, 1);
+            index.on_invalidate(block);
+        }
+        assert_eq!(index.len(), 3);
+        index.on_erase(0);
+        assert!(!index.is_member(0));
+        index.on_retire(1);
+        assert!(!index.is_member(1));
+        // Retire is idempotent; further events on a bad block do not
+        // resurrect it.
+        index.on_retire(1);
+        index.on_skip(1);
+        assert!(!index.is_member(1));
+        assert_eq!(index.len(), 1);
+        assert_eq!(index.pick_greedy(None), Some(2));
+        assert_eq!(index.pick_greedy(Some(2)), None);
+        index.verify_internal().unwrap();
+    }
+
+    #[test]
+    fn skip_counts_as_stale_without_valid_pages() {
+        let mut index = VictimIndex::new(2, 4);
+        index.on_skip(0);
+        assert!(index.is_member(0));
+        assert_eq!(index.pick_greedy(None), Some(0));
+        let snap = index.snapshot();
+        assert_eq!(snap, vec![(0, 0, 1, 0, 0)]);
+    }
+
+    #[test]
+    fn scan_candidates_are_in_ascending_block_order() {
+        let mut index = VictimIndex::new(16, 4);
+        for block in [9, 2, 13, 4] {
+            index.on_program(block, block as u64);
+            index.on_invalidate(block);
+        }
+        let ctx = PickContext::at(20).excluding(Some(4));
+        let blocks: Vec<u32> = index
+            .scan_candidates(&ctx)
+            .iter()
+            .map(|c| c.block)
+            .collect();
+        assert_eq!(blocks, vec![2, 9, 13]);
+        let ages: Vec<u64> = index.scan_candidates(&ctx).iter().map(|c| c.age).collect();
+        assert_eq!(ages, vec![18, 11, 7]);
+    }
+
+    #[test]
+    fn windowed_pick_matches_the_legacy_windowed_scan() {
+        let mut index = VictimIndex::new(32, 8);
+        // Ages descend with the block index; staleness ascends, so the
+        // overall-stalest block is the youngest.
+        for block in 0..8u32 {
+            for _ in 0..(block + 1) {
+                index.on_program(block, (block as u64) * 10);
+            }
+            for _ in 0..(block + 1) {
+                index.on_invalidate(block);
+            }
+        }
+        let ctx = PickContext::at(100);
+        let legacy = legacy_candidates(&index, &ctx);
+        for window in [1usize, 2, 3, 5, 8, 16] {
+            let mut policy = WindowedGreedy::new(window as u32);
+            let expected = policy.select_victim(&legacy);
+            let got = if legacy.len() <= window {
+                index.pick_greedy(ctx.exclude)
+            } else {
+                index.pick_windowed(window, &ctx)
+            };
+            assert_eq!(got, expected, "window {window}");
+        }
+    }
+
+    #[test]
+    fn windowed_best_handles_degenerate_inputs() {
+        assert_eq!(windowed_best(&mut [], 4), None);
+        let mut one = [BlockInfo {
+            block: 3,
+            valid_pages: 1,
+            invalid_pages: 2,
+            total_pages: 4,
+            erase_count: 0,
+            age: 5,
+        }];
+        assert_eq!(windowed_best(&mut one, 0), None);
+        assert_eq!(windowed_best(&mut one, 1), Some(3));
+        assert_eq!(windowed_best(&mut one, 9), Some(3));
+    }
+
+    #[test]
+    fn bucket_moves_track_invalidation_counts() {
+        let mut index = VictimIndex::new(2, 8);
+        for _ in 0..8 {
+            index.on_program(0, 3);
+        }
+        for expected in 1..=8u32 {
+            index.on_invalidate(0);
+            assert_eq!(index.snapshot()[0].2, expected);
+            index.verify_internal().unwrap();
+        }
+        index.on_erase(0);
+        assert!(index.is_empty());
+        index.verify_internal().unwrap();
+    }
+}

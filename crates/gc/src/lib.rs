@@ -15,6 +15,10 @@
 //! * [`config`] — [`CleaningPolicyKind`], the configuration value threaded
 //!   through `FtlConfig` → `SsdConfig` → `DeviceProfile`, and
 //!   [`AnyPolicy`], the `Clone`-able dispatcher the FTLs embed.
+//! * [`index`] — [`VictimIndex`]: the incremental invalid-count-bucket
+//!   index the FTLs maintain on every page-state change, making a greedy
+//!   victim pick O(1) amortized and scan-tier picks allocation-free
+//!   (candidates drawn from the non-empty buckets only).
 //! * [`background`] — [`BackgroundCleaner`]: erase-budgeted incremental
 //!   cleaning during idle windows instead of only stalling host writes.
 //! * [`accounting`] — [`WriteAmpAccounting`]: host-writes vs.
@@ -34,11 +38,13 @@
 pub mod accounting;
 pub mod background;
 pub mod config;
+pub mod index;
 pub mod policies;
 pub mod policy;
 
 pub use accounting::{analytic_greedy_wa, WriteAmpAccounting};
 pub use background::{BackgroundCleaner, BackgroundGcConfig, BackgroundGcStats};
 pub use config::{AnyPolicy, CleaningPolicyKind};
+pub use index::{PickContext, VictimIndex};
 pub use policies::{CostAge, CostBenefit, Greedy, WindowedGreedy};
 pub use policy::{watermark_trigger, BlockInfo, CleaningPolicy, TriggerContext, TriggerDecision};

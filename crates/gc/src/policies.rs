@@ -13,6 +13,7 @@
 //! * [`WindowedGreedy`] — greedy restricted to the oldest *W* candidates;
 //!   approximates cost-benefit's hot/cold separation at greedy's cost.
 
+use crate::index::{PickContext, VictimIndex};
 use crate::policy::{BlockInfo, CleaningPolicy};
 
 /// Greedy cleaning: reclaim the block with the most stale pages; ties break
@@ -44,6 +45,12 @@ impl CleaningPolicy for Greedy {
             }
         }
         best.map(|b| b.block)
+    }
+
+    /// Index-native fast path: the first entry of the highest non-empty
+    /// bucket, O(1) amortized.
+    fn select_from_index(&mut self, index: &mut VictimIndex, ctx: &PickContext) -> Option<u32> {
+        index.pick_greedy(ctx.exclude)
     }
 }
 
@@ -167,6 +174,18 @@ impl CleaningPolicy for WindowedGreedy {
         by_age.sort_unstable();
         let pool: Vec<BlockInfo> = by_age.into_iter().map(|i| candidates[i]).collect();
         Greedy.select_victim(&pool)
+    }
+
+    /// Index-native fast path: a window at least as large as the candidate
+    /// set degenerates to the O(1) greedy pick; otherwise the `window`
+    /// oldest candidates are partitioned out of the index's scratch buffer
+    /// in O(candidates) without touching non-candidate blocks.
+    fn select_from_index(&mut self, index: &mut VictimIndex, ctx: &PickContext) -> Option<u32> {
+        let window = self.window as usize;
+        if window == 0 || index.candidates_excluding(ctx.exclude) <= window {
+            return index.pick_greedy(ctx.exclude);
+        }
+        index.pick_windowed(window, ctx)
     }
 }
 

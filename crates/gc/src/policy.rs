@@ -10,6 +10,8 @@
 //! The mechanics of moving pages and erasing blocks stay in the FTL; the
 //! policy never touches flash state.
 
+use crate::index::{PickContext, VictimIndex};
+
 /// A snapshot of one candidate victim block, as seen by a cleaning policy.
 ///
 /// The FTL builds one `BlockInfo` per *candidate* block — blocks that are
@@ -99,6 +101,18 @@ pub fn watermark_trigger(ctx: &TriggerContext) -> TriggerDecision {
 /// Implementations must be deterministic — given the same candidate slice
 /// they must return the same victim — because the simulators promise
 /// bit-for-bit reproducible experiments.
+///
+/// Victim selection is a two-tier API.  [`select_from_index`] is the hot
+/// path the FTLs call: policies whose order the index maintains directly
+/// ([`crate::Greedy`], [`crate::WindowedGreedy`]) override it with O(1) /
+/// O(candidates) picks, while score-drifting policies ([`crate::CostBenefit`],
+/// [`crate::CostAge`]) inherit the default, which materialises the
+/// candidates into the index's reusable scratch buffer — no per-pick
+/// allocation, candidates drawn from the non-empty buckets only — and
+/// falls through to the slice tier, [`select_victim`].
+///
+/// [`select_from_index`]: CleaningPolicy::select_from_index
+/// [`select_victim`]: CleaningPolicy::select_victim
 pub trait CleaningPolicy {
     /// Human-readable policy name (used in reports and experiment output).
     fn name(&self) -> &'static str;
@@ -113,6 +127,20 @@ pub trait CleaningPolicy {
     /// no candidate is worth cleaning.  Candidates are in ascending block
     /// order and each holds at least one stale page.
     fn select_victim(&mut self, candidates: &[BlockInfo]) -> Option<u32>;
+
+    /// Picks the block to reclaim next from the incremental
+    /// [`VictimIndex`], or `None` when no candidate is worth cleaning.
+    ///
+    /// The default drains the index's non-empty buckets into its scratch
+    /// buffer (ascending block order, the exact presentation of the
+    /// pre-index full scan) and delegates to
+    /// [`select_victim`](CleaningPolicy::select_victim); index-native
+    /// policies override it.  Either way the choice must equal what
+    /// `select_victim` would return over the equivalent snapshot.
+    fn select_from_index(&mut self, index: &mut VictimIndex, ctx: &PickContext) -> Option<u32> {
+        let candidates = index.scan_candidates(ctx);
+        self.select_victim(candidates)
+    }
 }
 
 #[cfg(test)]

@@ -128,10 +128,19 @@ impl LatencySample {
 }
 
 /// Collection of response-time observations with percentile queries.
+///
+/// Percentile queries sort a cached copy of the samples once and reuse it
+/// until the next observation is recorded (the collection is append-only,
+/// so a length mismatch is exactly a staleness signal).  Reports that read
+/// several percentiles per class — `ReplayReport::percentiles()` asks for
+/// p50/p95/p99 — therefore sort once instead of once per query.
 #[derive(Clone, Debug, Default)]
 pub struct LatencyStats {
     samples_ns: Vec<u64>,
     summary: Summary,
+    /// Sorted copy of `samples_ns`, valid iff the lengths match.  Interior
+    /// mutability keeps `percentile` a `&self` query.
+    sorted_cache: std::cell::RefCell<Vec<u64>>,
 }
 
 impl LatencyStats {
@@ -140,6 +149,7 @@ impl LatencyStats {
         LatencyStats {
             samples_ns: Vec::new(),
             summary: Summary::new(),
+            sorted_cache: std::cell::RefCell::new(Vec::new()),
         }
     }
 
@@ -185,12 +195,19 @@ impl LatencyStats {
     }
 
     /// Response time at percentile `p` (0–100). Returns zero when empty.
+    ///
+    /// The first query after a push sorts the cached copy; subsequent
+    /// queries are O(1) lookups until the next push invalidates it.
     pub fn percentile(&self, p: f64) -> SimDuration {
         if self.samples_ns.is_empty() {
             return SimDuration::ZERO;
         }
-        let mut sorted = self.samples_ns.clone();
-        sorted.sort_unstable();
+        let mut sorted = self.sorted_cache.borrow_mut();
+        if sorted.len() != self.samples_ns.len() {
+            sorted.clear();
+            sorted.extend_from_slice(&self.samples_ns);
+            sorted.sort_unstable();
+        }
         let p = p.clamp(0.0, 100.0) / 100.0;
         let rank = ((sorted.len() - 1) as f64 * p).round() as usize;
         SimDuration::from_nanos(sorted[rank])
@@ -374,6 +391,27 @@ mod tests {
             completion: SimTime::from_micros(10),
         };
         assert_eq!(s.response(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn percentile_cache_invalidates_on_push_and_merge() {
+        let mut l = LatencyStats::new();
+        for ms in [30u64, 10, 20] {
+            l.record(SimDuration::from_millis(ms));
+        }
+        assert_eq!(l.percentile(100.0), SimDuration::from_millis(30));
+        // A later push must be visible to the next query.
+        l.record(SimDuration::from_millis(40));
+        assert_eq!(l.percentile(100.0), SimDuration::from_millis(40));
+        assert_eq!(l.percentile(0.0), SimDuration::from_millis(10));
+        // Merges must invalidate too.
+        let mut other = LatencyStats::new();
+        other.record(SimDuration::from_millis(5));
+        l.merge(&other);
+        assert_eq!(l.percentile(0.0), SimDuration::from_millis(5));
+        // A clone answers independently and identically.
+        let c = l.clone();
+        assert_eq!(c.percentile(100.0), SimDuration::from_millis(40));
     }
 
     #[test]

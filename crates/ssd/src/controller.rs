@@ -129,6 +129,11 @@ pub(crate) struct SsdController<'a> {
     /// Global indices of the fences of each initiator, ascending.
     fences_by_initiator: Vec<Vec<usize>>,
     completions: Vec<Option<Completion>>,
+    /// Reusable dispatch-decision buffers (queue positions of the eligible
+    /// commands and their scheduler views), refilled on every decision
+    /// instead of allocated per poll.
+    eligible_scratch: Vec<usize>,
+    views_scratch: Vec<DispatchView>,
 }
 
 impl<'a> SsdController<'a> {
@@ -167,6 +172,8 @@ impl<'a> SsdController<'a> {
             fence_remaining,
             fences_by_initiator,
             completions: vec![None; commands.len()],
+            eligible_scratch: Vec::new(),
+            views_scratch: Vec::new(),
         }
     }
 
@@ -236,30 +243,28 @@ impl Controller for SsdController<'_> {
             // the scheduler.  `eligible` depends on `finished`, which only
             // changes between poll_dispatch calls, so the filter is stable
             // within this loop iteration.
-            let eligible: Vec<usize> = (0..self.queue.len())
-                .filter(|&qi| self.eligible(&self.queue[qi]))
-                .collect();
-            if eligible.is_empty() {
+            self.eligible_scratch.clear();
+            self.views_scratch.clear();
+            for qi in 0..self.queue.len() {
+                if self.eligible(&self.queue[qi]) {
+                    self.eligible_scratch.push(qi);
+                    self.views_scratch.push(DispatchView {
+                        arrival: self.queue[qi].arrival,
+                        element: self.queue[qi].element,
+                    });
+                }
+            }
+            if self.eligible_scratch.is_empty() {
                 // Everything queued is waiting on an unfinished fence (or a
                 // fence is waiting on in-flight commands); the engine will
                 // poll again when their events fire.
                 break;
             }
-            let views: Vec<DispatchView> = eligible
-                .iter()
-                .map(|&qi| {
-                    let q = &self.queue[qi];
-                    DispatchView {
-                        arrival: q.arrival,
-                        element: q.element,
-                    }
-                })
-                .collect();
             let picked_view = self
                 .scheduler
-                .pick(&views, self.ssd.element_queues(), now)
+                .pick(&self.views_scratch, self.ssd.element_queues(), now)
                 .expect("eligible set is non-empty");
-            let picked = self.queue.remove(eligible[picked_view]);
+            let picked = self.queue.remove(self.eligible_scratch[picked_view]);
             let command = &self.commands[picked.index];
             let dispatch = now.max(command.arrival);
             let (completion, slot_release) = match &command.payload {

@@ -36,6 +36,42 @@ pub struct Ssd {
     /// When the device last finished any work; the gap to the next request
     /// is the idle window background cleaning may use.
     last_activity: SimTime,
+    /// Reusable flash-op buffer: the serve path appends each command's ops
+    /// here instead of allocating a fresh vector per command.
+    op_scratch: Vec<FlashOp>,
+}
+
+/// Splits a byte range into `(lpn, covered_bytes)` pieces at logical-page
+/// granularity, lazily (no per-request allocation).
+struct PageSpans {
+    unit: u64,
+    cursor: u64,
+    end: u64,
+}
+
+impl PageSpans {
+    fn new(unit: u64, offset: u64, len: u64) -> Self {
+        PageSpans {
+            unit,
+            cursor: offset,
+            end: offset + len,
+        }
+    }
+}
+
+impl Iterator for PageSpans {
+    type Item = (Lpn, u64);
+
+    fn next(&mut self) -> Option<(Lpn, u64)> {
+        if self.cursor >= self.end {
+            return None;
+        }
+        let lpn = self.cursor / self.unit;
+        let piece_end = ((lpn + 1) * self.unit).min(self.end);
+        let covered = piece_end - self.cursor;
+        self.cursor = piece_end;
+        Some((Lpn(lpn), covered))
+    }
 }
 
 impl Ssd {
@@ -79,6 +115,7 @@ impl Ssd {
             last_write_end: None,
             background,
             last_activity: SimTime::ZERO,
+            op_scratch: Vec::new(),
         })
     }
 
@@ -137,11 +174,15 @@ impl Ssd {
     /// starting no earlier than `at`.  Returns the completion time of the
     /// flush (equal to `at` when there was nothing to flush).
     pub fn flush(&mut self, at: SimTime) -> Result<SimTime, SsdError> {
-        let ops = self.ftl.flush()?;
+        let mut ops = std::mem::take(&mut self.op_scratch);
+        ops.clear();
+        self.ftl.flush_into(&mut ops)?;
         if ops.is_empty() {
+            self.op_scratch = ops;
             return Ok(at);
         }
         let (_, finish) = self.schedule_ops(&ops, at);
+        self.op_scratch = ops;
         self.last_activity = self.last_activity.max(finish);
         Ok(finish)
     }
@@ -233,21 +274,10 @@ impl Ssd {
         (service_begin, finish)
     }
 
-    /// Splits a byte range into `(lpn, covered_bytes)` pieces at logical-page
-    /// granularity.
-    fn split_range(&self, offset: u64, len: u64) -> Vec<(Lpn, u64)> {
-        let unit = self.ftl.logical_page_bytes();
-        let mut out = Vec::new();
-        let mut cursor = offset;
-        let end = offset + len;
-        while cursor < end {
-            let lpn = cursor / unit;
-            let page_end = (lpn + 1) * unit;
-            let piece_end = page_end.min(end);
-            out.push((Lpn(lpn), piece_end - cursor));
-            cursor = piece_end;
-        }
-        out
+    /// The `(lpn, covered_bytes)` pieces of a byte range at logical-page
+    /// granularity, as a lazy iterator.
+    fn split_range(&self, offset: u64, len: u64) -> PageSpans {
+        PageSpans::new(self.ftl.logical_page_bytes(), offset, len)
     }
 
     /// Donates the idle window ending at `now` to background cleaning, if
@@ -267,7 +297,9 @@ impl Ssd {
             return Ok(());
         }
         let target = cleaner.target_free_fraction();
-        let ops = self.ftl.background_clean(budget, target)?;
+        let mut ops = std::mem::take(&mut self.op_scratch);
+        ops.clear();
+        self.ftl.background_clean_into(budget, target, &mut ops)?;
         let erases = ops
             .iter()
             .filter(|o| o.kind == FlashOpKind::EraseBlock)
@@ -284,6 +316,7 @@ impl Ssd {
             // device spent erasing as idle.
             self.last_activity = self.last_activity.max(bg_finish);
         }
+        self.op_scratch = ops;
         if let Some(cleaner) = self.background.as_mut() {
             cleaner.record(erases, moves);
         }
@@ -360,17 +393,17 @@ impl Ssd {
                     if !sequential {
                         floor += self.config.random_penalty;
                     }
-                    let mut ops = Vec::new();
+                    let mut ops = std::mem::take(&mut self.op_scratch);
+                    ops.clear();
                     for (lpn, covered) in self.split_range(request.range.offset, request.range.len)
                     {
-                        let outcome = self.ftl.read(lpn, covered)?;
-                        if outcome.uncorrectable && status.is_ok() {
+                        let uncorrectable = self.ftl.read_into(lpn, covered, &mut ops)?;
+                        if uncorrectable && status.is_ok() {
                             status = CompletionStatus::UncorrectableRead;
                             self.stats.failed_reads += 1;
                         }
-                        ops.extend(outcome.ops);
                     }
-                    if ops.is_empty() {
+                    let finish = if ops.is_empty() {
                         // Unwritten data (or data still in controller RAM).
                         floor + self.ram_transfer(request.len())
                     } else {
@@ -379,7 +412,9 @@ impl Ssd {
                         // scheduled flash operation.
                         service_start = begin;
                         finish
-                    }
+                    };
+                    self.op_scratch = ops;
+                    finish
                 }
             }
             BlockOpKind::Write => {
@@ -392,11 +427,12 @@ impl Ssd {
                     floor += self.config.random_penalty;
                 }
                 let ctx = WriteContext { priority_pending };
-                let mut ops = Vec::new();
+                let mut ops = std::mem::take(&mut self.op_scratch);
+                ops.clear();
                 for (lpn, covered) in self.split_range(request.range.offset, request.range.len) {
-                    ops.extend(self.ftl.write(lpn, covered, &ctx)?);
+                    self.ftl.write_into(lpn, covered, &ctx, &mut ops)?;
                 }
-                if ops.is_empty() {
+                let finish = if ops.is_empty() {
                     self.stats.buffered_writes += 1;
                     floor + self.ram_transfer(request.len())
                 } else {
@@ -405,7 +441,9 @@ impl Ssd {
                         self.schedule_ops(&ops, floor + self.ram_transfer(request.len()));
                     service_start = begin;
                     finish
-                }
+                };
+                self.op_scratch = ops;
+                finish
             }
         };
         self.last_activity = self.last_activity.max(finish);
@@ -433,9 +471,9 @@ impl Ssd {
     /// instead of a round-robin guess.  `None` (unwritten reads, frees)
     /// means no flash element is involved.
     pub(crate) fn element_hint(&self, request: &BlockRequest) -> Option<usize> {
-        let (lpn, _) = *self
+        let (lpn, _) = self
             .split_range(request.range.offset, request.range.len)
-            .first()?;
+            .next()?;
         if let Some(element) = self.ftl.locate(lpn) {
             return Some(element as usize);
         }
