@@ -4,7 +4,7 @@ use ossd_bench::{print_header, scale_from_args};
 use ossd_core::contract::ContractTerm;
 use ossd_core::experiments::{
     figure2, figure3, lifetime, multi_host, parallelism_sweep, policy_compare, swtf, table1,
-    table2, table3, table4, table5,
+    table2, table3, table4, table5, trace_capture,
 };
 
 fn main() {
@@ -155,4 +155,16 @@ fn main() {
             p.end.name()
         );
     }
+
+    print_header("Trace capture (cross-layer telemetry export)", scale);
+    let capture = trace_capture::run(scale).expect("trace capture");
+    println!(
+        "captured {} events, {} completions, {} samples x {} series, WA {:.3}",
+        capture.events,
+        capture.completions,
+        capture.samples,
+        capture.series,
+        capture.write_amplification
+    );
+    println!("run the `trace_capture` binary to write the trace/CSV artifacts");
 }

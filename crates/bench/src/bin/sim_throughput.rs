@@ -9,7 +9,11 @@
 //! rate, compares it against the recorded pre-index baseline, and emits
 //! machine-readable `BENCH_sim.json` for CI trending.
 //!
-//! Pass `--quick` for the small configuration CI runs as a smoke test.
+//! Pass `--quick` for the small configuration CI runs as a smoke test, and
+//! `--check-baseline <path>` to compare the measured rate against a
+//! previously committed `BENCH_sim.json` (exits non-zero on a >10%
+//! regression; this is the CI guard that keeps the telemetry hooks free
+//! when no sink is attached).
 
 use std::time::Instant;
 
@@ -17,8 +21,16 @@ use ossd_bench::{print_header, scale_from_args, Scale};
 use ossd_block::{BlockDevice, BlockRequest};
 use ossd_flash::{FlashGeometry, FlashTiming, ReliabilityConfig};
 use ossd_ftl::FtlConfig;
-use ossd_sim::{SimDuration, SimRng, SimTime};
+use ossd_sim::{LatencyStats, SimDuration, SimRng, SimTime};
 use ossd_ssd::{MappingKind, SchedulerKind, Ssd, SsdConfig};
+use ossd_telemetry::json;
+
+/// Fraction of the baseline rate the measured rate must reach when
+/// `--check-baseline` is given.  Wall-clock throughput is noisy across
+/// machines and CI runners, so the guard is deliberately loose; the 2%
+/// no-op-sink overhead budget is audited by re-measuring `BENCH_sim.json`
+/// on the reference machine, not by this gate.
+const BASELINE_TOLERANCE: f64 = 0.90;
 
 /// Simulated-ops-per-wall-second measured on the paper-scale configuration
 /// immediately *before* the incremental victim index landed (scan-based
@@ -112,18 +124,33 @@ fn main() {
     }
 
     // Phase 2 (timed): uniform random single-page overwrites, closed loop.
+    // Alongside the wall-clock rate, track the *simulated* time the churn
+    // spans and each command's service time so the JSON also reports the
+    // device-side view (sim-time bandwidth and service-time percentiles).
     let mut rng = SimRng::seed_from_u64(0x51B0_7EE7);
+    let mut service = LatencyStats::new();
+    let sim_start = at;
     let wall_start = Instant::now();
     for _ in 0..config.churn_ops {
         let lpn = rng.next_u64_below(logical_pages);
         let c = ssd
             .submit(&BlockRequest::write(id, lpn * page, page, at))
             .expect("churn write");
+        service.record(c.service_time());
         at = c.finish;
         id += 1;
     }
     let wall = wall_start.elapsed().as_secs_f64();
     let ops_per_sec = config.churn_ops as f64 / wall;
+    let sim_seconds = (at - sim_start).as_nanos() as f64 / 1e9;
+    let sim_bandwidth_mb_s = if sim_seconds > 0.0 {
+        (config.churn_ops * page) as f64 / 1e6 / sim_seconds
+    } else {
+        0.0
+    };
+    let p50_us = service.percentile(50.0).as_nanos() as f64 / 1e3;
+    let p95_us = service.percentile(95.0).as_nanos() as f64 / 1e3;
+    let p99_us = service.percentile(99.0).as_nanos() as f64 / 1e3;
 
     let stats = ssd.stats();
     let speedup = if PRE_INDEX_BASELINE_OPS_PER_SEC > 0.0 && scale == Scale::Paper {
@@ -141,6 +168,11 @@ fn main() {
         stats.write_amplification(),
         stats.ftl.gc_blocks_erased,
         stats.ftl.gc_pages_moved
+    );
+    println!(
+        "sim-time: {:.3} s -> {:.2} MB/s device bandwidth; service time \
+         p50 {:.1} us, p95 {:.1} us, p99 {:.1} us",
+        sim_seconds, sim_bandwidth_mb_s, p50_us, p95_us, p99_us
     );
     if scale == Scale::Paper {
         println!(
@@ -160,7 +192,10 @@ fn main() {
          \"churn_ops\": {},\n  \"wall_seconds\": {:.6},\n  \
          \"sim_ops_per_wall_second\": {:.1},\n  \
          \"pre_index_baseline_ops_per_sec\": {:.1},\n  \"speedup\": {:.3},\n  \
-         \"write_amplification\": {:.4}\n}}\n",
+         \"write_amplification\": {:.4},\n  \
+         \"sim_seconds\": {:.6},\n  \"sim_bandwidth_mb_s\": {:.3},\n  \
+         \"service_p50_us\": {:.2},\n  \"service_p95_us\": {:.2},\n  \
+         \"service_p99_us\": {:.2}\n}}\n",
         config.name,
         config.geometry.blocks_per_element(),
         config.churn_ops,
@@ -168,8 +203,62 @@ fn main() {
         ops_per_sec,
         PRE_INDEX_BASELINE_OPS_PER_SEC,
         speedup,
-        stats.write_amplification()
+        stats.write_amplification(),
+        sim_seconds,
+        sim_bandwidth_mb_s,
+        p50_us,
+        p95_us,
+        p99_us
     );
     std::fs::write(json_path, &json).expect("write bench json");
     println!("wrote {json_path}");
+
+    if let Some(baseline_path) = check_baseline_arg() {
+        match check_baseline(&baseline_path, ops_per_sec) {
+            Ok(baseline_ops) => println!(
+                "baseline check: {:.0} ops/s >= {:.0}% of {baseline_path}'s {:.0} ops/s -- ok",
+                ops_per_sec,
+                BASELINE_TOLERANCE * 100.0,
+                baseline_ops
+            ),
+            Err(why) => {
+                eprintln!("baseline check FAILED: {why}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Returns the argument following `--check-baseline`, if present.
+fn check_baseline_arg() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--check-baseline" {
+            return Some(args.next().unwrap_or_else(|| {
+                eprintln!("--check-baseline requires a path");
+                std::process::exit(2);
+            }));
+        }
+    }
+    None
+}
+
+/// Reads `sim_ops_per_wall_second` from a previously written BENCH_sim JSON
+/// (parsed with the telemetry crate's vendored codec) and checks the
+/// measured rate against it with [`BASELINE_TOLERANCE`] headroom.
+fn check_baseline(path: &str, measured_ops_per_sec: f64) -> Result<f64, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = json::Value::parse(&text).map_err(|e| format!("{path} does not parse: {e}"))?;
+    let baseline_ops = doc
+        .get("sim_ops_per_wall_second")
+        .and_then(|v| v.as_f64())
+        .ok_or_else(|| format!("{path} has no sim_ops_per_wall_second"))?;
+    if measured_ops_per_sec < BASELINE_TOLERANCE * baseline_ops {
+        return Err(format!(
+            "measured {measured_ops_per_sec:.0} ops/s is below {:.0}% of the \
+             baseline {baseline_ops:.0} ops/s from {path}",
+            BASELINE_TOLERANCE * 100.0
+        ));
+    }
+    Ok(baseline_ops)
 }

@@ -1,0 +1,45 @@
+//! Captures an instrumented TPC-C run as a Perfetto-loadable Chrome trace
+//! plus a metrics-CSV time-series (see
+//! `ossd_core::experiments::trace_capture`).
+//!
+//! Writes `BENCH_trace.trace.json` and `BENCH_trace_metrics.csv` (quick
+//! runs write `_quick`-suffixed files alongside) and exits non-zero if the
+//! capture fails its own validation: the trace must parse with the vendored
+//! JSON codec and every element and initiator track must carry complete
+//! spans.  Open the `.trace.json` in <https://ui.perfetto.dev>.
+//!
+//! Pass `--quick` for the CI smoke configuration.
+
+use ossd_bench::{print_header, scale_from_args, Scale};
+use ossd_core::experiments::trace_capture;
+
+fn main() {
+    let scale = scale_from_args();
+    print_header("Trace capture: cross-layer telemetry export", scale);
+    let capture = trace_capture::run(scale).expect("trace capture");
+
+    println!(
+        "captured {} events ({} dropped), {} completions across {} initiators",
+        capture.events,
+        capture.dropped_events,
+        capture.completions,
+        trace_capture::INITIATORS
+    );
+    println!(
+        "metrics: {} samples x {} series, write amplification {:.3}",
+        capture.samples, capture.series, capture.write_amplification
+    );
+
+    let (trace_path, csv_path) = match scale {
+        Scale::Paper => ("BENCH_trace.trace.json", "BENCH_trace_metrics.csv"),
+        Scale::Quick => (
+            "BENCH_trace_quick.trace.json",
+            "BENCH_trace_metrics_quick.csv",
+        ),
+    };
+    std::fs::write(trace_path, &capture.trace_json).expect("write trace json");
+    std::fs::write(csv_path, &capture.metrics_csv).expect("write metrics csv");
+    println!("wrote {trace_path} ({} bytes)", capture.trace_json.len());
+    println!("wrote {csv_path} ({} bytes)", capture.metrics_csv.len());
+    println!("open the trace in https://ui.perfetto.dev");
+}

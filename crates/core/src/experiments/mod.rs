@@ -22,7 +22,10 @@
 //! controller queue depth and the element count — the parallelism the
 //! event-driven engine unlocked — and [`multi_host`] measures aggregate
 //! bandwidth and Jain-fairness across N initiator queue pairs arbitrated
-//! round-robin through the queue-pair host interface.  [`lifetime`] writes
+//! round-robin through the queue-pair host interface.  [`trace_capture`]
+//! replays an instrumented TPC-C slice with the cross-layer telemetry
+//! recorder (`ossd-telemetry`) attached and exports a Perfetto-loadable
+//! Chrome trace plus a metrics-CSV time-series.  [`lifetime`] writes
 //! a device to end-of-life under the seeded fault model
 //! (`ossd-reliability`) and reports TBW/lifetime/UBER per
 //! over-provisioning × cleaning policy × wear-leveling.
@@ -39,6 +42,7 @@ pub mod table2;
 pub mod table3;
 pub mod table4;
 pub mod table5;
+pub mod trace_capture;
 
 /// How much work an experiment does.
 ///

@@ -31,6 +31,7 @@ use ossd_flash::{
 use ossd_gc::{
     AnyPolicy, CleaningPolicy, PickContext, TriggerContext, TriggerDecision, VictimIndex,
 };
+use ossd_telemetry::{EventKind, TelemetryHandle, Track};
 
 use crate::bitset::FixedBitset;
 use crate::config::{CleaningMode, FtlConfig};
@@ -103,6 +104,9 @@ pub struct PageFtl {
     /// program failure and must be retired instead of recycled the next
     /// time cleaning reclaims them.
     retire_pending: Vec<bool>,
+    /// Telemetry sink for GC and reliability instants; detached (free) by
+    /// default.
+    telemetry: TelemetryHandle,
 }
 
 impl PageFtl {
@@ -201,6 +205,7 @@ impl PageFtl {
             index,
             victim_trace: None,
             retire_pending: vec![false; total_blocks],
+            telemetry: TelemetryHandle::noop(),
         })
     }
 
@@ -441,6 +446,12 @@ impl PageFtl {
                     self.total_free_pages -= 1;
                     let global = self.global_block(element, block);
                     self.retire_pending[global] = true;
+                    self.telemetry.instant_now(
+                        Track::Element(element as u32),
+                        EventKind::ProgramFail,
+                        block as u64,
+                        element as u64,
+                    );
                     // The burned page is a fresh stale page: the block
                     // becomes (or stays) a cleaning candidate.
                     self.index[element].on_skip(block);
@@ -499,6 +510,12 @@ impl PageFtl {
             self.retire_pending[global] = false;
             self.index[element].on_retire(block);
             self.forfeit_free_pages(element, block)?;
+            self.telemetry.instant_now(
+                Track::Element(element as u32),
+                EventKind::BlockRetired,
+                block as u64,
+                element as u64,
+            );
             return Ok(false);
         }
         let freed_pages = {
@@ -519,6 +536,19 @@ impl PageFtl {
                 // the erase latency, so the caller schedules the op.
                 self.index[element].on_retire(block);
                 self.forfeit_free_pages(element, block)?;
+                let track = Track::Element(element as u32);
+                self.telemetry.instant_now(
+                    track,
+                    EventKind::EraseFail,
+                    block as u64,
+                    element as u64,
+                );
+                self.telemetry.instant_now(
+                    track,
+                    EventKind::BlockRetired,
+                    block as u64,
+                    element as u64,
+                );
             }
             Err(e) => return Err(e.into()),
         }
@@ -612,6 +642,12 @@ impl PageFtl {
         if let Some(trace) = self.victim_trace.as_mut() {
             trace.push((element as u32, victim));
         }
+        self.telemetry.instant_now(
+            Track::Element(element as u32),
+            EventKind::GcVictimPick,
+            victim as u64,
+            purpose.telemetry_code(),
+        );
         // When the (full) append block itself is the victim, retire it
         // first: after the erase it goes back to the free list, and leaving
         // `active_block` pointing at it would hand out its pages twice.
@@ -702,10 +738,17 @@ impl PageFtl {
             priority_pending: ctx.priority_pending,
             priority_aware: self.config.cleaning_mode == CleaningMode::PriorityAware,
         };
+        let free_ppm = (trigger.free_fraction * 1e6) as u64;
         match self.policy.should_trigger(&trigger) {
             TriggerDecision::Idle => return Ok(()),
             TriggerDecision::Postponed => {
                 self.stats.gc_postponements += 1;
+                self.telemetry.instant_now(
+                    Track::Element(element as u32),
+                    EventKind::GcPostponed,
+                    free_ppm,
+                    element as u64,
+                );
                 return Ok(());
             }
             TriggerDecision::Clean => {}
@@ -717,6 +760,12 @@ impl PageFtl {
             return Ok(());
         }
         self.stats.gc_invocations += 1;
+        self.telemetry.instant_now(
+            Track::Element(element as u32),
+            EventKind::GcTrigger,
+            free_ppm,
+            element as u64,
+        );
         let mut victims = 0;
         while self.free_fraction_of(element) < low && victims < MAX_VICTIMS_PER_PASS {
             if !self.clean_one_block(element, OpPurpose::Clean, false, ops)? {
@@ -727,6 +776,12 @@ impl PageFtl {
         if victims == 0 {
             self.stats.gc_fruitless_passes += 1;
             self.elements[element].clean_stalled = true;
+            self.telemetry.instant_now(
+                Track::Element(element as u32),
+                EventKind::GcFruitless,
+                element as u64,
+                0,
+            );
         }
         Ok(())
     }
@@ -897,6 +952,22 @@ impl Ftl for PageFtl {
         for _ in 0..status.retries {
             ops.push(FlashOp::host_read_retry(addr.element));
         }
+        if status.retries > 0 {
+            self.telemetry.instant_now(
+                Track::Element(addr.element.0),
+                EventKind::EccRetry,
+                status.retries as u64,
+                addr.element.0 as u64,
+            );
+        }
+        if status.uncorrectable {
+            self.telemetry.instant_now(
+                Track::Element(addr.element.0),
+                EventKind::ReadUncorrectable,
+                lpn.0,
+                0,
+            );
+        }
         Ok(status.uncorrectable)
     }
 
@@ -1038,6 +1109,18 @@ impl Ftl for PageFtl {
 
     fn wear_summary(&self) -> ossd_flash::WearSummary {
         self.flash.wear_summary()
+    }
+
+    fn set_telemetry(&mut self, telemetry: TelemetryHandle) {
+        self.telemetry = telemetry;
+    }
+
+    fn gc_backlog_blocks(&self) -> u64 {
+        self.index.iter().map(|i| i.len() as u64).sum()
+    }
+
+    fn gc_stale_pages(&self) -> u64 {
+        self.index.iter().map(|i| i.stale_pages()).sum()
     }
 }
 

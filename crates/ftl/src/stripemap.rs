@@ -21,6 +21,7 @@ use ossd_flash::{
     ElementId, FlashArray, FlashError, FlashGeometry, FlashTiming, ReliabilityConfig,
 };
 use ossd_gc::{AnyPolicy, CleaningPolicy, PickContext, VictimIndex};
+use ossd_telemetry::{EventKind, TelemetryHandle, Track};
 
 use crate::config::FtlConfig;
 use crate::error::FtlError;
@@ -124,6 +125,9 @@ pub struct StripeFtl {
     /// "block" of `slots_per_superblock` slot-pages per superblock),
     /// maintained on every slot-state change.
     index: VictimIndex,
+    /// Telemetry sink for GC and reliability instants; detached (free) by
+    /// default.
+    telemetry: TelemetryHandle,
 }
 
 impl StripeFtl {
@@ -249,6 +253,7 @@ impl StripeFtl {
             clock: 0,
             victim_trace: None,
             index,
+            telemetry: TelemetryHandle::noop(),
         })
     }
 
@@ -391,6 +396,14 @@ impl StripeFtl {
                         kind: FlashOpKind::ReadRetry,
                         purpose,
                     });
+                }
+                if status.retries > 0 {
+                    self.telemetry.instant_now(
+                        Track::Element(element),
+                        EventKind::EccRetry,
+                        status.retries as u64,
+                        element as u64,
+                    );
                 }
                 uncorrectable |= status.uncorrectable;
                 remaining -= 1;
@@ -563,6 +576,12 @@ impl StripeFtl {
                 }
             }
         }
+        self.telemetry.instant_now(
+            Track::Element(failed_element),
+            EventKind::ProgramFail,
+            superblock as u64,
+            failed_element as u64,
+        );
         let sb = &mut self.superblocks[superblock as usize];
         sb.write_ptr += 1;
         sb.retire_pending = true;
@@ -630,6 +649,12 @@ impl StripeFtl {
         if let Some(trace) = self.victim_trace.as_mut() {
             trace.push(victim);
         }
+        self.telemetry.instant_now(
+            Track::Device,
+            EventKind::GcVictimPick,
+            victim as u64,
+            OpPurpose::Clean.telemetry_code(),
+        );
         // Move live stripes.
         let live: Vec<(u32, u64)> = self.superblocks[victim as usize]
             .slot_lpns
@@ -669,6 +694,12 @@ impl StripeFtl {
                         kind: FlashOpKind::EraseBlock,
                         purpose: OpPurpose::Clean,
                     });
+                    self.telemetry.instant_now(
+                        Track::Element(element),
+                        EventKind::EraseFail,
+                        victim as u64,
+                        element as u64,
+                    );
                     erase_failed = true;
                     break;
                 }
@@ -705,6 +736,8 @@ impl StripeFtl {
             // Idempotent: the element whose erase failed is already bad.
             self.flash.retire(ElementId(element), superblock)?;
         }
+        self.telemetry
+            .instant_now(Track::Device, EventKind::BlockRetired, superblock as u64, 0);
         let sb = &mut self.superblocks[superblock as usize];
         debug_assert_eq!(sb.valid, 0, "retiring a superblock with live stripes");
         let unwritten = (sb.slots() - sb.write_ptr) as u64;
@@ -746,10 +779,17 @@ impl StripeFtl {
     }
 
     fn maybe_clean(&mut self, ops: &mut Vec<FlashOp>) -> Result<(), FtlError> {
-        if self.free_slot_fraction() >= self.config.gc_low_watermark {
+        let free_fraction = self.free_slot_fraction();
+        if free_fraction >= self.config.gc_low_watermark {
             return Ok(());
         }
         self.stats.gc_invocations += 1;
+        self.telemetry.instant_now(
+            Track::Device,
+            EventKind::GcTrigger,
+            (free_fraction * 1e6) as u64,
+            0,
+        );
         let mut passes = 0;
         while self.free_slot_fraction() < self.config.gc_low_watermark && passes < 4 {
             if !self.clean_one_superblock(ops)? {
@@ -798,7 +838,12 @@ impl Ftl for StripeFtl {
             .min(self.stripe_bytes())
             .div_ceil(page_bytes)
             .max(1) as u32;
-        self.read_slot_pages(slot, pages, OpPurpose::HostRead, ops)
+        let uncorrectable = self.read_slot_pages(slot, pages, OpPurpose::HostRead, ops)?;
+        if uncorrectable {
+            self.telemetry
+                .instant_now(Track::Device, EventKind::ReadUncorrectable, lpn.0, 0);
+        }
+        Ok(uncorrectable)
     }
 
     fn write_into(
@@ -892,6 +937,18 @@ impl Ftl for StripeFtl {
 
     fn wear_summary(&self) -> ossd_flash::WearSummary {
         self.flash.wear_summary()
+    }
+
+    fn set_telemetry(&mut self, telemetry: TelemetryHandle) {
+        self.telemetry = telemetry;
+    }
+
+    fn gc_backlog_blocks(&self) -> u64 {
+        self.index.len() as u64
+    }
+
+    fn gc_stale_pages(&self) -> u64 {
+        self.index.stale_pages()
     }
 }
 

@@ -64,6 +64,17 @@ impl OpPurpose {
             OpPurpose::Clean | OpPurpose::BackgroundClean | OpPurpose::WearLevel
         )
     }
+
+    /// The purpose code trace events carry (see [`ossd_telemetry::purpose`]).
+    pub fn telemetry_code(self) -> u64 {
+        match self {
+            OpPurpose::HostRead => ossd_telemetry::purpose::HOST_READ,
+            OpPurpose::HostWrite => ossd_telemetry::purpose::HOST_WRITE,
+            OpPurpose::Clean => ossd_telemetry::purpose::CLEAN,
+            OpPurpose::BackgroundClean => ossd_telemetry::purpose::BACKGROUND_CLEAN,
+            OpPurpose::WearLevel => ossd_telemetry::purpose::WEAR_LEVEL,
+        }
+    }
 }
 
 /// One flash-level operation for the device to schedule.
@@ -418,6 +429,28 @@ pub trait Ftl {
     /// retired-block population.  The default reports a pristine medium.
     fn wear_summary(&self) -> ossd_flash::WearSummary {
         ossd_flash::WearSummary::default()
+    }
+
+    /// Attaches a telemetry handle the FTL uses to emit GC and reliability
+    /// instants (victim picks, trigger decisions, ECC retries, failures).
+    /// The default implementation discards it — an FTL without hooks simply
+    /// stays silent.
+    fn set_telemetry(&mut self, telemetry: ossd_telemetry::TelemetryHandle) {
+        let _ = telemetry;
+    }
+
+    /// Number of blocks (superblocks on the stripe FTL) currently holding
+    /// at least one stale page — the cleaning backlog.  Sampled by the
+    /// device's metrics time-series; the default reports none.
+    fn gc_backlog_blocks(&self) -> u64 {
+        0
+    }
+
+    /// Total stale pages awaiting reclamation across the backlog.  O(blocks);
+    /// sampled periodically, not read on the hot path.  The default reports
+    /// none.
+    fn gc_stale_pages(&self) -> u64 {
+        0
     }
 }
 

@@ -118,6 +118,17 @@ impl VictimIndex {
         self.members == 0
     }
 
+    /// Total stale (invalid) pages across all candidate blocks — the
+    /// reclaimable backlog a cleaning pass is working against.  O(blocks);
+    /// intended for periodic telemetry sampling, not the pick hot path.
+    pub fn stale_pages(&self) -> u64 {
+        self.slots
+            .iter()
+            .filter(|s| s.is_member())
+            .map(|s| s.invalid as u64)
+            .sum()
+    }
+
     /// Number of candidates a pick excluding `exclude` would consider.
     pub fn candidates_excluding(&self, exclude: Option<u32>) -> usize {
         let excluded = exclude
@@ -470,6 +481,23 @@ mod tests {
         assert_eq!(index.candidates_excluding(Some(3)), 2);
         assert_eq!(index.candidates_excluding(Some(0)), 3);
         index.verify_internal().unwrap();
+    }
+
+    #[test]
+    fn stale_pages_sums_candidate_backlog() {
+        let mut index = VictimIndex::new(8, 4);
+        assert_eq!(index.stale_pages(), 0);
+        for (block, programs, stales) in [(1, 4, 2), (3, 4, 4)] {
+            for _ in 0..programs {
+                index.on_program(block, 7);
+            }
+            for _ in 0..stales {
+                index.on_invalidate(block);
+            }
+        }
+        assert_eq!(index.stale_pages(), 6);
+        index.on_erase(3);
+        assert_eq!(index.stale_pages(), 2);
     }
 
     #[test]

@@ -106,19 +106,74 @@ enum Event {
     OpComplete(u64),
 }
 
+/// Passive observer of the engine's delivered events.
+///
+/// Observers see exactly what the controller sees — arrivals, op starts and
+/// completions, idle windows — but cannot influence the run: every method
+/// returns `()` and the engine calls the observer *after* the controller
+/// handled the event.  The telemetry layer uses this to trace a run without
+/// perturbing its schedule.
+pub trait EngineObserver {
+    /// Request `index` arrived at `now`.
+    fn observe_arrival(&mut self, index: usize, now: SimTime) {
+        let _ = (index, now);
+    }
+
+    /// Dispatched op `token` started occupying its resource.
+    fn observe_op_start(&mut self, token: u64, now: SimTime) {
+        let _ = (token, now);
+    }
+
+    /// Dispatched op `token` completed.
+    fn observe_op_complete(&mut self, token: u64, now: SimTime) {
+        let _ = (token, now);
+    }
+
+    /// The device is idle from `now` until `until`.
+    fn observe_idle(&mut self, now: SimTime, until: SimTime) {
+        let _ = (now, until);
+    }
+}
+
+/// The do-nothing observer [`run`] uses.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopObserver;
+
+impl EngineObserver for NoopObserver {}
+
 /// Runs the dispatch loop to completion: schedules one arrival event per
 /// entry of `arrivals` (index-ordered FIFO among ties) and delivers events
 /// until none remain.  Returns the first controller error, abandoning the
 /// remaining events.
 pub fn run<C: Controller>(controller: &mut C, arrivals: &[SimTime]) -> Result<(), C::Error> {
+    run_observed(controller, arrivals, &mut NoopObserver)
+}
+
+/// [`run`] with an [`EngineObserver`] attached: every delivered event is
+/// mirrored to `observer` after the controller has handled it.
+pub fn run_observed<C: Controller, O: EngineObserver>(
+    controller: &mut C,
+    arrivals: &[SimTime],
+    observer: &mut O,
+) -> Result<(), C::Error> {
     let mut events: EventQueue<Event> = EventQueue::new();
     for (index, &at) in arrivals.iter().enumerate() {
         events.push(at, Event::Arrival(index));
     }
     let mut now = SimTime::ZERO;
     while let Some(batch_time) = events.peek_time() {
+        // Simulated time must never run backwards: everything scheduled
+        // during a poll at `now` carries a timestamp >= `now`.  A violation
+        // would silently corrupt traces and stats, so fail loudly in debug.
+        debug_assert!(
+            batch_time >= now,
+            "event time regressed: delivering {:?} after reaching {:?}",
+            batch_time,
+            now
+        );
         if batch_time > now && controller.in_flight() == 0 {
             controller.on_idle(now, batch_time)?;
+            observer.observe_idle(now, batch_time);
         }
         now = now.max(batch_time);
         // Deliver every event at this timestamp before asking for new work,
@@ -126,9 +181,18 @@ pub fn run<C: Controller>(controller: &mut C, arrivals: &[SimTime]) -> Result<()
         while events.peek_time() == Some(batch_time) {
             let (_, event) = events.pop().expect("peeked event exists");
             match event {
-                Event::Arrival(index) => controller.on_arrival(index, now)?,
-                Event::OpStart(token) => controller.on_op_start(token, now)?,
-                Event::OpComplete(token) => controller.on_op_complete(token, now)?,
+                Event::Arrival(index) => {
+                    controller.on_arrival(index, now)?;
+                    observer.observe_arrival(index, now);
+                }
+                Event::OpStart(token) => {
+                    controller.on_op_start(token, now)?;
+                    observer.observe_op_start(token, now);
+                }
+                Event::OpComplete(token) => {
+                    controller.on_op_complete(token, now)?;
+                    observer.observe_op_complete(token, now);
+                }
             }
         }
         loop {
@@ -137,6 +201,13 @@ pub fn run<C: Controller>(controller: &mut C, arrivals: &[SimTime]) -> Result<()
                 break;
             }
             for op in ops {
+                debug_assert!(
+                    op.start >= now && op.complete >= now,
+                    "dispatched op scheduled in the past: now {:?}, start {:?}, complete {:?}",
+                    now,
+                    op.start,
+                    op.complete
+                );
                 events.push(op.start, Event::OpStart(op.token));
                 events.push(op.complete, Event::OpComplete(op.token));
             }
@@ -308,6 +379,41 @@ mod tests {
         assert!(issues[1] < first_start, "two issues before any op starts");
         assert!(issues[2] > first_start, "third issue waits for a free slot");
         assert!(c.finishes.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn observer_mirrors_every_delivered_event() {
+        #[derive(Default)]
+        struct CountingObserver {
+            arrivals: usize,
+            starts: usize,
+            completes: usize,
+            idles: Vec<(SimTime, SimTime)>,
+        }
+        impl EngineObserver for CountingObserver {
+            fn observe_arrival(&mut self, _index: usize, _now: SimTime) {
+                self.arrivals += 1;
+            }
+            fn observe_op_start(&mut self, _token: u64, _now: SimTime) {
+                self.starts += 1;
+            }
+            fn observe_op_complete(&mut self, _token: u64, _now: SimTime) {
+                self.completes += 1;
+            }
+            fn observe_idle(&mut self, now: SimTime, until: SimTime) {
+                self.idles.push((now, until));
+            }
+        }
+
+        let arrivals = vec![SimTime::from_micros(50), SimTime::from_micros(5000)];
+        let mut c = TestController::new(arrivals.clone(), 1, SimDuration::from_micros(100));
+        let mut observer = CountingObserver::default();
+        run_observed(&mut c, &arrivals, &mut observer).unwrap();
+        assert_eq!(observer.arrivals, 2);
+        assert_eq!(observer.starts, 2);
+        assert_eq!(observer.completes, 2);
+        // The observer sees the same idle windows the controller does.
+        assert_eq!(observer.idles, c.idle_windows);
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod server;
 pub mod stats;
 pub mod time;
 
-pub use engine::{Controller, DispatchedOp};
+pub use engine::{Controller, DispatchedOp, EngineObserver, NoopObserver};
 pub use event::EventQueue;
 pub use rng::SimRng;
 pub use server::{Server, Service};

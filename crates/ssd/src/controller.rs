@@ -36,9 +36,10 @@
 //! from *other* initiators are unaffected — fences are a per-initiator
 //! ordering primitive, not a global quiesce.
 
-use ossd_block::{BlockRequest, Completion, Priority};
+use ossd_block::{BlockOpKind, BlockRequest, Completion, CompletionStatus, Priority};
 use ossd_sim::engine::{Controller, DispatchedOp};
 use ossd_sim::{SimDuration, SimTime};
+use ossd_telemetry::{EventKind, ServiceClass, TelemetryHandle, Track};
 
 use crate::device::Ssd;
 use crate::error::SsdError;
@@ -134,6 +135,9 @@ pub(crate) struct SsdController<'a> {
     /// instead of allocated per poll.
     eligible_scratch: Vec<usize>,
     views_scratch: Vec<DispatchView>,
+    /// Clone of the device's telemetry handle (the controller mutably
+    /// borrows the [`Ssd`], so it keeps its own handle for command spans).
+    telemetry: TelemetryHandle,
 }
 
 impl<'a> SsdController<'a> {
@@ -143,6 +147,7 @@ impl<'a> SsdController<'a> {
         scheduler: SchedulerKind,
     ) -> Self {
         let queue_depth = ssd.config().queue_depth;
+        let telemetry = ssd.telemetry().clone();
         let initiators = commands.iter().map(|c| c.initiator + 1).max().unwrap_or(0);
         let mut prev_fence = vec![None; commands.len()];
         let mut fence_remaining = vec![0u64; commands.len()];
@@ -174,6 +179,7 @@ impl<'a> SsdController<'a> {
             completions: vec![None; commands.len()],
             eligible_scratch: Vec::new(),
             views_scratch: Vec::new(),
+            telemetry,
         }
     }
 
@@ -199,6 +205,43 @@ impl<'a> SsdController<'a> {
                 .queue
                 .iter()
                 .any(|q| self.commands[q.index].priority == Priority::High)
+    }
+
+    /// Records one dispatched command's lifecycle on its initiator's track:
+    /// a `CmdQueued` span for any time spent waiting at the controller, the
+    /// command span itself (dispatch to finish, carrying the completion
+    /// status), and the response time in the per-class service histogram.
+    fn trace_command(&self, command: &SessionCommand, dispatch: SimTime, completion: &Completion) {
+        let track = Track::Initiator(command.initiator as u32);
+        if dispatch > command.arrival {
+            self.telemetry.span(
+                command.arrival,
+                dispatch,
+                track,
+                EventKind::CmdQueued,
+                command.id,
+                0,
+            );
+        }
+        let status = match completion.status {
+            CompletionStatus::Ok => 0,
+            CompletionStatus::UncorrectableRead => 1,
+        };
+        let (kind, class) = match &command.payload {
+            CommandPayload::Data(request) => match request.kind {
+                BlockOpKind::Read => (EventKind::CmdRead, Some(ServiceClass::Read)),
+                BlockOpKind::Write => (EventKind::CmdWrite, Some(ServiceClass::Write)),
+                BlockOpKind::Free => (EventKind::CmdFree, Some(ServiceClass::Free)),
+            },
+            CommandPayload::Flush => (EventKind::CmdFlush, Some(ServiceClass::Flush)),
+            CommandPayload::Barrier => (EventKind::CmdBarrier, None),
+        };
+        self.telemetry
+            .span(dispatch, completion.finish, track, kind, command.id, status);
+        if let Some(class) = class {
+            self.telemetry
+                .observe_service(class, completion.response_time().as_nanos());
+        }
     }
 
     /// Whether the queued command may be dispatched now: fences wait for
@@ -298,6 +341,9 @@ impl Controller for SsdController<'_> {
                     (completion, dispatch)
                 }
             };
+            if self.telemetry.is_enabled() {
+                self.trace_command(command, dispatch, &completion);
+            }
             self.completions[picked.index] = Some(completion);
             self.slots_in_use += 1;
             self.unfinished += 1;

@@ -14,6 +14,7 @@ use ossd_block::{
 use ossd_ftl::{FlashOp, FlashOpKind, Ftl, FtlStats, Lpn, PageFtl, StripeFtl, WriteContext};
 use ossd_gc::{BackgroundCleaner, BackgroundGcStats};
 use ossd_sim::{SimDuration, SimTime};
+use ossd_telemetry::{EventKind, MetricsSample, TelemetryHandle, Track};
 
 use crate::config::{MappingKind, SsdConfig};
 use crate::controller::{CommandPayload, SessionCommand, SsdController};
@@ -39,6 +40,8 @@ pub struct Ssd {
     /// Reusable flash-op buffer: the serve path appends each command's ops
     /// here instead of allocating a fresh vector per command.
     op_scratch: Vec<FlashOp>,
+    /// Telemetry sink shared with the FTL; detached (inert) by default.
+    telemetry: TelemetryHandle,
 }
 
 /// Splits a byte range into `(lpn, covered_bytes)` pieces at logical-page
@@ -116,7 +119,59 @@ impl Ssd {
             background,
             last_activity: SimTime::ZERO,
             op_scratch: Vec::new(),
+            telemetry: TelemetryHandle::noop(),
         })
+    }
+
+    /// Attaches a telemetry sink to the device and its FTL.  Every layer —
+    /// command dispatch, flash scheduling, garbage collection, reliability —
+    /// reports through the same handle, so one recorder sees the whole
+    /// cross-layer picture.  Telemetry never alters timing decisions; with
+    /// the default detached handle every hook compiles down to one pointer
+    /// check.
+    pub fn set_telemetry(&mut self, telemetry: TelemetryHandle) {
+        self.ftl.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+    }
+
+    /// The device's telemetry handle (detached unless [`Ssd::set_telemetry`]
+    /// attached a sink).
+    pub fn telemetry(&self) -> &TelemetryHandle {
+        &self.telemetry
+    }
+
+    /// Pushes one metrics sample stamped `now` into the attached sink (no-op
+    /// when detached).  The periodic samples the recorder's cadence asks for
+    /// go through this too; experiments call it once more at the end of a
+    /// run so the final device state is always on the time-series.
+    pub fn sample_telemetry(&self, now: SimTime) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let ftl_stats = self.ftl.stats();
+        self.telemetry.push_sample(MetricsSample {
+            at: now,
+            write_amplification: ftl_stats.write_amplification(),
+            free_fraction: self.ftl.free_page_fraction(),
+            gc_backlog_blocks: self.ftl.gc_backlog_blocks(),
+            gc_stale_pages: self.ftl.gc_stale_pages(),
+            host_bytes_written: self.stats.bytes_written,
+            element_depths: self
+                .elements
+                .iter()
+                .map(|q| q.depth_at(now) as u32)
+                .collect(),
+            element_util: self
+                .elements
+                .iter()
+                .map(|q| q.server().utilisation(now))
+                .collect(),
+            bus_util: self
+                .buses
+                .iter()
+                .map(|q| q.server().utilisation(now))
+                .collect(),
+        });
     }
 
     /// Background-cleaning statistics, when background GC is configured.
@@ -206,9 +261,11 @@ impl Ssd {
         let mut host_finish = floor;
         let mut any_finish = floor;
         let mut service_begin = SimTime::MAX;
+        let traced = self.telemetry.is_enabled();
         for op in ops {
             let element = op.element.index();
             let gang = self.gang_of(element);
+            let purpose = op.purpose.telemetry_code();
             let (begin, finish, busy) = match op.kind {
                 FlashOpKind::ReadPage | FlashOpKind::ReadRetry => {
                     // Array read on the die, then the transfer serialises on
@@ -218,6 +275,29 @@ impl Ssd {
                     let read = self.elements[element].accept(floor, timing.read_page);
                     let xfer =
                         self.buses[gang].accept(read.completion, timing.transfer(page_bytes));
+                    if traced {
+                        let kind = if op.kind == FlashOpKind::ReadRetry {
+                            EventKind::FlashReadRetry
+                        } else {
+                            EventKind::FlashRead
+                        };
+                        self.telemetry.span(
+                            read.start,
+                            read.completion,
+                            Track::Element(element as u32),
+                            kind,
+                            purpose,
+                            element as u64,
+                        );
+                        self.telemetry.span(
+                            xfer.start,
+                            xfer.completion,
+                            Track::Bus(gang as u32),
+                            EventKind::BusTransfer,
+                            purpose,
+                            element as u64,
+                        );
+                    }
                     (
                         read.start,
                         xfer.completion,
@@ -228,6 +308,24 @@ impl Ssd {
                     // Data crosses the gang bus first, then the die programs.
                     let xfer = self.buses[gang].accept(floor, timing.transfer(page_bytes));
                     let prog = self.elements[element].accept(xfer.completion, timing.program_page);
+                    if traced {
+                        self.telemetry.span(
+                            xfer.start,
+                            xfer.completion,
+                            Track::Bus(gang as u32),
+                            EventKind::BusTransfer,
+                            purpose,
+                            element as u64,
+                        );
+                        self.telemetry.span(
+                            prog.start,
+                            prog.completion,
+                            Track::Element(element as u32),
+                            EventKind::FlashProgram,
+                            purpose,
+                            element as u64,
+                        );
+                    }
                     (
                         xfer.start,
                         prog.completion,
@@ -237,10 +335,30 @@ impl Ssd {
                 FlashOpKind::CopybackPage => {
                     let svc = timing.copyback_service();
                     let s = self.elements[element].accept(floor, svc);
+                    if traced {
+                        self.telemetry.span(
+                            s.start,
+                            s.completion,
+                            Track::Element(element as u32),
+                            EventKind::FlashCopyback,
+                            purpose,
+                            element as u64,
+                        );
+                    }
                     (s.start, s.completion, svc)
                 }
                 FlashOpKind::EraseBlock => {
                     let s = self.elements[element].accept(floor, timing.erase_block);
+                    if traced {
+                        self.telemetry.span(
+                            s.start,
+                            s.completion,
+                            Track::Element(element as u32),
+                            EventKind::FlashErase,
+                            purpose,
+                            element as u64,
+                        );
+                    }
                     (s.start, s.completion, timing.erase_block)
                 }
             };
@@ -311,6 +429,14 @@ impl Ssd {
         if !ops.is_empty() {
             let floor = self.last_activity;
             let (_, bg_finish) = self.schedule_ops(&ops, floor);
+            self.telemetry.span(
+                floor,
+                bg_finish,
+                Track::Device,
+                EventKind::GcBackgroundWindow,
+                erases,
+                moves,
+            );
             // Background work is activity: fold its finish time back so the
             // next request's idle-gap measurement doesn't count time the
             // device spent erasing as idle.
@@ -361,6 +487,9 @@ impl Ssd {
     ) -> Result<Completion, SsdError> {
         self.check_bounds(request).map_err(SsdError::Device)?;
         let start = dispatch.max(request.arrival);
+        // Keep the sink's time register current before FTL work: the FTL
+        // stamps its GC and reliability instants from this register.
+        self.telemetry.set_now(start);
         // `service_start` is refined to the moment the first flash operation
         // actually began once the request reaches the flash array; requests
         // served entirely from controller RAM keep the dispatch time.
@@ -447,6 +576,9 @@ impl Ssd {
             }
         };
         self.last_activity = self.last_activity.max(finish);
+        if self.telemetry.sample_due(finish) {
+            self.sample_telemetry(finish);
+        }
         debug_assert!(
             request.arrival <= service_start && service_start <= finish,
             "completion ordering inverted: arrival {:?} start {:?} finish {:?} (request {})",
@@ -501,8 +633,14 @@ impl Ssd {
         scheduler: SchedulerKind,
     ) -> Result<Vec<Completion>, SsdError> {
         let arrivals: Vec<SimTime> = commands.iter().map(|c| c.arrival).collect();
+        let telemetry = self.telemetry.clone();
         let mut controller = SsdController::new(self, commands, scheduler);
-        ossd_sim::engine::run(&mut controller, &arrivals)?;
+        if telemetry.is_enabled() {
+            let mut observer = ossd_telemetry::EngineTrace::new(telemetry);
+            ossd_sim::engine::run_observed(&mut controller, &arrivals, &mut observer)?;
+        } else {
+            ossd_sim::engine::run(&mut controller, &arrivals)?;
+        }
         Ok(controller.into_completions())
     }
 
@@ -606,6 +744,12 @@ impl HostInterface for Ssd {
                 payload,
             });
         }
+        self.telemetry.instant_now(
+            Track::Device,
+            EventKind::SessionArbitrated,
+            commands.len() as u64,
+            queues.len() as u64,
+        );
         let completions = self
             .serve_session(&commands, self.config.scheduler)
             .map_err(DeviceError::from)?;

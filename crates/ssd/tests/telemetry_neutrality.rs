@@ -1,0 +1,201 @@
+//! Telemetry neutrality: attaching a recording sink must not change what
+//! the simulated device *does* — only what gets observed.
+//!
+//! Each case replays the same deterministic fill-plus-churn workload twice,
+//! once with the default no-op sink and once with a live
+//! [`ossd_telemetry::Recorder`], across both FTLs and both schedulers, and
+//! asserts the completion schedules are bit-identical (every completion's
+//! arrival, start, and finish times and status).  Because GC copybacks and
+//! erases occupy the flash elements the host commands queue behind, an
+//! identical completion schedule also pins the victim-selection sequence;
+//! the FTL statistics and per-block wear totals are compared on top, and
+//! the recorded victim-pick instants are checked for run-to-run
+//! determinism directly.
+
+use ossd_block::{BlockDevice, BlockRequest, Completion};
+use ossd_flash::{FlashGeometry, FlashTiming, ReliabilityConfig, WearSummary};
+use ossd_ftl::{FtlConfig, FtlStats};
+use ossd_gc::BackgroundGcConfig;
+use ossd_sim::{SimDuration, SimRng, SimTime};
+use ossd_ssd::{MappingKind, SchedulerKind, Ssd, SsdConfig};
+use ossd_telemetry::{EventKind, Recorder, RecorderConfig, TraceEvent};
+
+const PAGE: u32 = 4096;
+
+fn device_config(mapping: MappingKind, scheduler: SchedulerKind) -> SsdConfig {
+    SsdConfig {
+        name: "neutrality".to_string(),
+        geometry: FlashGeometry {
+            packages: 4,
+            dies_per_package: 1,
+            planes_per_die: 1,
+            blocks_per_plane: 64,
+            pages_per_block: 32,
+            page_bytes: PAGE,
+        },
+        timing: FlashTiming::slc(),
+        mapping,
+        ftl: FtlConfig::default()
+            .with_overprovisioning(0.12)
+            .with_watermarks(0.10, 0.04),
+        // The stressed fault model makes ECC retries (and their telemetry
+        // instants) part of the replay, so neutrality covers the
+        // reliability hooks too.
+        reliability: ReliabilityConfig::wearout(0xD00D_5EED),
+        background_gc: Some(BackgroundGcConfig::default()),
+        gangs: 2,
+        scheduler,
+        queue_depth: 4,
+        controller_overhead: SimDuration::from_micros(10),
+        random_penalty: SimDuration::ZERO,
+        sequential_prefetch: false,
+        ram_bytes_per_sec: 200_000_000,
+    }
+}
+
+struct RunResult {
+    completions: Vec<Completion>,
+    ftl_stats: FtlStats,
+    wear: WearSummary,
+}
+
+/// Deterministic closed-loop workload: sequential fill, then seeded random
+/// single-page overwrites with occasional reads, deep enough to force
+/// foreground cleaning on every configuration.
+fn run_workload(ssd: &mut Ssd) -> RunResult {
+    let page = ssd.logical_page_bytes();
+    let logical_pages = ssd.capacity_bytes() / page;
+    let mut completions = Vec::new();
+    let mut at = SimTime::ZERO;
+    let mut id = 0u64;
+    for lpn in 0..logical_pages {
+        let c = ssd
+            .submit(&BlockRequest::write(id, lpn * page, page, at))
+            .expect("fill write");
+        at = c.finish;
+        completions.push(c);
+        id += 1;
+    }
+    let mut rng = SimRng::seed_from_u64(0x5EED_CAFE);
+    for i in 0..logical_pages * 3 {
+        let lpn = rng.next_u64_below(logical_pages);
+        let request = if i % 7 == 0 {
+            BlockRequest::read(id, lpn * page, page, at)
+        } else {
+            BlockRequest::write(id, lpn * page, page, at)
+        };
+        let c = ssd.submit(&request).expect("churn op");
+        at = c.finish;
+        completions.push(c);
+        id += 1;
+    }
+    RunResult {
+        completions,
+        ftl_stats: ssd.ftl_stats(),
+        wear: ssd.wear_summary(),
+    }
+}
+
+fn run_detached(mapping: MappingKind, scheduler: SchedulerKind) -> RunResult {
+    let mut ssd = Ssd::new(device_config(mapping, scheduler)).expect("device");
+    run_workload(&mut ssd)
+}
+
+fn run_attached(
+    mapping: MappingKind,
+    scheduler: SchedulerKind,
+) -> (RunResult, Vec<TraceEvent>, u64) {
+    let mut ssd = Ssd::new(device_config(mapping, scheduler)).expect("device");
+    let (handle, recorder) = Recorder::shared(RecorderConfig::default());
+    ssd.set_telemetry(handle);
+    let result = run_workload(&mut ssd);
+    let r = recorder.borrow();
+    (result, r.events().to_vec(), r.dropped_events())
+}
+
+fn victim_picks(events: &[TraceEvent]) -> Vec<TraceEvent> {
+    events
+        .iter()
+        .filter(|e| e.kind == EventKind::GcVictimPick)
+        .copied()
+        .collect()
+}
+
+fn assert_neutral(mapping: MappingKind, scheduler: SchedulerKind) {
+    let detached = run_detached(mapping, scheduler);
+    let (attached, events, dropped) = run_attached(mapping, scheduler);
+
+    assert!(
+        !events.is_empty(),
+        "{mapping:?}/{scheduler:?}: the recording run captured nothing"
+    );
+    assert_eq!(
+        detached.completions.len(),
+        attached.completions.len(),
+        "{mapping:?}/{scheduler:?}: completion counts diverge"
+    );
+    for (i, (d, a)) in detached
+        .completions
+        .iter()
+        .zip(&attached.completions)
+        .enumerate()
+    {
+        assert_eq!(d, a, "{mapping:?}/{scheduler:?}: completion {i} diverges");
+    }
+    assert_eq!(
+        detached.ftl_stats, attached.ftl_stats,
+        "{mapping:?}/{scheduler:?}: FTL statistics diverge"
+    );
+    assert_eq!(
+        detached.wear, attached.wear,
+        "{mapping:?}/{scheduler:?}: wear summaries diverge"
+    );
+
+    // The workload forces cleaning, so victim picks must be on the trace,
+    // and a second recording run must reproduce them exactly.
+    let picks = victim_picks(&events);
+    assert!(
+        !picks.is_empty(),
+        "{mapping:?}/{scheduler:?}: no victim picks recorded"
+    );
+    let (_, events_again, dropped_again) = run_attached(mapping, scheduler);
+    assert_eq!(
+        picks,
+        victim_picks(&events_again),
+        "{mapping:?}/{scheduler:?}: victim sequences diverge between runs"
+    );
+    assert_eq!(events, events_again);
+    assert_eq!(dropped, dropped_again);
+}
+
+#[test]
+fn page_mapped_fcfs_is_neutral() {
+    assert_neutral(MappingKind::PageMapped, SchedulerKind::Fcfs);
+}
+
+#[test]
+fn page_mapped_swtf_is_neutral() {
+    assert_neutral(MappingKind::PageMapped, SchedulerKind::Swtf);
+}
+
+#[test]
+fn stripe_mapped_fcfs_is_neutral() {
+    assert_neutral(
+        MappingKind::StripeMapped {
+            stripe_bytes: 4 * PAGE as u64,
+            coalesce: true,
+        },
+        SchedulerKind::Fcfs,
+    );
+}
+
+#[test]
+fn stripe_mapped_swtf_is_neutral() {
+    assert_neutral(
+        MappingKind::StripeMapped {
+            stripe_bytes: 4 * PAGE as u64,
+            coalesce: true,
+        },
+        SchedulerKind::Swtf,
+    );
+}

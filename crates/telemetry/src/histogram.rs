@@ -1,0 +1,273 @@
+//! Vendored log-bucketed histogram.
+//!
+//! A compact HdrHistogram-style structure: values are binned into power-of-two
+//! *octaves*, each octave split into [`SUB_BUCKETS`] linear sub-buckets, giving
+//! a bounded relative error of `1 / SUB_BUCKETS` (~3%) across the full `u64`
+//! range with a fixed 2 KiB-ish footprint.  No dependencies, no allocation
+//! after construction, O(1) record.
+
+/// Linear sub-buckets per power-of-two octave.
+pub const SUB_BUCKETS: usize = 32;
+
+const SUB_BITS: u32 = SUB_BUCKETS.trailing_zeros();
+/// Octaves needed to cover `u64::MAX` once the first `SUB_BITS` bits are
+/// covered by the linear base octave.
+const OCTAVES: usize = (64 - SUB_BITS as usize) + 1;
+
+/// Log-bucketed histogram over `u64` values with ~3% relative error.
+#[derive(Clone, Debug)]
+pub struct LogHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: vec![0; OCTAVES * SUB_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The flat bucket index a value falls into.
+    ///
+    /// Values below [`SUB_BUCKETS`] map linearly into octave 0; above that,
+    /// the octave is the position of the highest set bit and the sub-bucket
+    /// is taken from the next `SUB_BITS` bits below it.
+    fn index_of(value: u64) -> usize {
+        if value < SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        let high = 63 - value.leading_zeros(); // >= SUB_BITS here
+        let octave = (high - SUB_BITS + 1) as usize;
+        let sub = ((value >> (high - SUB_BITS)) & (SUB_BUCKETS as u64 - 1)) as usize;
+        octave * SUB_BUCKETS + sub
+    }
+
+    /// The lowest value that maps to flat bucket index `idx`.
+    fn bucket_floor(idx: usize) -> u64 {
+        let octave = idx / SUB_BUCKETS;
+        let sub = (idx % SUB_BUCKETS) as u64;
+        if octave == 0 {
+            return sub;
+        }
+        let shift = octave as u32 - 1;
+        if shift >= 64 - SUB_BITS {
+            // Past the top octave — only reachable as "the floor above the
+            // last bucket"; saturate.
+            return u64::MAX;
+        }
+        ((SUB_BUCKETS as u64) << shift) | (sub << shift)
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::index_of(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]` — the bucket floor of the first
+    /// bucket whose cumulative count reaches `ceil(q * count)`.  Returns 0
+    /// when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Exact at the extremes where we track true min/max.
+                if idx == Self::index_of(self.max) && seen == self.count {
+                    return self.max;
+                }
+                return Self::bucket_floor(idx).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Reset to empty.
+    pub fn clear(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..SUB_BUCKETS as u64 {
+            h.record(v);
+        }
+        // Below SUB_BUCKETS every value has its own bucket.
+        for v in 0..SUB_BUCKETS as u64 {
+            assert_eq!(LogHistogram::index_of(v), v as usize);
+            assert_eq!(LogHistogram::bucket_floor(v as usize), v);
+        }
+        assert_eq!(h.count(), SUB_BUCKETS as u64);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), SUB_BUCKETS as u64 - 1);
+    }
+
+    #[test]
+    fn bucket_boundaries_align_with_floors() {
+        // For every value, the bucket floor must be <= the value and the
+        // next bucket's floor must be > the value.
+        for &v in &[
+            1u64,
+            31,
+            32,
+            33,
+            63,
+            64,
+            65,
+            100,
+            1000,
+            4095,
+            4096,
+            123_456_789,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let idx = LogHistogram::index_of(v);
+            assert!(LogHistogram::bucket_floor(idx) <= v, "floor({idx}) > {v}");
+            if v < u64::MAX {
+                let next_floor = LogHistogram::bucket_floor(idx + 1);
+                assert!(
+                    next_floor > v,
+                    "value {v} not below next bucket floor {next_floor}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let mut h = LogHistogram::new();
+        let v = 1_000_003u64;
+        h.record(v);
+        let got = h.percentile(0.5);
+        let err = (v as f64 - got as f64).abs() / v as f64;
+        assert!(err <= 1.0 / SUB_BUCKETS as f64 + 1e-9, "err {err}");
+    }
+
+    #[test]
+    fn percentiles_of_uniform_range() {
+        let mut h = LogHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(0.50);
+        let p95 = h.percentile(0.95);
+        let p99 = h.percentile(0.99);
+        assert!((4800..=5200).contains(&p50), "p50 {p50}");
+        assert!((9200..=9700).contains(&p95), "p95 {p95}");
+        assert!((9600..=10_000).contains(&p99), "p99 {p99}");
+        assert_eq!(h.percentile(1.0), 10_000);
+        assert!(h.percentile(0.0) >= 1);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(0.99), 0);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extremes() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        a.record(10);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), 1_000_000);
+        assert_eq!(a.sum(), 1_000_010);
+    }
+
+    #[test]
+    fn extreme_values_do_not_panic() {
+        let mut h = LogHistogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.percentile(1.0), u64::MAX);
+    }
+}

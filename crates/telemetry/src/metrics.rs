@@ -1,0 +1,229 @@
+//! Metrics registry and sim-time time-series with CSV export.
+//!
+//! Two layers live here: a tiny counter/gauge registry keyed by static
+//! strings (cheap enough for hot-path increments), and [`MetricsSeries`] —
+//! the periodically sampled snapshots of device health (write amplification,
+//! per-element queue occupancy, free-block watermark, GC backlog, bus
+//! utilization) that [`MetricsSeries::to_csv`] renders for plotting.
+
+use ossd_sim::SimTime;
+
+/// A flat registry of named monotonic counters.
+///
+/// Names are `&'static str` so hot-path increments are a linear scan over a
+/// handful of entries with pointer-first comparison — no hashing, no
+/// allocation once a counter exists.
+#[derive(Clone, Debug, Default)]
+pub struct Counters {
+    entries: Vec<(&'static str, u64)>,
+}
+
+impl Counters {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to counter `name`, creating it at zero first if needed.
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        for (n, v) in self.entries.iter_mut() {
+            if std::ptr::eq(*n, name) || *n == name {
+                *v += delta;
+                return;
+            }
+        }
+        self.entries.push((name, delta));
+    }
+
+    /// The current value of counter `name` (0 if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.entries
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Iterate over `(name, value)` pairs in creation order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Number of distinct counters.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no counter has been touched yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// One periodic snapshot of device health, stamped in sim time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricsSample {
+    /// When the sample was taken.
+    pub at: SimTime,
+    /// Cumulative write amplification (flash pages / host pages).
+    pub write_amplification: f64,
+    /// Free-page fraction across the device (the GC watermark input).
+    pub free_fraction: f64,
+    /// Blocks currently holding at least one stale page (GC backlog).
+    pub gc_backlog_blocks: u64,
+    /// Total stale (invalid) pages awaiting reclamation.
+    pub gc_stale_pages: u64,
+    /// Cumulative host bytes written.
+    pub host_bytes_written: u64,
+    /// Queue depth of each element at sample time.
+    pub element_depths: Vec<u32>,
+    /// Cumulative busy fraction of each element (clamped to 1.0).
+    pub element_util: Vec<f64>,
+    /// Cumulative busy fraction of each gang bus (clamped to 1.0).
+    pub bus_util: Vec<f64>,
+}
+
+/// A time-ordered collection of [`MetricsSample`]s.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSeries {
+    samples: Vec<MetricsSample>,
+}
+
+impl MetricsSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a sample (callers sample on a sim-time cadence, so pushes
+    /// arrive time-ordered).
+    pub fn push(&mut self, sample: MetricsSample) {
+        self.samples.push(sample);
+    }
+
+    /// The recorded samples, oldest first.
+    pub fn samples(&self) -> &[MetricsSample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Number of distinct data series (CSV columns beyond the time column).
+    pub fn series_count(&self) -> usize {
+        match self.samples.first() {
+            None => 0,
+            Some(s) => 5 + s.element_depths.len() + s.element_util.len() + s.bus_util.len(),
+        }
+    }
+
+    /// Render the series as CSV: a `time_us` column followed by one column
+    /// per metric, one row per sample.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let (elems, buses) = match self.samples.first() {
+            Some(s) => (s.element_depths.len(), s.bus_util.len()),
+            None => (0, 0),
+        };
+        out.push_str("time_us,write_amplification,free_fraction,gc_backlog_blocks,gc_stale_pages,host_bytes_written");
+        for e in 0..elems {
+            out.push_str(&format!(",elem{e}_queue_depth"));
+        }
+        for e in 0..elems {
+            out.push_str(&format!(",elem{e}_util"));
+        }
+        for b in 0..buses {
+            out.push_str(&format!(",bus{b}_util"));
+        }
+        out.push('\n');
+        for s in &self.samples {
+            out.push_str(&format!(
+                "{:.3},{:.6},{:.6},{},{},{}",
+                s.at.as_nanos() as f64 / 1_000.0,
+                s.write_amplification,
+                s.free_fraction,
+                s.gc_backlog_blocks,
+                s.gc_stale_pages,
+                s.host_bytes_written,
+            ));
+            for d in &s.element_depths {
+                out.push_str(&format!(",{d}"));
+            }
+            for u in &s.element_util {
+                out.push_str(&format!(",{u:.6}"));
+            }
+            for u in &s.bus_util {
+                out.push_str(&format!(",{u:.6}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ossd_sim::SimTime;
+
+    fn sample(us: u64) -> MetricsSample {
+        MetricsSample {
+            at: SimTime::from_micros(us),
+            write_amplification: 1.25,
+            free_fraction: 0.5,
+            gc_backlog_blocks: 3,
+            gc_stale_pages: 17,
+            host_bytes_written: 4096,
+            element_depths: vec![1, 0],
+            element_util: vec![0.5, 0.25],
+            bus_util: vec![0.75],
+        }
+    }
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut c = Counters::new();
+        assert_eq!(c.get("reads"), 0);
+        c.add("reads", 2);
+        c.add("reads", 3);
+        c.add("writes", 1);
+        assert_eq!(c.get("reads"), 5);
+        assert_eq!(c.get("writes"), 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn csv_has_time_column_plus_all_series() {
+        let mut series = MetricsSeries::new();
+        series.push(sample(10));
+        series.push(sample(20));
+        let csv = series.to_csv();
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        // 5 scalar series + 2 depth + 2 util + 1 bus = 10 series + time.
+        assert_eq!(header.split(',').count(), 11);
+        assert_eq!(series.series_count(), 10);
+        assert!(header.starts_with("time_us,write_amplification"));
+        assert!(header.contains("elem1_queue_depth"));
+        assert!(header.contains("bus0_util"));
+        let row = lines.next().unwrap();
+        assert_eq!(row.split(',').count(), 11);
+        assert!(row.starts_with("10.000,1.250000"));
+        assert_eq!(lines.count(), 1);
+    }
+
+    #[test]
+    fn empty_series_renders_header_only() {
+        let series = MetricsSeries::new();
+        assert_eq!(series.series_count(), 0);
+        let csv = series.to_csv();
+        assert_eq!(csv.lines().count(), 1);
+    }
+}

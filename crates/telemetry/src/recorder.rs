@@ -1,0 +1,246 @@
+//! The standard [`TelemetrySink`] implementation: a bounded event ring,
+//! counter registry, per-class service histograms, and a sampled metrics
+//! time-series.
+
+use crate::event::{EventKind, TraceEvent, Track};
+use crate::histogram::LogHistogram;
+use crate::metrics::{Counters, MetricsSample, MetricsSeries};
+use crate::{ServiceClass, TelemetryHandle, TelemetrySink};
+use ossd_sim::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Sizing and cadence knobs for a [`Recorder`].
+#[derive(Clone, Copy, Debug)]
+pub struct RecorderConfig {
+    /// Maximum trace events retained.  Once full, further events are
+    /// dropped (oldest events are kept) and counted in
+    /// [`Recorder::dropped_events`].
+    pub ring_capacity: usize,
+    /// Sim-time interval between metrics samples.
+    pub sample_interval: SimDuration,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        RecorderConfig {
+            ring_capacity: 1 << 20,
+            sample_interval: SimDuration::from_millis(1),
+        }
+    }
+}
+
+/// Records everything the simulator emits through its [`TelemetryHandle`].
+///
+/// Build one with [`Recorder::shared`], attach the returned handle to the
+/// device, run the workload, then read back events, counters, histograms
+/// and the metrics series for export.
+#[derive(Debug)]
+pub struct Recorder {
+    config: RecorderConfig,
+    events: Vec<TraceEvent>,
+    dropped: u64,
+    now: SimTime,
+    next_sample: SimTime,
+    counters: Counters,
+    service: [LogHistogram; ServiceClass::COUNT],
+    series: MetricsSeries,
+}
+
+impl Recorder {
+    /// A recorder with the given sizing.
+    pub fn new(config: RecorderConfig) -> Self {
+        Recorder {
+            config,
+            events: Vec::new(),
+            dropped: 0,
+            now: SimTime::ZERO,
+            next_sample: SimTime::ZERO,
+            counters: Counters::new(),
+            service: std::array::from_fn(|_| LogHistogram::new()),
+            series: MetricsSeries::new(),
+        }
+    }
+
+    /// A shared recorder plus a [`TelemetryHandle`] attached to it.
+    pub fn shared(config: RecorderConfig) -> (TelemetryHandle, Rc<RefCell<Recorder>>) {
+        let recorder = Rc::new(RefCell::new(Recorder::new(config)));
+        let sink: Rc<RefCell<dyn TelemetrySink>> = recorder.clone();
+        (TelemetryHandle::attached(sink), recorder)
+    }
+
+    fn push_event(&mut self, event: TraceEvent) {
+        if self.events.len() >= self.config.ring_capacity {
+            self.dropped += 1;
+        } else {
+            self.events.push(event);
+        }
+    }
+
+    /// The recorded events, in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events discarded because the ring was full.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The counter registry.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// The service-time histogram (nanoseconds) for a command class.
+    pub fn service_histogram(&self, class: ServiceClass) -> &LogHistogram {
+        &self.service[class.index()]
+    }
+
+    /// The sampled metrics time-series.
+    pub fn series(&self) -> &MetricsSeries {
+        &self.series
+    }
+
+    /// The recorder's sizing knobs.
+    pub fn config(&self) -> &RecorderConfig {
+        &self.config
+    }
+}
+
+impl TelemetrySink for Recorder {
+    fn set_now(&mut self, now: SimTime) {
+        self.now = self.now.max(now);
+    }
+
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn span(
+        &mut self,
+        start: SimTime,
+        end: SimTime,
+        track: Track,
+        kind: EventKind,
+        a: u64,
+        b: u64,
+    ) {
+        self.push_event(TraceEvent {
+            start,
+            end,
+            track,
+            kind,
+            a,
+            b,
+        });
+    }
+
+    fn instant(&mut self, at: SimTime, track: Track, kind: EventKind, a: u64, b: u64) {
+        self.push_event(TraceEvent {
+            start: at,
+            end: at,
+            track,
+            kind,
+            a,
+            b,
+        });
+    }
+
+    fn add(&mut self, counter: &'static str, delta: u64) {
+        self.counters.add(counter, delta);
+    }
+
+    fn observe_service(&mut self, class: ServiceClass, nanos: u64) {
+        self.service[class.index()].record(nanos);
+    }
+
+    fn sample_due(&mut self, now: SimTime) -> bool {
+        if now < self.next_sample {
+            return false;
+        }
+        self.next_sample = now.saturating_add(self.config.sample_interval);
+        true
+    }
+
+    fn push_sample(&mut self, sample: MetricsSample) {
+        self.series.push(sample);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event_at(us: u64) -> TraceEvent {
+        TraceEvent {
+            start: SimTime::from_micros(us),
+            end: SimTime::from_micros(us + 1),
+            track: Track::Element(0),
+            kind: EventKind::FlashRead,
+            a: 0,
+            b: 0,
+        }
+    }
+
+    #[test]
+    fn ring_overflow_drops_and_counts() {
+        let (handle, recorder) = Recorder::shared(RecorderConfig {
+            ring_capacity: 3,
+            ..RecorderConfig::default()
+        });
+        for i in 0..5 {
+            let e = event_at(i);
+            handle.span(e.start, e.end, e.track, e.kind, e.a, e.b);
+        }
+        let r = recorder.borrow();
+        assert_eq!(r.events().len(), 3);
+        assert_eq!(r.dropped_events(), 2);
+        // The earliest events are the ones retained.
+        assert_eq!(r.events()[0].start, SimTime::from_micros(0));
+        assert_eq!(r.events()[2].start, SimTime::from_micros(2));
+    }
+
+    #[test]
+    fn sampling_cadence_advances_with_interval() {
+        let (handle, _recorder) = Recorder::shared(RecorderConfig {
+            sample_interval: SimDuration::from_micros(100),
+            ..RecorderConfig::default()
+        });
+        assert!(handle.sample_due(SimTime::ZERO));
+        assert!(!handle.sample_due(SimTime::from_micros(50)));
+        assert!(!handle.sample_due(SimTime::from_micros(99)));
+        assert!(handle.sample_due(SimTime::from_micros(100)));
+        // Deadline advances from the sampled instant, not accumulated drift.
+        assert!(!handle.sample_due(SimTime::from_micros(150)));
+        assert!(handle.sample_due(SimTime::from_micros(450)));
+        assert!(!handle.sample_due(SimTime::from_micros(500)));
+        assert!(handle.sample_due(SimTime::from_micros(550)));
+    }
+
+    #[test]
+    fn now_register_is_monotonic() {
+        let (handle, recorder) = Recorder::shared(RecorderConfig::default());
+        handle.set_now(SimTime::from_micros(10));
+        handle.set_now(SimTime::from_micros(5)); // stale update is ignored
+        handle.instant_now(Track::Device, EventKind::GcTrigger, 1, 2);
+        let r = recorder.borrow();
+        assert_eq!(r.events()[0].start, SimTime::from_micros(10));
+        assert_eq!(r.events()[0].end, SimTime::from_micros(10));
+    }
+
+    #[test]
+    fn counters_and_histograms_accumulate() {
+        let (handle, recorder) = Recorder::shared(RecorderConfig::default());
+        handle.add("ops", 2);
+        handle.add("ops", 1);
+        handle.observe_service(ServiceClass::Read, 1_000);
+        handle.observe_service(ServiceClass::Read, 3_000);
+        handle.observe_service(ServiceClass::Write, 5_000);
+        let r = recorder.borrow();
+        assert_eq!(r.counters().get("ops"), 3);
+        assert_eq!(r.service_histogram(ServiceClass::Read).count(), 2);
+        assert_eq!(r.service_histogram(ServiceClass::Write).count(), 1);
+        assert_eq!(r.service_histogram(ServiceClass::Free).count(), 0);
+    }
+}
