@@ -1,0 +1,306 @@
+//! Fleet aggregate throughput: simulated host operations per second of a
+//! striped multi-device array, swept over matched (devices, threads)
+//! points, with machine-readable `BENCH_fleet.json` for CI trending.
+//!
+//! The headline metric is **aggregate ops per simulated second** — the
+//! rate the array as a whole serves the closed-loop churn in device time.
+//! It is a pure function of the seed and the configuration (the fleet's
+//! deterministic completion merge guarantees bit-identical results for
+//! every thread count), so it is stable across machines and CI runners and
+//! is what `--check-baseline` gates.  Wall-clock rates are reported
+//! alongside for the engine-thread view; on a multi-core host the
+//! per-device engine threads cut wall time, on a single-core container
+//! they cannot, and neither changes a single simulated timestamp.
+//!
+//! Pass `--quick` for the small CI configuration (writes
+//! `BENCH_fleet_quick.json` so the committed paper-scale artifact is never
+//! clobbered) and `--check-baseline <path>` to compare the measured
+//! aggregate rate against a previously committed JSON (exits non-zero
+//! below 90%).
+
+use std::time::Instant;
+
+use ossd_bench::{print_header, scale_from_args, Scale};
+use ossd_block::{BlockDevice, ByteRange, HostCommand, HostInterface, HostQueue, WriteHint};
+use ossd_flash::{FlashGeometry, FlashTiming, ReliabilityConfig};
+use ossd_fleet::{Fleet, FleetConfig};
+use ossd_ftl::FtlConfig;
+use ossd_sim::{SimDuration, SimRng, SimTime};
+use ossd_ssd::{MappingKind, SchedulerKind, SsdConfig};
+use ossd_telemetry::json;
+
+/// Fraction of the baseline rate the measured rate must reach when
+/// `--check-baseline` is given.  The gated metric is deterministic, so
+/// anything below 100% is a real change to the simulated schedule (broken
+/// striping, a serialization bug, a changed seed); the 90% threshold just
+/// leaves room for deliberate model refinements.
+const BASELINE_TOLERANCE: f64 = 0.90;
+
+/// The matched (devices, engine threads) points the bench sweeps.
+const POINTS: [(usize, usize); 4] = [(1, 1), (2, 2), (4, 4), (8, 8)];
+
+const SEED: u64 = 0xF1EE_BEEF;
+const PAGE: u64 = 4096;
+const INITIATORS: usize = 4;
+const SESSION_OPS: u64 = 512;
+
+fn device_config(scale: Scale) -> SsdConfig {
+    SsdConfig {
+        name: "fleet-throughput".to_string(),
+        geometry: FlashGeometry {
+            packages: 2,
+            dies_per_package: 1,
+            planes_per_die: 1,
+            blocks_per_plane: match scale {
+                Scale::Paper => 512,
+                Scale::Quick => 128,
+            },
+            pages_per_block: 32,
+            page_bytes: PAGE as u32,
+        },
+        timing: FlashTiming::slc(),
+        mapping: MappingKind::PageMapped,
+        ftl: FtlConfig::default()
+            .with_overprovisioning(0.12)
+            .with_watermarks(0.10, 0.04),
+        reliability: ReliabilityConfig::none(),
+        background_gc: None,
+        gangs: 1,
+        scheduler: SchedulerKind::Fcfs,
+        queue_depth: 8,
+        controller_overhead: SimDuration::from_micros(10),
+        random_penalty: SimDuration::ZERO,
+        sequential_prefetch: false,
+        ram_bytes_per_sec: 200_000_000,
+    }
+}
+
+struct Point {
+    devices: usize,
+    threads: usize,
+    ops: u64,
+    sim_seconds: f64,
+    agg_sim_ops_per_sec: f64,
+    wall_seconds: f64,
+    wall_ops_per_sec: f64,
+}
+
+/// Untimed sequential fill with 64-page writes so churn overwrites mapped
+/// pages at the steady-state watermark.
+fn prefill(fleet: &mut Fleet, capacity: u64) -> SimTime {
+    let chunk = 64 * PAGE;
+    let mut queues = vec![HostQueue::new()];
+    let mut at = SimTime::ZERO;
+    let mut id = 0u64;
+    let mut offset = 0u64;
+    while offset < capacity {
+        let batch_end = (offset + 64 * chunk).min(capacity);
+        while offset < batch_end {
+            let len = chunk.min(capacity - offset);
+            queues[0].submit(
+                id,
+                HostCommand::Write {
+                    range: ByteRange::new(offset, len),
+                    hint: WriteHint::default(),
+                },
+                at,
+            );
+            offset += len;
+            id += 1;
+        }
+        fleet.serve(&mut queues).expect("prefill session");
+        for c in queues[0].drain_completions() {
+            at = at.max(c.finish);
+        }
+    }
+    at
+}
+
+fn run_point(scale: Scale, devices: usize, threads: usize, churn_per_device: u64) -> Point {
+    let config = FleetConfig::striped(device_config(scale), devices, PAGE)
+        .with_threads(threads)
+        .with_seed(SEED)
+        .with_name("throughput");
+    let mut fleet = Fleet::new(config).expect("valid fleet config");
+    let capacity = fleet.capacity_bytes();
+    let logical_pages = capacity / PAGE;
+    let fill_end = prefill(&mut fleet, capacity);
+
+    // Timed churn: uniform random single-page overwrites in closed-loop
+    // sessions, total ops scaling with the device count so every member
+    // sees the same per-device work at every grid point.
+    let ops_total = churn_per_device * devices as u64;
+    let mut queues: Vec<HostQueue> = (0..INITIATORS).map(|_| HostQueue::new()).collect();
+    let mut rng = SimRng::seed_from_u64(SEED ^ devices as u64);
+    let mut at = fill_end + SimDuration::from_micros(100);
+    let sim_start = at;
+    let mut id = 1_000_000u64;
+    let mut issued = 0u64;
+    let wall_start = Instant::now();
+    while issued < ops_total {
+        let batch = SESSION_OPS.min(ops_total - issued);
+        for k in 0..batch {
+            let lpn = rng.next_u64_below(logical_pages);
+            queues[k as usize % INITIATORS].submit(
+                id,
+                HostCommand::Write {
+                    range: ByteRange::new(lpn * PAGE, PAGE),
+                    hint: WriteHint::default(),
+                },
+                at + SimDuration::from_micros(k),
+            );
+            id += 1;
+        }
+        fleet.serve(&mut queues).expect("churn session");
+        let mut last = at;
+        for queue in queues.iter_mut() {
+            for c in queue.drain_completions() {
+                last = last.max(c.finish);
+            }
+        }
+        at = last + SimDuration::from_micros(10);
+        issued += batch;
+    }
+    let wall_seconds = wall_start.elapsed().as_secs_f64();
+    let sim_seconds = at.saturating_since(sim_start).as_secs_f64();
+    Point {
+        devices,
+        threads,
+        ops: ops_total,
+        sim_seconds,
+        agg_sim_ops_per_sec: ops_total as f64 / sim_seconds.max(1e-12),
+        wall_seconds,
+        wall_ops_per_sec: ops_total as f64 / wall_seconds.max(1e-12),
+    }
+}
+
+fn main() {
+    let scale = scale_from_args();
+    print_header(
+        "Fleet throughput: aggregate ops/s of a striped array",
+        scale,
+    );
+    let churn_per_device: u64 = match scale {
+        Scale::Paper => 30_000,
+        Scale::Quick => 2_000,
+    };
+
+    let points: Vec<Point> = POINTS
+        .iter()
+        .map(|&(d, t)| run_point(scale, d, t, churn_per_device))
+        .collect();
+
+    println!("devices,threads,ops,sim_seconds,agg_sim_ops_per_sec,wall_seconds,wall_ops_per_sec");
+    for p in &points {
+        println!(
+            "{},{},{},{:.6},{:.1},{:.3},{:.0}",
+            p.devices,
+            p.threads,
+            p.ops,
+            p.sim_seconds,
+            p.agg_sim_ops_per_sec,
+            p.wall_seconds,
+            p.wall_ops_per_sec
+        );
+    }
+
+    let single = &points[0];
+    let widest = points.last().expect("non-empty");
+    let speedup = widest.agg_sim_ops_per_sec / single.agg_sim_ops_per_sec;
+    println!(
+        "aggregate scale-out: {:.0} -> {:.0} sim ops/s at {} devices -> {:.2}x",
+        single.agg_sim_ops_per_sec, widest.agg_sim_ops_per_sec, widest.devices, speedup
+    );
+
+    let json_path = match scale {
+        Scale::Paper => "BENCH_fleet.json",
+        Scale::Quick => "BENCH_fleet_quick.json",
+    };
+    let mut rows = String::new();
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"devices\": {}, \"threads\": {}, \"ops\": {}, \
+             \"sim_seconds\": {:.6}, \"agg_sim_ops_per_sec\": {:.1}, \
+             \"wall_seconds\": {:.6}, \"wall_ops_per_sec\": {:.1}}}",
+            p.devices,
+            p.threads,
+            p.ops,
+            p.sim_seconds,
+            p.agg_sim_ops_per_sec,
+            p.wall_seconds,
+            p.wall_ops_per_sec
+        ));
+    }
+    let json_doc = format!(
+        "{{\n  \"config\": \"{}\",\n  \"churn_ops_per_device\": {},\n  \
+         \"points\": [\n{}\n  ],\n  \
+         \"single_device_sim_ops_per_sec\": {:.1},\n  \
+         \"max_devices\": {},\n  \
+         \"aggregate_sim_ops_per_sec\": {:.1},\n  \
+         \"speedup_vs_single_device\": {:.3}\n}}\n",
+        match scale {
+            Scale::Paper => "paper",
+            Scale::Quick => "quick",
+        },
+        churn_per_device,
+        rows,
+        single.agg_sim_ops_per_sec,
+        widest.devices,
+        widest.agg_sim_ops_per_sec,
+        speedup
+    );
+    std::fs::write(json_path, &json_doc).expect("write bench json");
+    println!("wrote {json_path}");
+
+    if let Some(baseline_path) = check_baseline_arg() {
+        match check_baseline(&baseline_path, widest.agg_sim_ops_per_sec) {
+            Ok(baseline_ops) => println!(
+                "baseline check: {:.0} sim ops/s >= {:.0}% of {baseline_path}'s {:.0} -- ok",
+                widest.agg_sim_ops_per_sec,
+                BASELINE_TOLERANCE * 100.0,
+                baseline_ops
+            ),
+            Err(why) => {
+                eprintln!("baseline check FAILED: {why}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Returns the argument following `--check-baseline`, if present.
+fn check_baseline_arg() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--check-baseline" {
+            return Some(args.next().unwrap_or_else(|| {
+                eprintln!("--check-baseline requires a path");
+                std::process::exit(2);
+            }));
+        }
+    }
+    None
+}
+
+/// Reads `aggregate_sim_ops_per_sec` from a previously written BENCH_fleet
+/// JSON (parsed with the telemetry crate's vendored codec) and checks the
+/// measured rate against it with [`BASELINE_TOLERANCE`] headroom.
+fn check_baseline(path: &str, measured: f64) -> Result<f64, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = json::Value::parse(&text).map_err(|e| format!("{path} does not parse: {e}"))?;
+    let baseline = doc
+        .get("aggregate_sim_ops_per_sec")
+        .and_then(|v| v.as_f64())
+        .ok_or_else(|| format!("{path} has no aggregate_sim_ops_per_sec"))?;
+    if measured < BASELINE_TOLERANCE * baseline {
+        return Err(format!(
+            "measured {measured:.0} sim ops/s is below {:.0}% of the \
+             baseline {baseline:.0} from {path}",
+            BASELINE_TOLERANCE * 100.0
+        ));
+    }
+    Ok(baseline)
+}

@@ -3,8 +3,8 @@
 use ossd_bench::{print_header, scale_from_args};
 use ossd_core::contract::ContractTerm;
 use ossd_core::experiments::{
-    figure2, figure3, lifetime, multi_host, parallelism_sweep, policy_compare, swtf, table1,
-    table2, table3, table4, table5, trace_capture,
+    figure2, figure3, fleet_sweep, lifetime, multi_host, parallelism_sweep, policy_compare, swtf,
+    table1, table2, table3, table4, table5, trace_capture,
 };
 
 fn main() {
@@ -155,6 +155,34 @@ fn main() {
             p.end.name()
         );
     }
+
+    print_header("Fleet sweep (striped scale-out and replica rebuild)", scale);
+    let fleet = fleet_sweep::run(scale).expect("fleet sweep");
+    for p in &fleet.points {
+        println!(
+            "devices {:>2}  threads {:>2}  stripe {:>3} KiB  {:>8.2} MB/s  \
+             p50 {:>9.3} ms  p99 {:>9.3} ms  wall {:>6.3} s",
+            p.devices,
+            p.threads,
+            p.stripe_kib,
+            p.bandwidth_mbps,
+            p.p50_ms,
+            p.p99_ms,
+            p.wall_seconds
+        );
+    }
+    let r = &fleet.rebuild;
+    println!(
+        "rebuild ({} replicas): p99 {:.3} -> {:.3} ms, p99.9 {:.3} -> {:.3} ms, \
+         {:.1} MiB copied at {:.2} MB/s sim",
+        r.replicas,
+        r.healthy_p99_ms,
+        r.rebuild_p99_ms,
+        r.healthy_p999_ms,
+        r.rebuild_p999_ms,
+        r.rebuilt_mib,
+        r.rebuild_mbps
+    );
 
     print_header("Trace capture (cross-layer telemetry export)", scale);
     let capture = trace_capture::run(scale).expect("trace capture");

@@ -1,0 +1,409 @@
+//! Fleet-scale sweep: aggregate throughput of a striped multi-device
+//! array, and foreground latency under replica failure and rebuild.
+//!
+//! Two questions the single-device experiments cannot ask:
+//!
+//! 1. **Scale-out.**  How does aggregate bandwidth grow as the same device
+//!    is striped 1→8 wide, per stripe unit, and how much wall-clock time do
+//!    per-device engine threads save?  (Sim results are bit-identical for
+//!    every thread count — that is the fleet determinism contract — so the
+//!    thread axis only moves `wall_seconds`.)
+//! 2. **Degraded mode.**  On a 3-way replicated fleet, what happens to
+//!    survivor foreground latency while a failed replica is being rebuilt?
+//!    Rebuild copy traffic occupies the source replica's and the
+//!    replacement's flash elements (element busy state persists across
+//!    sessions), so foreground requests queue behind it — the classic
+//!    degraded-array p99 story.
+
+use ossd_block::{
+    BlockDevice, ByteRange, DeviceError, HostCommand, HostInterface, HostQueue, WriteHint,
+};
+use ossd_flash::{FlashGeometry, FlashTiming, ReliabilityConfig};
+use ossd_fleet::{Fleet, FleetConfig};
+use ossd_ftl::FtlConfig;
+use ossd_sim::{LatencyStats, SimDuration, SimRng, SimTime};
+use ossd_ssd::{MappingKind, SchedulerKind, SsdConfig};
+
+use super::Scale;
+
+/// One measured grid point: a device count × thread count × stripe unit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FleetPoint {
+    /// Devices in the striped array.
+    pub devices: usize,
+    /// Worker threads serving the per-device engines.
+    pub threads: usize,
+    /// Stripe unit in KiB.
+    pub stripe_kib: u64,
+    /// Aggregate bandwidth over the churn phase, MB per simulated second.
+    pub bandwidth_mbps: f64,
+    /// Median foreground response time, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile foreground response time, milliseconds.
+    pub p99_ms: f64,
+    /// Host-visible wall-clock time of the churn phase, seconds.
+    pub wall_seconds: f64,
+    /// Churn commands served.
+    pub ops: u64,
+}
+
+/// The replica-failure → rebuild scenario on a 3-way replicated fleet.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RebuildReport {
+    /// Replicas in the fleet.
+    pub replicas: usize,
+    /// Healthy-phase foreground p99, milliseconds.
+    pub healthy_p99_ms: f64,
+    /// Healthy-phase foreground p99.9, milliseconds.
+    pub healthy_p999_ms: f64,
+    /// Foreground p99 while the rebuild is in flight, milliseconds.
+    pub rebuild_p99_ms: f64,
+    /// Foreground p99.9 while the rebuild is in flight, milliseconds.
+    pub rebuild_p999_ms: f64,
+    /// Bytes copied back to the replacement, MiB.
+    pub rebuilt_mib: f64,
+    /// Rebuild copy bandwidth, MB per simulated second.
+    pub rebuild_mbps: f64,
+}
+
+/// Everything the sweep produces.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetSweep {
+    /// The scale-out grid.
+    pub points: Vec<FleetPoint>,
+    /// The degraded-mode scenario.
+    pub rebuild: RebuildReport,
+}
+
+const SEED: u64 = 0xF1EE_CAFE;
+const INITIATORS: usize = 4;
+
+fn device_config(scale: Scale) -> SsdConfig {
+    SsdConfig {
+        name: "fleet-sweep".to_string(),
+        geometry: FlashGeometry {
+            packages: 2,
+            dies_per_package: 1,
+            planes_per_die: 1,
+            blocks_per_plane: scale.count(32, 64) as u32,
+            pages_per_block: 32,
+            page_bytes: 4096,
+        },
+        timing: FlashTiming::slc(),
+        mapping: MappingKind::PageMapped,
+        ftl: FtlConfig::default()
+            .with_overprovisioning(0.12)
+            .with_watermarks(0.10, 0.04),
+        reliability: ReliabilityConfig::none(),
+        background_gc: None,
+        gangs: 1,
+        scheduler: SchedulerKind::Fcfs,
+        queue_depth: 8,
+        controller_overhead: SimDuration::from_micros(10),
+        random_penalty: SimDuration::ZERO,
+        sequential_prefetch: false,
+        ram_bytes_per_sec: 200_000_000,
+    }
+}
+
+/// Sequentially fills the fleet with large (64-page) writes so churn runs
+/// against a utilized array.  Returns the sim time the fill drained at.
+fn prefill<D: HostInterface>(fleet: &mut D, capacity: u64) -> Result<SimTime, DeviceError> {
+    let chunk = 64 * 4096u64;
+    let mut queues = vec![HostQueue::new()];
+    let mut at = SimTime::ZERO;
+    let mut id = 0u64;
+    let mut offset = 0u64;
+    while offset < capacity {
+        let batch_end = (offset + 64 * chunk).min(capacity);
+        while offset < batch_end {
+            let len = chunk.min(capacity - offset);
+            queues[0].submit(
+                id,
+                HostCommand::Write {
+                    range: ByteRange::new(offset, len),
+                    hint: WriteHint::default(),
+                },
+                at,
+            );
+            offset += len;
+            id += 1;
+        }
+        fleet.serve(&mut queues)?;
+        for c in queues[0].drain_completions() {
+            at = at.max(c.finish);
+        }
+    }
+    Ok(at)
+}
+
+/// One churn session: `ops` seeded random single-page commands (7/8
+/// writes, 1/8 reads) spread over the initiators, arrivals paced
+/// `pace_us` apart.  Returns the last completion finish and records
+/// response times.
+#[allow(clippy::too_many_arguments)]
+fn churn_session<D: HostInterface>(
+    fleet: &mut D,
+    queues: &mut [HostQueue],
+    rng: &mut SimRng,
+    latency: &mut LatencyStats,
+    logical_pages: u64,
+    start: SimTime,
+    ops: u64,
+    id: &mut u64,
+) -> Result<(SimTime, u64), DeviceError> {
+    let page = 4096u64;
+    let mut bytes = 0u64;
+    for k in 0..ops {
+        let lpn = rng.next_u64_below(logical_pages);
+        let range = ByteRange::new(lpn * page, page);
+        let command = if k % 8 == 7 {
+            HostCommand::Read { range }
+        } else {
+            HostCommand::Write {
+                range,
+                hint: WriteHint::default(),
+            }
+        };
+        bytes += page;
+        queues[k as usize % INITIATORS].submit(*id, command, start + SimDuration::from_micros(k));
+        *id += 1;
+    }
+    fleet.serve(queues)?;
+    let mut last = start;
+    for queue in queues.iter_mut() {
+        for c in queue.drain_completions() {
+            latency.record(c.response_time());
+            last = last.max(c.finish);
+        }
+    }
+    Ok((last, bytes))
+}
+
+fn run_point(
+    scale: Scale,
+    devices: usize,
+    threads: usize,
+    stripe_kib: u64,
+) -> Result<FleetPoint, DeviceError> {
+    let config = FleetConfig::striped(device_config(scale), devices, stripe_kib * 1024)
+        .with_threads(threads)
+        .with_seed(SEED)
+        .with_name("sweep");
+    let mut fleet = Fleet::new(config).map_err(DeviceError::from)?;
+    let capacity = fleet.capacity_bytes();
+    let logical_pages = capacity / 4096;
+    let fill_end = prefill(&mut fleet, capacity)?;
+
+    // Churn scales with the array so every device sees constant work.
+    let ops_total = (scale.count(512, 2048) * devices) as u64;
+    let session = 256u64;
+    let mut queues: Vec<HostQueue> = (0..INITIATORS).map(|_| HostQueue::new()).collect();
+    let mut rng = SimRng::seed_from_u64(SEED ^ devices as u64);
+    let mut latency = LatencyStats::new();
+    let mut at = fill_end + SimDuration::from_micros(100);
+    let first = at;
+    let mut bytes = 0u64;
+    let mut id = 1_000_000u64;
+    let wall_start = std::time::Instant::now();
+    let mut issued = 0u64;
+    while issued < ops_total {
+        let batch = session.min(ops_total - issued);
+        let (last, b) = churn_session(
+            &mut fleet,
+            &mut queues,
+            &mut rng,
+            &mut latency,
+            logical_pages,
+            at,
+            batch,
+            &mut id,
+        )?;
+        bytes += b;
+        at = last + SimDuration::from_micros(10);
+        issued += batch;
+    }
+    let wall_seconds = wall_start.elapsed().as_secs_f64();
+    let elapsed = at.saturating_since(first);
+    Ok(FleetPoint {
+        devices,
+        threads,
+        stripe_kib,
+        bandwidth_mbps: bytes as f64 / 1e6 / elapsed.as_secs_f64().max(1e-12),
+        p50_ms: latency.percentile(50.0).as_millis_f64(),
+        p99_ms: latency.percentile(99.0).as_millis_f64(),
+        wall_seconds,
+        ops: ops_total,
+    })
+}
+
+/// The degraded-mode scenario: fill a 3-way replicated fleet, measure
+/// healthy foreground tails, fail replica 1, replace it, then rebuild the
+/// whole space chunk-by-chunk with foreground churn interleaved, measuring
+/// survivor tails while the copy traffic holds the elements busy.
+fn run_rebuild(scale: Scale) -> Result<RebuildReport, DeviceError> {
+    let replicas = 3usize;
+    let config = FleetConfig::replicated(device_config(scale), replicas)
+        .with_threads(replicas)
+        .with_seed(SEED)
+        .with_name("rebuild");
+    let mut fleet = Fleet::new(config).map_err(DeviceError::from)?;
+    let capacity = fleet.capacity_bytes();
+    let logical_pages = capacity / 4096;
+    let fill_end = prefill(&mut fleet, capacity)?;
+
+    let mut queues: Vec<HostQueue> = (0..INITIATORS).map(|_| HostQueue::new()).collect();
+    let mut rng = SimRng::seed_from_u64(SEED ^ 0xDEAD);
+    let mut id = 2_000_000u64;
+    let session = 128u64;
+
+    // Healthy phase.
+    let mut healthy = LatencyStats::new();
+    let mut at = fill_end + SimDuration::from_micros(100);
+    for _ in 0..scale.count(4, 16) {
+        let (last, _) = churn_session(
+            &mut fleet,
+            &mut queues,
+            &mut rng,
+            &mut healthy,
+            logical_pages,
+            at,
+            session,
+            &mut id,
+        )?;
+        at = last + SimDuration::from_micros(10);
+    }
+
+    // Failure and replacement.
+    fleet.fail_device(1)?;
+    fleet.replace_device(1)?;
+
+    // Rebuild the whole exported space in 32-page chunks, a fixed number
+    // of chunks between foreground sessions, measuring survivor latency
+    // while the copy traffic is in flight.
+    let chunk_pages = 32u64;
+    let chunk = chunk_pages * 4096;
+    let chunks = capacity / chunk;
+    let chunks_per_session = scale.count(4, 8) as u64;
+    let mut degraded = LatencyStats::new();
+    let mut rebuild_busy = SimDuration::ZERO;
+    let mut copied = 0u64;
+    let mut next_chunk = 0u64;
+    while next_chunk < chunks {
+        let burst = chunks_per_session.min(chunks - next_chunk);
+        let rebuild_start = at;
+        for c in 0..burst {
+            let offset = (next_chunk + c) * chunk;
+            let (_, w) = fleet.rebuild_range(1, ByteRange::new(offset, chunk), at)?;
+            at = w.finish;
+            copied += chunk;
+        }
+        rebuild_busy += at.saturating_since(rebuild_start);
+        // Foreground arrivals overlap the tail of the copy burst, so they
+        // queue behind it on the shared elements.
+        let fg_start = rebuild_start + SimDuration::from_micros(50);
+        let (last, _) = churn_session(
+            &mut fleet,
+            &mut queues,
+            &mut rng,
+            &mut degraded,
+            logical_pages,
+            fg_start,
+            session,
+            &mut id,
+        )?;
+        at = at.max(last) + SimDuration::from_micros(10);
+        next_chunk += burst;
+    }
+
+    Ok(RebuildReport {
+        replicas,
+        healthy_p99_ms: healthy.percentile(99.0).as_millis_f64(),
+        healthy_p999_ms: healthy.percentile(99.9).as_millis_f64(),
+        rebuild_p99_ms: degraded.percentile(99.0).as_millis_f64(),
+        rebuild_p999_ms: degraded.percentile(99.9).as_millis_f64(),
+        rebuilt_mib: copied as f64 / (1024.0 * 1024.0),
+        rebuild_mbps: copied as f64 / 1e6 / rebuild_busy.as_secs_f64().max(1e-12),
+    })
+}
+
+/// The device counts the sweep covers.
+pub const DEVICE_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// The worker-thread counts the sweep covers.
+pub const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// The stripe units the sweep covers, KiB.
+pub const STRIPE_KIB: [u64; 2] = [4, 32];
+
+/// Runs the full sweep: the scale-out grid plus the rebuild scenario.
+///
+/// At `Quick` scale the grid shrinks to devices {1, 4} × threads {1, 2} ×
+/// stripe 4 KiB so tests stay fast.
+pub fn run(scale: Scale) -> Result<FleetSweep, DeviceError> {
+    let mut points = Vec::new();
+    let (devices, threads, stripes): (&[usize], &[usize], &[u64]) = match scale {
+        Scale::Quick => (&[1, 4], &[1, 2], &STRIPE_KIB[..1]),
+        Scale::Paper => (&DEVICE_COUNTS, &THREAD_COUNTS, &STRIPE_KIB),
+    };
+    for &d in devices {
+        for &t in threads {
+            for &s in stripes {
+                points.push(run_point(scale, d, t, s)?);
+            }
+        }
+    }
+    let rebuild = run_rebuild(scale)?;
+    Ok(FleetSweep { points, rebuild })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn striping_scales_aggregate_bandwidth() {
+        let one = run_point(Scale::Quick, 1, 1, 4).unwrap();
+        let four = run_point(Scale::Quick, 4, 1, 4).unwrap();
+        let scaling = four.bandwidth_mbps / one.bandwidth_mbps;
+        assert!(
+            scaling > 2.0,
+            "4-wide striping scaled sim bandwidth only {scaling:.2}x \
+             ({:.1} -> {:.1} MB/s)",
+            one.bandwidth_mbps,
+            four.bandwidth_mbps
+        );
+    }
+
+    #[test]
+    fn thread_count_does_not_change_sim_results() {
+        let t1 = run_point(Scale::Quick, 4, 1, 4).unwrap();
+        let t2 = run_point(Scale::Quick, 4, 2, 4).unwrap();
+        assert_eq!(t1.bandwidth_mbps, t2.bandwidth_mbps);
+        assert_eq!(t1.p50_ms, t2.p50_ms);
+        assert_eq!(t1.p99_ms, t2.p99_ms);
+    }
+
+    #[test]
+    fn rebuild_degrades_survivor_tails_and_makes_progress() {
+        let report = run_rebuild(Scale::Quick).unwrap();
+        assert!(report.rebuilt_mib > 0.0);
+        assert!(report.rebuild_mbps > 0.0);
+        // Copy traffic holds elements busy, so the degraded tail cannot be
+        // better than healthy.
+        assert!(
+            report.rebuild_p99_ms >= report.healthy_p99_ms * 0.9,
+            "rebuild p99 {:.3} ms implausibly beats healthy p99 {:.3} ms",
+            report.rebuild_p99_ms,
+            report.healthy_p99_ms
+        );
+    }
+
+    #[test]
+    fn quick_sweep_covers_the_reduced_grid() {
+        let sweep = run(Scale::Quick).unwrap();
+        assert_eq!(sweep.points.len(), 4);
+        for p in &sweep.points {
+            assert!(p.bandwidth_mbps > 0.0);
+            assert!(p.ops > 0);
+        }
+    }
+}

@@ -29,9 +29,14 @@
 //! a device to end-of-life under the seeded fault model
 //! (`ossd-reliability`) and reports TBW/lifetime/UBER per
 //! over-provisioning × cleaning policy × wear-leveling.
+//! [`fleet_sweep`] scales out to a multi-device striped array
+//! (`ossd-fleet`): aggregate bandwidth per devices × threads × stripe
+//! unit, plus a replica-failure → rebuild scenario reporting survivor
+//! tail latency and rebuild bandwidth.
 
 pub mod figure2;
 pub mod figure3;
+pub mod fleet_sweep;
 pub mod lifetime;
 pub mod multi_host;
 pub mod parallelism_sweep;

@@ -161,12 +161,12 @@ pub fn run(scale: Scale) -> Result<TraceCapture, DeviceError> {
     // Stamp the final device state onto the series so even a capture
     // shorter than one sampling interval exports a non-empty CSV.
     let end = {
-        let r = recorder.borrow();
+        let r = recorder.lock().unwrap();
         r.events().iter().map(|e| e.end).max().unwrap_or(base)
     };
     ssd.sample_telemetry(end);
 
-    let r = recorder.borrow();
+    let r = recorder.lock().unwrap();
     let capture = TraceCapture {
         trace_json: to_chrome_trace(r.events()),
         metrics_csv: r.series().to_csv(),

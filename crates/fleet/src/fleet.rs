@@ -1,0 +1,626 @@
+//! The [`Fleet`]: an array of simulated SSDs behind one host-level router.
+//!
+//! # Determinism model
+//!
+//! A fleet serve session runs in five deterministic steps:
+//!
+//! 1. **Arbitrate** the initiator queues round-robin into one globally
+//!    arrival-ordered command list (exactly [`arbitrate_round_robin`], the
+//!    same arbiter a single device uses).
+//! 2. **Validate** every command up front against the fleet's exported
+//!    capacity — a rejected command aborts the serve with every submission
+//!    still queued and no completions posted (the [`HostInterface`] error
+//!    semantics, preserved at fleet scope).
+//! 3. **Fan out** each command into at most one sub-command per member
+//!    device (striping maps a contiguous exported range to one contiguous
+//!    device-local range per device, see [`crate::router`]; replication
+//!    mirrors writes and routes reads to one replica), preserving the
+//!    parent's arrival, priority and write hint.  Sub-commands carry the
+//!    parent's arbitration sequence number as their correlation id.
+//! 4. **Execute** each device's session on a worker thread
+//!    ([`std::thread::scope`]; devices are chunked across
+//!    [`FleetConfig::threads`] workers).  Devices share *no* simulation
+//!    state — each `Ssd` is `Send` and wholly owned by its work item, and
+//!    per-device RNG streams are sharded via
+//!    [`ossd_sim::derive_stream_seed`] — so the thread count and OS
+//!    schedule cannot affect any device's result, only wall-clock time.
+//! 5. **Merge** every device's completions into one canonical order sorted
+//!    by `(finish time, device index, parent sequence)`, reduce them to
+//!    per-parent completions (start = earliest sub-start, finish = latest
+//!    sub-finish, status = worst sub-status), and post them through
+//!    [`complete_session`] in arbitration order — bit-identical for every
+//!    thread count, and for a 1-device fleet bit-identical to serving the
+//!    standalone device.
+
+use ossd_block::{
+    arbitrate_round_robin, complete_session, BlockDevice, BlockRequest, ByteRange, Completion,
+    CompletionStatus, DeviceError, DeviceInfo, HostCommand, HostInterface, HostQueue,
+};
+use ossd_ftl::FtlStats;
+use ossd_sim::SimTime;
+use ossd_ssd::{Ssd, SsdConfig, SsdError, SsdStats};
+use ossd_telemetry::{Recorder, RecorderConfig, TelemetryHandle};
+use std::sync::{Arc, Mutex};
+
+use crate::config::{FleetConfig, FleetLayout};
+use crate::router::{split_striped, striped_capacity};
+use crate::telemetry::{FleetSample, FleetSeries};
+
+/// One member device's slot in the array.
+struct Slot {
+    /// The device, or `None` while failed.
+    ssd: Option<Ssd>,
+    /// Replacement generation: 0 for the original member, incremented by
+    /// every [`Fleet::replace_device`] (feeds per-device seed derivation).
+    generation: u64,
+}
+
+/// One sub-completion in the canonical merged order — the determinism
+/// witness: two runs of the same seeded fleet are bit-identical iff their
+/// merged logs are equal, regardless of thread count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FleetSubCompletion {
+    /// Member device that served the sub-command.
+    pub device: usize,
+    /// Parent command's global arbitration sequence (session-local).
+    pub parent_seq: u64,
+    /// Parent command's host correlation id.
+    pub request_id: u64,
+    /// Initiator queue the parent came from.
+    pub initiator: usize,
+    /// When the sub-command's device work began.
+    pub start: SimTime,
+    /// When the sub-command completed on its device.
+    pub finish: SimTime,
+    /// Sub-command outcome.
+    pub status: CompletionStatus,
+}
+
+/// A multi-device SSD array behind one block/queue-pair interface.
+///
+/// See the [module docs](self) for the determinism model.
+pub struct Fleet {
+    config: FleetConfig,
+    slots: Vec<Slot>,
+    capacity: u64,
+    supports_free: bool,
+    /// Routing granularity for replicated reads (one device logical page).
+    route_unit: u64,
+    merged_log: Vec<FleetSubCompletion>,
+    last_fanout: Vec<u32>,
+    rebuilt_bytes: u64,
+    next_rebuild_id: u64,
+    series: FleetSeries,
+}
+
+impl Fleet {
+    /// Builds the array: validates the fleet parameters and constructs one
+    /// seeded device per slot from [`FleetConfig::device_config`].
+    pub fn new(config: FleetConfig) -> Result<Self, SsdError> {
+        config
+            .validate()
+            .map_err(|reason| SsdError::InvalidConfig { reason })?;
+        let mut slots = Vec::with_capacity(config.devices);
+        for index in 0..config.devices {
+            let ssd = Ssd::new(config.device_config(index, 0))?;
+            slots.push(Slot {
+                ssd: Some(ssd),
+                generation: 0,
+            });
+        }
+        let device_info = slots[0].ssd.as_ref().expect("fresh device").info();
+        let capacity = match config.layout {
+            FleetLayout::Striped { stripe_bytes } => {
+                if stripe_bytes > device_info.capacity_bytes {
+                    return Err(SsdError::InvalidConfig {
+                        reason: format!(
+                            "stripe_bytes ({stripe_bytes}) exceeds one device's capacity ({})",
+                            device_info.capacity_bytes
+                        ),
+                    });
+                }
+                striped_capacity(device_info.capacity_bytes, config.devices, stripe_bytes)
+            }
+            FleetLayout::Replicated => device_info.capacity_bytes,
+        };
+        let route_unit = slots[0]
+            .ssd
+            .as_ref()
+            .expect("fresh device")
+            .logical_page_bytes();
+        let devices = config.devices;
+        Ok(Fleet {
+            config,
+            slots,
+            capacity,
+            supports_free: device_info.supports_free,
+            route_unit,
+            merged_log: Vec::new(),
+            last_fanout: vec![0; devices],
+            rebuilt_bytes: 0,
+            next_rebuild_id: 1 << 48,
+            series: FleetSeries::new(),
+        })
+    }
+
+    /// The fleet configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Number of member slots (live or failed).
+    pub fn devices(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Indices of the live member devices, ascending.
+    pub fn live_indices(&self) -> Vec<usize> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.ssd.as_ref().map(|_| i))
+            .collect()
+    }
+
+    /// The concrete configuration device `index` is currently running
+    /// (template + derived name and fault seed for its generation).  The
+    /// 1-device equivalence tests build their standalone reference `Ssd`
+    /// from this, so fleet and standalone share the exact seed stream.
+    pub fn device_config(&self, index: usize) -> SsdConfig {
+        self.config
+            .device_config(index, self.slots[index].generation)
+    }
+
+    /// Device-level request/byte counters for member `index` (`None` while
+    /// failed).
+    pub fn device_stats(&self, index: usize) -> Option<SsdStats> {
+        self.slots[index].ssd.as_ref().map(|d| d.stats())
+    }
+
+    /// FTL counters for member `index` (`None` while failed).
+    pub fn device_ftl_stats(&self, index: usize) -> Option<FtlStats> {
+        self.slots[index].ssd.as_ref().map(|d| d.ftl_stats())
+    }
+
+    /// Wear summary for member `index` (`None` while failed).
+    pub fn device_wear_summary(&self, index: usize) -> Option<ossd_flash::WearSummary> {
+        self.slots[index].ssd.as_ref().map(|d| d.wear_summary())
+    }
+
+    /// Attaches telemetry to member `index` (no-op while failed).
+    pub fn set_device_telemetry(&mut self, index: usize, telemetry: TelemetryHandle) {
+        if let Some(ssd) = self.slots[index].ssd.as_mut() {
+            ssd.set_telemetry(telemetry);
+        }
+    }
+
+    /// Attaches one fresh [`Recorder`] to every live member and returns the
+    /// recorder handles, indexed by device.  Failed slots still occupy an
+    /// entry (an empty recorder) so indices line up.
+    pub fn attach_recorders(&mut self, config: RecorderConfig) -> Vec<Arc<Mutex<Recorder>>> {
+        self.slots
+            .iter_mut()
+            .map(|slot| {
+                let (handle, recorder) = Recorder::shared(config);
+                if let Some(ssd) = slot.ssd.as_mut() {
+                    ssd.set_telemetry(handle);
+                }
+                recorder
+            })
+            .collect()
+    }
+
+    /// The canonical merged sub-completion order of the last serve session,
+    /// sorted by `(finish, device, parent sequence)`.  Bit-identical across
+    /// thread counts for the same seed and workload.
+    pub fn last_session_log(&self) -> &[FleetSubCompletion] {
+        &self.merged_log
+    }
+
+    /// Sub-commands fanned to each device in the last serve session (a
+    /// per-device queue-depth signal for the metrics series).
+    pub fn last_fanout(&self) -> &[u32] {
+        &self.last_fanout
+    }
+
+    /// Total bytes copied by [`Fleet::rebuild_range`] so far.
+    pub fn rebuilt_bytes(&self) -> u64 {
+        self.rebuilt_bytes
+    }
+
+    /// Fleet-level metrics series (populated by
+    /// [`Fleet::sample_metrics`]).
+    pub fn series(&self) -> &FleetSeries {
+        &self.series
+    }
+
+    /// Pushes one fleet-level metrics sample: cumulative per-device host
+    /// bytes, the last session's per-device fan-out depth and rebuild
+    /// progress.
+    pub fn sample_metrics(&mut self, now: SimTime) {
+        let device_bytes: Vec<u64> = self
+            .slots
+            .iter()
+            .map(|slot| {
+                slot.ssd
+                    .as_ref()
+                    .map(|d| {
+                        let stats = d.stats();
+                        stats.bytes_read + stats.bytes_written
+                    })
+                    .unwrap_or(0)
+            })
+            .collect();
+        let host_bytes_total = device_bytes.iter().sum();
+        self.series.push(FleetSample {
+            at: now,
+            host_bytes_total,
+            device_bytes,
+            device_depth: self.last_fanout.clone(),
+            rebuilt_bytes: self.rebuilt_bytes,
+        });
+    }
+
+    /// Fails member `index`: the device and its data vanish.  Only
+    /// replicated fleets survive a failure, and at least one replica must
+    /// stay live, so striped layouts and last-replica failures are
+    /// rejected.
+    pub fn fail_device(&mut self, index: usize) -> Result<(), DeviceError> {
+        if matches!(self.config.layout, FleetLayout::Striped { .. }) {
+            return Err(DeviceError::Unsupported {
+                what: "device failure on a striped (non-redundant) fleet",
+            });
+        }
+        if self.slots[index].ssd.is_none() {
+            return Err(DeviceError::Unsupported {
+                what: "failing an already-failed device",
+            });
+        }
+        if self.live_indices().len() <= 1 {
+            return Err(DeviceError::Unsupported {
+                what: "failing the last live replica",
+            });
+        }
+        self.slots[index].ssd = None;
+        Ok(())
+    }
+
+    /// Replaces failed member `index` with a factory-fresh device on the
+    /// next seed-stream generation.  The replacement holds no data until
+    /// [`Fleet::rebuild_range`] copies it back from a surviving replica.
+    pub fn replace_device(&mut self, index: usize) -> Result<(), DeviceError> {
+        if self.slots[index].ssd.is_some() {
+            return Err(DeviceError::Unsupported {
+                what: "replacing a device that has not failed",
+            });
+        }
+        let generation = self.slots[index].generation + 1;
+        let config = self.config.device_config(index, generation);
+        let ssd = Ssd::new(config).map_err(|e| DeviceError::Internal(e.to_string()))?;
+        self.slots[index].ssd = Some(ssd);
+        self.slots[index].generation = generation;
+        Ok(())
+    }
+
+    /// Copies one range of a replicated fleet onto device `target`: reads
+    /// it from the lowest-indexed other live replica, then writes it to the
+    /// target with the write arriving as the read completes.  Returns the
+    /// `(read, write)` completions so callers can account rebuild bandwidth
+    /// in sim time.
+    pub fn rebuild_range(
+        &mut self,
+        target: usize,
+        range: ByteRange,
+        at: SimTime,
+    ) -> Result<(Completion, Completion), DeviceError> {
+        if !matches!(self.config.layout, FleetLayout::Replicated) {
+            return Err(DeviceError::Unsupported {
+                what: "rebuild on a non-replicated fleet",
+            });
+        }
+        let source = self
+            .live_indices()
+            .into_iter()
+            .find(|&i| i != target)
+            .ok_or(DeviceError::Unsupported {
+                what: "rebuild without a live source replica",
+            })?;
+        if self.slots[target].ssd.is_none() {
+            return Err(DeviceError::Unsupported {
+                what: "rebuild onto a failed device (replace it first)",
+            });
+        }
+        let read_id = self.next_rebuild_id;
+        let write_id = self.next_rebuild_id + 1;
+        self.next_rebuild_id += 2;
+        let read = self.slots[source]
+            .ssd
+            .as_mut()
+            .expect("live source")
+            .submit(&BlockRequest::read(read_id, range.offset, range.len, at))?;
+        let write = self.slots[target]
+            .ssd
+            .as_mut()
+            .expect("checked live")
+            .submit(&BlockRequest::write(
+                write_id,
+                range.offset,
+                range.len,
+                read.finish,
+            ))?;
+        self.rebuilt_bytes += range.len;
+        Ok((read, write))
+    }
+
+    /// Routes one validated command to its member devices.  Returns
+    /// `(device, sub-command)` pairs in ascending device order — at most
+    /// one per device.
+    fn fan_out(&self, command: &HostCommand, live: &[usize]) -> Vec<(usize, HostCommand)> {
+        match self.config.layout {
+            FleetLayout::Striped { stripe_bytes } => match *command {
+                HostCommand::Read { range } => split_striped(range, self.slots.len(), stripe_bytes)
+                    .into_iter()
+                    .map(|s| (s.device, HostCommand::Read { range: s.range }))
+                    .collect(),
+                HostCommand::Write { range, hint } => {
+                    split_striped(range, self.slots.len(), stripe_bytes)
+                        .into_iter()
+                        .map(|s| {
+                            (
+                                s.device,
+                                HostCommand::Write {
+                                    range: s.range,
+                                    hint,
+                                },
+                            )
+                        })
+                        .collect()
+                }
+                HostCommand::Free { range } => split_striped(range, self.slots.len(), stripe_bytes)
+                    .into_iter()
+                    .map(|s| (s.device, HostCommand::Free { range: s.range }))
+                    .collect(),
+                // Fences order the whole array.
+                _ => live.iter().map(|&d| (d, *command)).collect(),
+            },
+            FleetLayout::Replicated => match *command {
+                // One replica serves the read; the choice is a pure
+                // function of the address and the live set.
+                HostCommand::Read { range } => {
+                    let replica = live[(range.offset / self.route_unit) as usize % live.len()];
+                    vec![(replica, *command)]
+                }
+                // Writes, frees and fences mirror to every live replica.
+                _ => live.iter().map(|&d| (d, *command)).collect(),
+            },
+        }
+    }
+}
+
+/// One device's work for a serve session: the device, its mirrored
+/// initiator queues, and the serve outcome.
+struct Work<'a> {
+    device: usize,
+    ssd: &'a mut Ssd,
+    queues: &'a mut Vec<HostQueue>,
+    result: Result<(), DeviceError>,
+}
+
+impl BlockDevice for Fleet {
+    fn info(&self) -> DeviceInfo {
+        DeviceInfo {
+            name: format!(
+                "{} ({}x {}, {})",
+                self.config.name,
+                self.slots.len(),
+                self.config.device.name,
+                self.config.layout.name()
+            ),
+            capacity_bytes: self.capacity,
+            supports_free: self.supports_free,
+        }
+    }
+
+    fn submit(&mut self, request: &BlockRequest) -> Result<Completion, DeviceError> {
+        let mut queues = [HostQueue::new()];
+        queues[0].submit_request(request);
+        self.serve(&mut queues)?;
+        queues[0]
+            .poll()
+            .ok_or_else(|| DeviceError::Internal("fleet serve posted no completion".to_string()))
+    }
+}
+
+impl HostInterface for Fleet {
+    /// Serves the initiator queues across the whole array; see the
+    /// [module docs](self) for the five-step session pipeline and its
+    /// determinism guarantees.
+    fn serve(&mut self, queues: &mut [HostQueue]) -> Result<(), DeviceError> {
+        let arbitrated = arbitrate_round_robin(queues);
+        self.merged_log.clear();
+        self.last_fanout = vec![0; self.slots.len()];
+        if arbitrated.is_empty() {
+            return Ok(());
+        }
+        // Step 2: validate the whole session before any device runs, so a
+        // rejected command leaves every submission queued on every queue.
+        for cmd in &arbitrated {
+            let command = &cmd.submission.command;
+            if command.is_object_command() {
+                return Err(DeviceError::Unsupported {
+                    what: "object commands on a block device",
+                });
+            }
+            if let Some(range) = command.range() {
+                if range.len == 0 {
+                    return Err(DeviceError::EmptyRequest);
+                }
+                if range.end() > self.capacity {
+                    return Err(DeviceError::OutOfBounds {
+                        end: range.end(),
+                        capacity: self.capacity,
+                    });
+                }
+            }
+        }
+        let live = self.live_indices();
+        if live.is_empty() {
+            return Err(DeviceError::Unsupported {
+                what: "serving a fleet with no live devices",
+            });
+        }
+
+        // Step 3: fan out to per-device mirrored queues.  Sub-commands use
+        // the parent's arbitration sequence as correlation id, and inherit
+        // arrival/priority, so each device's own arbitration sees the same
+        // arrival-ordered stream the global arbiter saw.
+        struct Parent {
+            initiator: usize,
+            id: u64,
+            arrival: SimTime,
+            subs: u32,
+        }
+        let mut parents: Vec<Parent> = Vec::with_capacity(arbitrated.len());
+        let mut dev_queues: Vec<Vec<HostQueue>> = (0..self.slots.len())
+            .map(|_| (0..queues.len()).map(|_| HostQueue::new()).collect())
+            .collect();
+        for (seq, cmd) in arbitrated.iter().enumerate() {
+            let sub = cmd.submission;
+            let fan = self.fan_out(&sub.command, &live);
+            debug_assert!(!fan.is_empty(), "every command routes somewhere");
+            for &(device, ref subcmd) in &fan {
+                dev_queues[device][cmd.initiator].submit_with_priority(
+                    seq as u64,
+                    *subcmd,
+                    sub.arrival,
+                    sub.priority,
+                );
+                self.last_fanout[device] += 1;
+            }
+            parents.push(Parent {
+                initiator: cmd.initiator,
+                id: sub.id,
+                arrival: sub.arrival,
+                subs: fan.len() as u32,
+            });
+        }
+
+        // Step 4: run each touched device's session, chunking devices
+        // across worker threads.  Devices own their entire simulation
+        // state, so the partition cannot affect results.
+        let mut work: Vec<Work<'_>> = Vec::new();
+        for (device, (slot, dq)) in self.slots.iter_mut().zip(dev_queues.iter_mut()).enumerate() {
+            if dq.iter().all(|q| q.pending_submissions() == 0) {
+                continue;
+            }
+            let ssd = slot
+                .ssd
+                .as_mut()
+                .expect("routing only targets live devices");
+            work.push(Work {
+                device,
+                ssd,
+                queues: dq,
+                result: Ok(()),
+            });
+        }
+        let workers = self.config.threads.min(work.len()).max(1);
+        if workers <= 1 {
+            for w in work.iter_mut() {
+                w.result = w.ssd.serve(w.queues);
+            }
+        } else {
+            let chunk = work.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                for ch in work.chunks_mut(chunk) {
+                    scope.spawn(move || {
+                        for w in ch.iter_mut() {
+                            w.result = w.ssd.serve(w.queues);
+                        }
+                    });
+                }
+            });
+        }
+        for w in &work {
+            if let Err(e) = &w.result {
+                // Unreachable after step-2 validation; if a device still
+                // errors, its session may be partially applied, so report
+                // it as an internal fault rather than a clean rejection.
+                return Err(DeviceError::Internal(format!(
+                    "device {} failed mid-session: {e}",
+                    w.device
+                )));
+            }
+        }
+
+        // Step 5: merge sub-completions canonically, reduce to parents,
+        // post in arbitration order.
+        let mut merged: Vec<FleetSubCompletion> = Vec::new();
+        for w in work.iter_mut() {
+            for queue in w.queues.iter_mut() {
+                for c in queue.drain_completions() {
+                    let parent = &parents[c.request_id as usize];
+                    merged.push(FleetSubCompletion {
+                        device: w.device,
+                        parent_seq: c.request_id,
+                        request_id: parent.id,
+                        initiator: parent.initiator,
+                        start: c.start,
+                        finish: c.finish,
+                        status: c.status,
+                    });
+                }
+            }
+        }
+        merged.sort_by_key(|s| (s.finish, s.device, s.parent_seq));
+
+        struct Agg {
+            start: SimTime,
+            finish: SimTime,
+            status: CompletionStatus,
+            subs: u32,
+        }
+        let mut aggs: Vec<Option<Agg>> = (0..parents.len()).map(|_| None).collect();
+        for s in &merged {
+            let agg = aggs[s.parent_seq as usize].get_or_insert(Agg {
+                start: s.start,
+                finish: s.finish,
+                status: s.status,
+                subs: 0,
+            });
+            agg.start = agg.start.min(s.start);
+            agg.finish = agg.finish.max(s.finish);
+            if !s.status.is_ok() {
+                agg.status = s.status;
+            }
+            agg.subs += 1;
+        }
+
+        let mut completed: Vec<(usize, Completion)> = Vec::with_capacity(parents.len());
+        for (seq, parent) in parents.iter().enumerate() {
+            let agg = aggs[seq].as_ref().ok_or_else(|| {
+                DeviceError::Internal(format!("command {seq} produced no completions", seq = seq))
+            })?;
+            if agg.subs != parent.subs {
+                return Err(DeviceError::Internal(format!(
+                    "command {seq} completed {got}/{want} sub-commands",
+                    got = agg.subs,
+                    want = parent.subs
+                )));
+            }
+            completed.push((
+                parent.initiator,
+                Completion {
+                    request_id: parent.id,
+                    arrival: parent.arrival,
+                    start: agg.start,
+                    finish: agg.finish,
+                    status: agg.status,
+                },
+            ));
+        }
+        self.merged_log = merged;
+        complete_session(queues, completed);
+        Ok(())
+    }
+}

@@ -1,0 +1,49 @@
+//! Fleet-scale parallel simulation: a multi-device SSD array behind one
+//! host interface, with per-device engine threads and a deterministic
+//! completion merge.
+//!
+//! The single-device simulators in this workspace are strictly
+//! single-threaded — determinism comes from one event queue with total
+//! ordering.  This crate scales that model out instead of up: a
+//! [`Fleet`] owns an array of [`ossd_ssd::Ssd`]s and routes the exported
+//! byte space across them, either
+//!
+//! * **striped** (RAID-0): stripes dealt round-robin, aggregate capacity
+//!   and bandwidth, no redundancy; or
+//! * **replicated**: every write mirrored to all live replicas, reads
+//!   routed deterministically to one, survivable device failure with
+//!   online rebuild ([`Fleet::fail_device`] / [`Fleet::replace_device`] /
+//!   [`Fleet::rebuild_range`]).
+//!
+//! ```text
+//!  initiators ─► HostQueues ─► global round-robin arbitration
+//!                                   │ validate (atomic) + fan out
+//!                  ┌────────────────┼────────────────┐
+//!                  ▼                ▼                ▼
+//!              dev0 queues      dev1 queues      devN queues
+//!              engine thread    engine thread    engine thread
+//!                  └────────────────┼────────────────┘
+//!                                   ▼
+//!             merge by (finish, device, sequence) ─► reduce ─► CQs
+//! ```
+//!
+//! Each device's event engine runs on its own OS thread (`Ssd` is `Send`;
+//! devices share no state; per-device RNG streams come from
+//! [`ossd_sim::derive_stream_seed`]), and the merge step re-imposes one
+//! canonical completion order, so a seeded run is bit-for-bit identical
+//! for every thread count — and a 1-device fleet is bit-for-bit identical
+//! to the standalone device.  See [`fleet`] for the full session
+//! pipeline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod fleet;
+pub mod router;
+pub mod telemetry;
+
+pub use config::{FleetConfig, FleetLayout};
+pub use fleet::{Fleet, FleetSubCompletion};
+pub use router::{split_striped, striped_capacity, DeviceSlice};
+pub use telemetry::{fleet_chrome_trace, FleetSample, FleetSeries};

@@ -1,0 +1,165 @@
+//! Fleet-level telemetry: an aggregate metrics time-series and a
+//! namespaced multi-device Chrome-trace export.
+//!
+//! Per-device traces stay on each member's own [`Recorder`] (attach them
+//! with [`crate::Fleet::attach_recorders`]); this module aggregates across
+//! the array — total host bandwidth, per-device fan-out depth and rebuild
+//! progress — and renders all member traces into one Perfetto document
+//! with tracks namespaced `dev{N}/...`.
+
+use ossd_sim::SimTime;
+use ossd_telemetry::{to_chrome_trace_multi, Recorder, TraceEvent};
+use std::sync::{Arc, Mutex};
+
+/// One fleet-level metrics sample.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FleetSample {
+    /// Sim time of the sample.
+    pub at: SimTime,
+    /// Cumulative host bytes moved (reads + writes) summed over devices.
+    pub host_bytes_total: u64,
+    /// Cumulative host bytes moved per device (0 for failed slots).
+    pub device_bytes: Vec<u64>,
+    /// Sub-commands fanned to each device in the most recent serve session
+    /// (a per-device queue-depth signal).
+    pub device_depth: Vec<u32>,
+    /// Cumulative bytes copied by replica rebuild so far.
+    pub rebuilt_bytes: u64,
+}
+
+/// An append-only series of [`FleetSample`]s with CSV export.
+#[derive(Clone, Debug, Default)]
+pub struct FleetSeries {
+    samples: Vec<FleetSample>,
+}
+
+impl FleetSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        FleetSeries::default()
+    }
+
+    /// Appends one sample.
+    pub fn push(&mut self, sample: FleetSample) {
+        self.samples.push(sample);
+    }
+
+    /// The recorded samples, in push order.
+    pub fn samples(&self) -> &[FleetSample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Renders the series as CSV: time, aggregate bandwidth since the
+    /// previous sample, cumulative totals, then one depth and one
+    /// cumulative-MB column per device.
+    pub fn to_csv(&self) -> String {
+        let devices = self.samples.first().map_or(0, |s| s.device_bytes.len());
+        let mut out = String::from("time_us,aggregate_mb_s,total_mb,rebuilt_mb");
+        for d in 0..devices {
+            out.push_str(&format!(",dev{d}_depth,dev{d}_mb"));
+        }
+        out.push('\n');
+        let mut prev: Option<&FleetSample> = None;
+        for sample in &self.samples {
+            let dt_s = prev.map_or(0.0, |p| {
+                sample.at.saturating_since(p.at).as_nanos() as f64 / 1e9
+            });
+            let delta_bytes =
+                prev.map_or(0, |p| sample.host_bytes_total - p.host_bytes_total) as f64;
+            let bw_mb_s = if dt_s > 0.0 {
+                delta_bytes / (1024.0 * 1024.0) / dt_s
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "{:.3},{bw_mb_s:.3},{:.3},{:.3}",
+                sample.at.as_nanos() as f64 / 1_000.0,
+                sample.host_bytes_total as f64 / (1024.0 * 1024.0),
+                sample.rebuilt_bytes as f64 / (1024.0 * 1024.0),
+            ));
+            for d in 0..devices {
+                out.push_str(&format!(
+                    ",{},{:.3}",
+                    sample.device_depth.get(d).copied().unwrap_or(0),
+                    sample.device_bytes.get(d).copied().unwrap_or(0) as f64 / (1024.0 * 1024.0),
+                ));
+            }
+            out.push('\n');
+            prev = Some(sample);
+        }
+        out
+    }
+}
+
+/// Renders every device recorder's trace into one Chrome-trace document
+/// with per-device processes and `dev{N}/`-prefixed track names (see
+/// [`to_chrome_trace_multi`]).  Recorders are indexed by device, as
+/// returned by [`crate::Fleet::attach_recorders`].
+pub fn fleet_chrome_trace(recorders: &[Arc<Mutex<Recorder>>]) -> String {
+    let per_device: Vec<(String, Vec<TraceEvent>)> = recorders
+        .iter()
+        .enumerate()
+        .map(|(i, recorder)| {
+            let events = recorder.lock().unwrap().events().to_vec();
+            (format!("dev{i}"), events)
+        })
+        .collect();
+    let refs: Vec<(&str, &[TraceEvent])> = per_device
+        .iter()
+        .map(|(label, events)| (label.as_str(), events.as_slice()))
+        .collect();
+    to_chrome_trace_multi(&refs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(at_us: u64, total: u64, per_dev: Vec<u64>, rebuilt: u64) -> FleetSample {
+        FleetSample {
+            at: SimTime::from_micros(at_us),
+            host_bytes_total: total,
+            device_bytes: per_dev,
+            device_depth: vec![1, 2],
+            rebuilt_bytes: rebuilt,
+        }
+    }
+
+    #[test]
+    fn csv_reports_delta_bandwidth_and_per_device_columns() {
+        let mut series = FleetSeries::new();
+        series.push(sample(0, 0, vec![0, 0], 0));
+        // 2 MiB moved in 1 second → 2 MB/s.
+        series.push(sample(1_000_000, 2 << 20, vec![1 << 20, 1 << 20], 1 << 20));
+        let csv = series.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "time_us,aggregate_mb_s,total_mb,rebuilt_mb,dev0_depth,dev0_mb,dev1_depth,dev1_mb"
+        );
+        assert_eq!(
+            lines.next().unwrap(),
+            "0.000,0.000,0.000,0.000,1,0.000,2,0.000"
+        );
+        assert_eq!(
+            lines.next().unwrap(),
+            "1000000.000,2.000,2.000,1.000,1,1.000,2,1.000"
+        );
+    }
+
+    #[test]
+    fn empty_series_renders_header_only() {
+        let csv = FleetSeries::new().to_csv();
+        assert_eq!(csv, "time_us,aggregate_mb_s,total_mb,rebuilt_mb\n");
+    }
+}

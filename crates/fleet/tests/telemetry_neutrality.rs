@@ -1,0 +1,166 @@
+//! Fleet telemetry neutrality: attaching per-device recorders to a fleet
+//! must not change any simulation result — completions, merged logs or
+//! per-device FTL statistics — and the multi-device Chrome-trace export
+//! must namespace every device's tracks.
+
+use ossd_block::{
+    BlockDevice, ByteRange, Completion, HostCommand, HostInterface, HostQueue, WriteHint,
+};
+use ossd_flash::{FlashGeometry, FlashTiming, ReliabilityConfig};
+use ossd_fleet::{fleet_chrome_trace, Fleet, FleetConfig, FleetSubCompletion};
+use ossd_ftl::{FtlConfig, FtlStats};
+use ossd_gc::BackgroundGcConfig;
+use ossd_sim::{SimDuration, SimRng, SimTime};
+use ossd_ssd::{MappingKind, SchedulerKind, SsdConfig};
+use ossd_telemetry::RecorderConfig;
+
+const PAGE: u32 = 4096;
+const INITIATORS: usize = 2;
+
+fn fleet_config() -> FleetConfig {
+    let device = SsdConfig {
+        name: "fleet-neutrality".to_string(),
+        geometry: FlashGeometry {
+            packages: 2,
+            dies_per_package: 1,
+            planes_per_die: 1,
+            blocks_per_plane: 32,
+            pages_per_block: 16,
+            page_bytes: PAGE,
+        },
+        timing: FlashTiming::slc(),
+        mapping: MappingKind::PageMapped,
+        ftl: FtlConfig::default()
+            .with_overprovisioning(0.12)
+            .with_watermarks(0.10, 0.04),
+        reliability: ReliabilityConfig::wearout(0xD00D_5EED),
+        background_gc: Some(BackgroundGcConfig::default()),
+        gangs: 1,
+        scheduler: SchedulerKind::Fcfs,
+        queue_depth: 4,
+        controller_overhead: SimDuration::from_micros(10),
+        random_penalty: SimDuration::ZERO,
+        sequential_prefetch: false,
+        ram_bytes_per_sec: 200_000_000,
+    };
+    FleetConfig::striped(device, 3, PAGE as u64)
+        .with_threads(3)
+        .with_seed(0xF1EE_5EED)
+}
+
+struct RunResult {
+    completions: Vec<Vec<Completion>>,
+    merged: Vec<FleetSubCompletion>,
+    ftl_stats: Vec<FtlStats>,
+}
+
+fn run_workload(fleet: &mut Fleet) -> RunResult {
+    let page = PAGE as u64;
+    let logical_pages = fleet.capacity_bytes() / page;
+    let mut queues: Vec<HostQueue> = (0..INITIATORS).map(|_| HostQueue::new()).collect();
+    let mut completions: Vec<Vec<Completion>> = vec![Vec::new(); INITIATORS];
+    let mut merged = Vec::new();
+    let mut rng = SimRng::seed_from_u64(0x5EED_CAFE);
+    let mut at = SimTime::ZERO;
+    let mut id = 0u64;
+    // Fill, then churn past the watermarks, in sessions of 128.
+    let total_ops = logical_pages * 3;
+    let mut issued = 0u64;
+    while issued < total_ops {
+        let batch = 128.min(total_ops - issued);
+        for k in 0..batch {
+            let arrival = at + SimDuration::from_micros(k * 2);
+            let command = if issued + k < logical_pages {
+                HostCommand::Write {
+                    range: ByteRange::new((issued + k) * page, page),
+                    hint: WriteHint::default(),
+                }
+            } else {
+                let pages = 1 + rng.next_u64_below(3);
+                let start = rng.next_u64_below(logical_pages - pages);
+                let range = ByteRange::new(start * page, pages * page);
+                if rng.chance(0.25) {
+                    HostCommand::Read { range }
+                } else {
+                    HostCommand::Write {
+                        range,
+                        hint: WriteHint::default(),
+                    }
+                }
+            };
+            queues[k as usize % INITIATORS].submit(id, command, arrival);
+            id += 1;
+        }
+        fleet.serve(&mut queues).expect("session serves cleanly");
+        merged.extend_from_slice(fleet.last_session_log());
+        let mut last = at;
+        for (i, queue) in queues.iter_mut().enumerate() {
+            for c in queue.drain_completions() {
+                last = last.max(c.finish);
+                completions[i].push(c);
+            }
+        }
+        at = last + SimDuration::from_micros(10);
+        issued += batch;
+    }
+    fleet.sample_metrics(at);
+    RunResult {
+        completions,
+        merged,
+        ftl_stats: (0..fleet.devices())
+            .map(|i| fleet.device_ftl_stats(i).expect("live"))
+            .collect(),
+    }
+}
+
+#[test]
+fn recorder_attached_fleet_run_is_neutral_and_namespaced() {
+    // Detached reference run.
+    let mut detached = Fleet::new(fleet_config()).expect("fleet");
+    let reference = run_workload(&mut detached);
+
+    // Recorder-attached run of the identical fleet.
+    let mut attached = Fleet::new(fleet_config()).expect("fleet");
+    let recorders = attached.attach_recorders(RecorderConfig::default());
+    assert_eq!(recorders.len(), 3);
+    let observed = run_workload(&mut attached);
+
+    assert_eq!(
+        reference.completions, observed.completions,
+        "recorders changed the completion schedules"
+    );
+    assert_eq!(
+        reference.merged, observed.merged,
+        "recorders changed the merged sub-completion log"
+    );
+    assert_eq!(
+        reference.ftl_stats, observed.ftl_stats,
+        "recorders changed per-device FTL statistics"
+    );
+
+    // Every device recorded activity.
+    for (i, recorder) in recorders.iter().enumerate() {
+        let r = recorder.lock().unwrap();
+        assert!(!r.events().is_empty(), "device {i} recorded no events");
+    }
+
+    // The merged export namespaces tracks per device.
+    let trace = fleet_chrome_trace(&recorders);
+    for dev in ["dev0", "dev1", "dev2"] {
+        assert!(
+            trace.contains(&format!("\"name\":\"{dev}/element 0\"")),
+            "trace lacks a namespaced element track for {dev}"
+        );
+        assert!(
+            trace.contains(&format!("\"name\":\"{dev}\"")),
+            "trace lacks the {dev} process"
+        );
+    }
+
+    // The fleet-level series captured the aggregate sample.
+    assert_eq!(attached.series().len(), 1);
+    let sample = &attached.series().samples()[0];
+    assert_eq!(sample.device_bytes.len(), 3);
+    assert!(sample.host_bytes_total > 0);
+    assert!(!attached.series().to_csv().is_empty());
+}

@@ -270,7 +270,11 @@ impl FtlStats {
 }
 
 /// The interface both FTLs expose to the SSD device model.
-pub trait Ftl {
+///
+/// `Send` is a supertrait so a boxed FTL (and the `Ssd` holding it) can be
+/// moved to a fleet worker thread; both concrete FTLs own all their state,
+/// so the bound costs nothing.
+pub trait Ftl: Send {
     /// The geometry of the flash array the FTL manages.
     fn geometry(&self) -> &FlashGeometry;
 

@@ -111,9 +111,12 @@ pub fn watermark_trigger(ctx: &TriggerContext) -> TriggerDecision {
 /// allocation, candidates drawn from the non-empty buckets only — and
 /// falls through to the slice tier, [`select_victim`].
 ///
+/// Policies must also be `Send`: a boxed policy travels inside its FTL
+/// (and `Ssd`) to a fleet worker thread.
+///
 /// [`select_from_index`]: CleaningPolicy::select_from_index
 /// [`select_victim`]: CleaningPolicy::select_victim
-pub trait CleaningPolicy {
+pub trait CleaningPolicy: Send {
     /// Human-readable policy name (used in reports and experiment output).
     fn name(&self) -> &'static str;
 

@@ -30,6 +30,30 @@
 //!
 //! Events at equal timestamps are delivered in scheduling order (FIFO), so
 //! repeated runs of the same configuration produce identical schedules.
+//!
+//! # Thread-safety (`Send`) audit
+//!
+//! The fleet layer (`ossd-fleet`) runs one engine — and the controller
+//! driving it — per device, each on its own OS thread.  That works because
+//! every piece of engine and controller state is owned, not shared:
+//!
+//! * The engine itself is just this function's locals ([`EventQueue`],
+//!   `now`); nothing escapes the call.
+//! * Controllers ([`Controller`] implementations) own their queues, flash
+//!   state, and scratch buffers.  The two trait objects a device carries —
+//!   `Box<dyn Ftl>` and `Box<dyn CleaningPolicy>` — declare `Send` as a
+//!   supertrait, so a boxed device moves between threads wholesale.
+//! * The telemetry seam was the one shared-ownership holdout: its sink
+//!   moved from `Rc<RefCell<…>>` to `Arc<Mutex<dyn TelemetrySink + Send>>`
+//!   so an attached handle no longer un-`Send`s its device.  Per-device
+//!   sinks keep the mutex uncontended.
+//! * Randomness is *sharded, never shared*: each device owns its xoshiro
+//!   [`SimRng`](crate::SimRng), seeded via
+//!   [`derive_stream_seed`](crate::derive_stream_seed) from the experiment
+//!   seed and the device index.  Per-device streams are independent, and a
+//!   device's draw sequence cannot depend on which thread runs it — which
+//!   is what keeps multi-threaded fleet runs bit-identical to
+//!   single-threaded ones.
 
 use crate::event::EventQueue;
 use crate::time::SimTime;

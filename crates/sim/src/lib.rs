@@ -34,7 +34,7 @@ pub mod time;
 
 pub use engine::{Controller, DispatchedOp, EngineObserver, NoopObserver};
 pub use event::EventQueue;
-pub use rng::SimRng;
+pub use rng::{derive_stream_seed, SimRng};
 pub use server::{Server, Service};
 pub use stats::{improvement_percent, LatencySample, LatencyStats, Summary, Throughput};
 pub use time::{SimDuration, SimTime};

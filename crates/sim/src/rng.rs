@@ -27,6 +27,32 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Derives the seed for an indexed substream (e.g. one device of a fleet)
+/// from a base experiment seed.
+///
+/// The derivation walks splitmix64 `stream + 1` steps from `base` and
+/// returns the last output, so consecutive stream indices get outputs of a
+/// sequence designed exactly for seeding (the same one
+/// [`SimRng::seed_from_u64`] expands states with).  Properties the fleet
+/// layer relies on:
+///
+/// * **Deterministic** — a pure function of `(base, stream)`, so a seeded
+///   fleet run derives the same per-device seeds on every run, regardless
+///   of thread count or scheduling.
+/// * **Distinct per stream** — different indices land on different
+///   splitmix64 outputs, so devices never share a stream (stream 0 is also
+///   distinct from the base seed itself).
+/// * **Decorrelated** — splitmix64's finalizer scrambles the counter, so
+///   adjacent devices don't see adjacent raw states.
+pub fn derive_stream_seed(base: u64, stream: u64) -> u64 {
+    let mut sm = base;
+    let mut seed = splitmix64(&mut sm);
+    for _ in 0..stream {
+        seed = splitmix64(&mut sm);
+    }
+    seed
+}
+
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
@@ -287,6 +313,31 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, orig);
+    }
+
+    #[test]
+    fn stream_seeds_are_deterministic_and_distinct() {
+        // Pure function of (base, stream).
+        assert_eq!(derive_stream_seed(42, 3), derive_stream_seed(42, 3));
+        // Distinct across streams of one base, across bases, and from the
+        // base itself.
+        let base = 0xF1EE_7000_u64;
+        let seeds: Vec<u64> = (0..64).map(|d| derive_stream_seed(base, d)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len(), "stream seeds collide");
+        assert!(!seeds.contains(&base));
+        assert_ne!(derive_stream_seed(1, 0), derive_stream_seed(2, 0));
+    }
+
+    #[test]
+    fn stream_seeds_yield_decorrelated_generators() {
+        let mut a = SimRng::seed_from_u64(derive_stream_seed(7, 0));
+        let mut b = SimRng::seed_from_u64(derive_stream_seed(7, 1));
+        let va: Vec<u64> = (0..32).map(|_| a.next_u64_below(1000)).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.next_u64_below(1000)).collect();
+        assert_ne!(va, vb);
     }
 
     #[test]

@@ -44,6 +44,15 @@ pub struct Ssd {
     telemetry: TelemetryHandle,
 }
 
+// The fleet layer moves whole devices to worker threads, so `Ssd` must stay
+// `Send` (its trait objects carry `Send` supertraits; the telemetry handle
+// is `Arc<Mutex<…>>`).  Regressing this is a compile error here rather than
+// a distant one in `ossd-fleet`.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Ssd>();
+};
+
 /// Splits a byte range into `(lpn, covered_bytes)` pieces at logical-page
 /// granularity, lazily (no per-request allocation).
 struct PageSpans {

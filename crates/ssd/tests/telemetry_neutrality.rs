@@ -109,7 +109,7 @@ fn run_attached(
     let (handle, recorder) = Recorder::shared(RecorderConfig::default());
     ssd.set_telemetry(handle);
     let result = run_workload(&mut ssd);
-    let r = recorder.borrow();
+    let r = recorder.lock().unwrap();
     (result, r.events().to_vec(), r.dropped_events())
 }
 

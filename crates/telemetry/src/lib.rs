@@ -36,7 +36,7 @@ pub mod metrics;
 pub mod observer;
 pub mod recorder;
 
-pub use chrome::to_chrome_trace;
+pub use chrome::{to_chrome_trace, to_chrome_trace_multi};
 pub use event::{purpose, purpose_name, EventKind, TraceEvent, Track};
 pub use histogram::LogHistogram;
 pub use metrics::{Counters, MetricsSample, MetricsSeries};
@@ -44,8 +44,7 @@ pub use observer::EngineTrace;
 pub use recorder::{Recorder, RecorderConfig};
 
 use ossd_sim::SimTime;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Latency classes tracked with a dedicated service-time histogram.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -89,8 +88,9 @@ impl ServiceClass {
 ///
 /// The production implementation is [`Recorder`]; tests may supply their
 /// own.  All methods take `&mut self` because the sink lives behind a
-/// `RefCell` in the single-threaded simulator.
-pub trait TelemetrySink {
+/// `Mutex` the handle locks around each call.  Sinks must be `Send` so a
+/// device (and the handle it holds) can run on a fleet worker thread.
+pub trait TelemetrySink: Send {
     /// Update the sink's notion of "current sim time" — used to stamp
     /// events emitted by untimed layers (the FTLs), which call
     /// [`TelemetryHandle::instant_now`].
@@ -125,11 +125,15 @@ pub trait TelemetrySink {
 ///
 /// A handle is either *detached* (the default — every call is one `Option`
 /// check and returns immediately) or *attached* to a [`TelemetrySink`].
-/// Handles are plain `Rc` clones, so the SSD, controller, and FTL can all
-/// hold one and feed the same recorder.
+/// Handles are `Arc` clones, so the SSD, controller, and FTL can all hold
+/// one and feed the same recorder — and a device carrying an attached
+/// handle stays `Send`, which is what lets the fleet layer run each
+/// device's engine on its own thread.  Within one device the simulator is
+/// still single-threaded, so the `Mutex` is uncontended and each call is
+/// one atomic lock plus the sink method.
 #[derive(Clone, Default)]
 pub struct TelemetryHandle {
-    sink: Option<Rc<RefCell<dyn TelemetrySink>>>,
+    sink: Option<Arc<Mutex<dyn TelemetrySink>>>,
 }
 
 impl std::fmt::Debug for TelemetryHandle {
@@ -148,7 +152,7 @@ impl TelemetryHandle {
     }
 
     /// A handle attached to `sink`.
-    pub fn attached(sink: Rc<RefCell<dyn TelemetrySink>>) -> Self {
+    pub fn attached(sink: Arc<Mutex<dyn TelemetrySink>>) -> Self {
         TelemetryHandle { sink: Some(sink) }
     }
 
@@ -160,7 +164,7 @@ impl TelemetryHandle {
     /// Update the sink's current-sim-time register (no-op when detached).
     pub fn set_now(&self, now: SimTime) {
         if let Some(sink) = &self.sink {
-            sink.borrow_mut().set_now(now);
+            sink.lock().unwrap().set_now(now);
         }
     }
 
@@ -175,14 +179,14 @@ impl TelemetryHandle {
         b: u64,
     ) {
         if let Some(sink) = &self.sink {
-            sink.borrow_mut().span(start, end, track, kind, a, b);
+            sink.lock().unwrap().span(start, end, track, kind, a, b);
         }
     }
 
     /// Record an instant at an explicit time (no-op when detached).
     pub fn instant(&self, at: SimTime, track: Track, kind: EventKind, a: u64, b: u64) {
         if let Some(sink) = &self.sink {
-            sink.borrow_mut().instant(at, track, kind, a, b);
+            sink.lock().unwrap().instant(at, track, kind, a, b);
         }
     }
 
@@ -190,7 +194,7 @@ impl TelemetryHandle {
     /// used by untimed layers such as the FTLs (no-op when detached).
     pub fn instant_now(&self, track: Track, kind: EventKind, a: u64, b: u64) {
         if let Some(sink) = &self.sink {
-            let mut sink = sink.borrow_mut();
+            let mut sink = sink.lock().unwrap();
             let at = sink.now();
             sink.instant(at, track, kind, a, b);
         }
@@ -199,21 +203,21 @@ impl TelemetryHandle {
     /// Add to a named counter (no-op when detached).
     pub fn add(&self, counter: &'static str, delta: u64) {
         if let Some(sink) = &self.sink {
-            sink.borrow_mut().add(counter, delta);
+            sink.lock().unwrap().add(counter, delta);
         }
     }
 
     /// Record a command response time (no-op when detached).
     pub fn observe_service(&self, class: ServiceClass, nanos: u64) {
         if let Some(sink) = &self.sink {
-            sink.borrow_mut().observe_service(class, nanos);
+            sink.lock().unwrap().observe_service(class, nanos);
         }
     }
 
     /// Whether a metrics sample is due (always `false` when detached).
     pub fn sample_due(&self, now: SimTime) -> bool {
         match &self.sink {
-            Some(sink) => sink.borrow_mut().sample_due(now),
+            Some(sink) => sink.lock().unwrap().sample_due(now),
             None => false,
         }
     }
@@ -221,7 +225,7 @@ impl TelemetryHandle {
     /// Store a metrics sample (no-op when detached).
     pub fn push_sample(&self, sample: MetricsSample) {
         if let Some(sink) = &self.sink {
-            sink.borrow_mut().push_sample(sample);
+            sink.lock().unwrap().push_sample(sample);
         }
     }
 }

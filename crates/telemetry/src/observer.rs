@@ -67,7 +67,7 @@ mod tests {
         trace.observe_op_complete(7, SimTime::from_micros(5));
         trace.observe_idle(SimTime::from_micros(5), SimTime::from_micros(50));
 
-        let r = recorder.borrow();
+        let r = recorder.lock().unwrap();
         assert_eq!(r.counters().get("engine.arrivals"), 1);
         assert_eq!(r.counters().get("engine.op_starts"), 1);
         assert_eq!(r.counters().get("engine.op_completes"), 1);

@@ -7,8 +7,7 @@ use crate::histogram::LogHistogram;
 use crate::metrics::{Counters, MetricsSample, MetricsSeries};
 use crate::{ServiceClass, TelemetryHandle, TelemetrySink};
 use ossd_sim::{SimDuration, SimTime};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Sizing and cadence knobs for a [`Recorder`].
 #[derive(Clone, Copy, Debug)]
@@ -63,9 +62,9 @@ impl Recorder {
     }
 
     /// A shared recorder plus a [`TelemetryHandle`] attached to it.
-    pub fn shared(config: RecorderConfig) -> (TelemetryHandle, Rc<RefCell<Recorder>>) {
-        let recorder = Rc::new(RefCell::new(Recorder::new(config)));
-        let sink: Rc<RefCell<dyn TelemetrySink>> = recorder.clone();
+    pub fn shared(config: RecorderConfig) -> (TelemetryHandle, Arc<Mutex<Recorder>>) {
+        let recorder = Arc::new(Mutex::new(Recorder::new(config)));
+        let sink: Arc<Mutex<dyn TelemetrySink>> = recorder.clone();
         (TelemetryHandle::attached(sink), recorder)
     }
 
@@ -193,7 +192,7 @@ mod tests {
             let e = event_at(i);
             handle.span(e.start, e.end, e.track, e.kind, e.a, e.b);
         }
-        let r = recorder.borrow();
+        let r = recorder.lock().unwrap();
         assert_eq!(r.events().len(), 3);
         assert_eq!(r.dropped_events(), 2);
         // The earliest events are the ones retained.
@@ -224,7 +223,7 @@ mod tests {
         handle.set_now(SimTime::from_micros(10));
         handle.set_now(SimTime::from_micros(5)); // stale update is ignored
         handle.instant_now(Track::Device, EventKind::GcTrigger, 1, 2);
-        let r = recorder.borrow();
+        let r = recorder.lock().unwrap();
         assert_eq!(r.events()[0].start, SimTime::from_micros(10));
         assert_eq!(r.events()[0].end, SimTime::from_micros(10));
     }
@@ -237,7 +236,7 @@ mod tests {
         handle.observe_service(ServiceClass::Read, 1_000);
         handle.observe_service(ServiceClass::Read, 3_000);
         handle.observe_service(ServiceClass::Write, 5_000);
-        let r = recorder.borrow();
+        let r = recorder.lock().unwrap();
         assert_eq!(r.counters().get("ops"), 3);
         assert_eq!(r.service_histogram(ServiceClass::Read).count(), 2);
         assert_eq!(r.service_histogram(ServiceClass::Write).count(), 1);

@@ -14,6 +14,9 @@
 //! * [`ftl`] — page-mapped and stripe-mapped flash translation layers with
 //!   cleaning, wear-leveling, informed cleaning and priority-aware cleaning.
 //! * [`ssd`] — the SSD device model (gangs, schedulers, device profiles).
+//! * [`fleet`] — multi-device arrays: striped/replicated routing over
+//!   member `Ssd`s, per-device engine threads with a deterministic
+//!   completion merge, device failure/replacement/rebuild.
 //! * [`hdd`] — the disk simulator used as the paper's baseline.
 //! * [`block`] — the queue-pair host interface (commands, hints, fences,
 //!   per-initiator queue pairs), traces and replay helpers.
@@ -39,6 +42,7 @@
 pub use ossd_block as block;
 pub use ossd_core as core;
 pub use ossd_flash as flash;
+pub use ossd_fleet as fleet;
 pub use ossd_ftl as ftl;
 pub use ossd_gc as gc;
 pub use ossd_hdd as hdd;
