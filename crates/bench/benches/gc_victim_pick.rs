@@ -52,7 +52,7 @@ fn main() {
 
         // The index-backed Greedy pick: must stay flat across sizes.
         bench(&format!("greedy_indexed/{blocks}"), || {
-            black_box(index.pick_greedy(black_box(None)));
+            black_box(index.pick_greedy(black_box(None), None));
         });
 
         // The legacy path this PR deleted: rebuild the candidate vector by

@@ -1,0 +1,299 @@
+//! Demand-paged mapping throughput: simulated host operations per second of
+//! wall-clock time with the map cache in the write path, across a ladder of
+//! cache budgets on a TB-class geometry.
+//!
+//! This is the perf-smoke companion of the `ossd-mapcache` subsystem: every
+//! churn write consults the cache, misses issue translation-page reads and
+//! dirty evictions issue translation-page writebacks, all timed through the
+//! same element/bus queues as host traffic.  The binary measures the
+//! wall-clock simulation rate with that machinery engaged, verifies that
+//! hit rate and device bandwidth grow monotonically with the cache budget
+//! (the contract `BENCH_map.json` records), and emits the JSON for CI
+//! trending.
+//!
+//! Pass `--quick` for the small configuration CI runs as a smoke test, and
+//! `--check-baseline <path>` to compare the measured rate against a
+//! previously committed `BENCH_map.json` (exits non-zero below 90% of the
+//! baseline).
+
+use std::time::Instant;
+
+use ossd_bench::{print_header, scale_from_args, Scale};
+use ossd_block::{BlockDevice, BlockRequest};
+use ossd_flash::{FlashGeometry, FlashTiming, ReliabilityConfig};
+use ossd_ftl::{FtlConfig, MapCacheConfig};
+use ossd_sim::{LatencyStats, SimDuration, SimRng, SimTime};
+use ossd_ssd::{MappingKind, SchedulerKind, Ssd, SsdConfig};
+use ossd_telemetry::json;
+
+/// Fraction of the baseline rate the measured rate must reach when
+/// `--check-baseline` is given (same loose wall-clock guard as the other
+/// throughput bins).
+const BASELINE_TOLERANCE: f64 = 0.90;
+
+/// Zipf skew of the churn phase; skewed enough that a small cache earns a
+/// useful hit rate, which is the regime demand paging targets.
+const SKEW: f64 = 0.9;
+
+struct Config {
+    name: &'static str,
+    geometry: FlashGeometry,
+    region_pages: u64,
+    churn_ops_per_budget: u64,
+    fill_pages_per_request: u64,
+}
+
+fn config_for(scale: Scale) -> Config {
+    match scale {
+        // TB-class: 16 elements x 20480 blocks x 256 pages x 16 KiB =
+        // 1.25 TiB raw, ~1.1 TiB logical — a resident table would need
+        // ~0.5 GiB of controller SRAM.  The largest budget below stays
+        // under 1/64th of that.
+        Scale::Paper => Config {
+            name: "tb-class",
+            geometry: FlashGeometry {
+                packages: 8,
+                dies_per_package: 2,
+                planes_per_die: 1,
+                blocks_per_plane: 20480,
+                pages_per_block: 256,
+                page_bytes: 16384,
+            },
+            region_pages: 2 * 1024 * 1024,
+            churn_ops_per_budget: 30_000,
+            fill_pages_per_request: 64,
+        },
+        Scale::Quick => Config {
+            name: "quick",
+            geometry: FlashGeometry {
+                packages: 2,
+                dies_per_package: 1,
+                planes_per_die: 1,
+                blocks_per_plane: 128,
+                pages_per_block: 32,
+                page_bytes: 4096,
+            },
+            region_pages: 2048,
+            churn_ops_per_budget: 5_000,
+            fill_pages_per_request: 8,
+        },
+    }
+}
+
+fn ssd_config(config: &Config, budget: u64) -> SsdConfig {
+    SsdConfig {
+        name: "map-throughput".to_string(),
+        geometry: config.geometry,
+        timing: FlashTiming::slc(),
+        mapping: MappingKind::PageMapped,
+        ftl: FtlConfig::default().with_map_cache(MapCacheConfig::default().with_budget(budget)),
+        reliability: ReliabilityConfig::none(),
+        background_gc: None,
+        gangs: 2,
+        scheduler: SchedulerKind::Fcfs,
+        queue_depth: 1,
+        controller_overhead: SimDuration::from_micros(20),
+        random_penalty: SimDuration::ZERO,
+        sequential_prefetch: false,
+        ram_bytes_per_sec: 200_000_000,
+    }
+}
+
+struct Point {
+    budget: u64,
+    hit_rate: f64,
+    sim_bandwidth_mb_s: f64,
+    p99_us: f64,
+    map_reads: u64,
+    map_writes: u64,
+    sram_fraction: f64,
+}
+
+fn run_budget(config: &Config, budget: u64) -> Point {
+    let mut ssd = Ssd::new(ssd_config(config, budget)).expect("valid config");
+    let page = ssd.logical_page_bytes();
+    let region = config.region_pages.min(ssd.capacity_bytes() / page);
+
+    // Fill the working region (untimed) so churn overwrites mapped pages.
+    let mut at = SimTime::ZERO;
+    let mut id = 0u64;
+    let mut lpn = 0u64;
+    while lpn < region {
+        let pages = config.fill_pages_per_request.min(region - lpn);
+        let c = ssd
+            .submit(&BlockRequest::write(id, lpn * page, pages * page, at))
+            .expect("fill write");
+        at = c.finish;
+        id += 1;
+        lpn += pages;
+    }
+
+    let base = ssd.stats();
+    let churn_start = at;
+    let mut service = LatencyStats::new();
+    let mut rng = SimRng::seed_from_u64(0x0DF7_BEAC);
+    for _ in 0..config.churn_ops_per_budget {
+        let lpn = rng.zipf_usize(region as usize, SKEW) as u64;
+        let c = ssd
+            .submit(&BlockRequest::write(id, lpn * page, page, at))
+            .expect("churn write");
+        service.record(c.service_time());
+        at = c.finish;
+        id += 1;
+    }
+    let end = ssd.stats();
+
+    let accesses = (end.map.hits + end.map.misses) - (base.map.hits + base.map.misses);
+    let hits = end.map.hits - base.map.hits;
+    let sim_seconds = at.saturating_since(churn_start).as_secs_f64().max(1e-12);
+    Point {
+        budget,
+        hit_rate: hits as f64 / accesses.max(1) as f64,
+        sim_bandwidth_mb_s: (config.churn_ops_per_budget * page) as f64 / 1e6 / sim_seconds,
+        p99_us: service.percentile(99.0).as_nanos() as f64 / 1e3,
+        map_reads: end.map.map_reads - base.map.map_reads,
+        map_writes: end.map.map_writes - base.map.map_writes,
+        sram_fraction: end.map.bytes_resident as f64 / end.map.bytes_total.max(1) as f64,
+    }
+}
+
+fn main() {
+    let scale = scale_from_args();
+    print_header(
+        "Map throughput: demand-paged mapping on the write path",
+        scale,
+    );
+    let config = config_for(scale);
+    let budgets = [
+        (config.region_pages / 64).max(1),
+        (config.region_pages / 16).max(1),
+        (config.region_pages / 4).max(1),
+    ];
+
+    let total_ops = budgets.len() as u64 * config.churn_ops_per_budget;
+    let wall_start = Instant::now();
+    let points: Vec<Point> = budgets.iter().map(|&b| run_budget(&config, b)).collect();
+    let wall = wall_start.elapsed().as_secs_f64();
+    // Fill phases are included in the wall time: constructing and filling a
+    // TB-class device is part of what this binary keeps honest.
+    let ops_per_sec = total_ops as f64 / wall;
+
+    for p in &points {
+        println!(
+            "budget {:>9} entries (sram {:>8.5} of table)  hit {:.4}  \
+             {:>8.2} MB/s sim  p99 {:>9.1} us  map reads {:>7}  map writes {:>7}",
+            p.budget,
+            p.sram_fraction,
+            p.hit_rate,
+            p.sim_bandwidth_mb_s,
+            p.p99_us,
+            p.map_reads,
+            p.map_writes
+        );
+    }
+    println!(
+        "total: {} churn ops in {:.3} s wall -> {:.0} simulated ops/s",
+        total_ops, wall, ops_per_sec
+    );
+
+    // The recorded contract: hit rate and bandwidth grow with the budget.
+    for pair in points.windows(2) {
+        if pair[1].hit_rate + 1e-9 < pair[0].hit_rate {
+            eprintln!(
+                "monotonicity FAILED: hit rate fell from {:.4} (budget {}) to {:.4} (budget {})",
+                pair[0].hit_rate, pair[0].budget, pair[1].hit_rate, pair[1].budget
+            );
+            std::process::exit(1);
+        }
+        if pair[1].sim_bandwidth_mb_s < pair[0].sim_bandwidth_mb_s {
+            eprintln!(
+                "monotonicity FAILED: bandwidth fell from {:.2} MB/s (budget {}) to {:.2} MB/s (budget {})",
+                pair[0].sim_bandwidth_mb_s,
+                pair[0].budget,
+                pair[1].sim_bandwidth_mb_s,
+                pair[1].budget
+            );
+            std::process::exit(1);
+        }
+    }
+    println!("monotonicity: hit rate and bandwidth grow with the budget -- ok");
+
+    let json_path = match scale {
+        Scale::Paper => "BENCH_map.json",
+        Scale::Quick => "BENCH_map_quick.json",
+    };
+    let raw_bytes = config.geometry.total_pages() * config.geometry.page_bytes as u64;
+    let mut points_json = String::new();
+    for (i, p) in points.iter().enumerate() {
+        points_json.push_str(&format!(
+            "    {{\"budget_entries\": {}, \"sram_fraction\": {:.6}, \
+             \"hit_rate\": {:.4}, \"sim_bandwidth_mb_s\": {:.3}, \
+             \"service_p99_us\": {:.2}, \"map_reads\": {}, \"map_writes\": {}}}{}",
+            p.budget,
+            p.sram_fraction,
+            p.hit_rate,
+            p.sim_bandwidth_mb_s,
+            p.p99_us,
+            p.map_reads,
+            p.map_writes,
+            if i + 1 < points.len() { ",\n" } else { "\n" }
+        ));
+    }
+    let json = format!(
+        "{{\n  \"config\": \"{}\",\n  \"raw_bytes\": {},\n  \"skew\": {:.2},\n  \
+         \"churn_ops_per_budget\": {},\n  \"wall_seconds\": {:.6},\n  \
+         \"sim_ops_per_wall_second\": {:.1},\n  \"points\": [\n{}  ]\n}}\n",
+        config.name, raw_bytes, SKEW, config.churn_ops_per_budget, wall, ops_per_sec, points_json
+    );
+    std::fs::write(json_path, &json).expect("write bench json");
+    println!("wrote {json_path}");
+
+    if let Some(baseline_path) = check_baseline_arg() {
+        match check_baseline(&baseline_path, ops_per_sec) {
+            Ok(baseline_ops) => println!(
+                "baseline check: {:.0} ops/s >= {:.0}% of {baseline_path}'s {:.0} ops/s -- ok",
+                ops_per_sec,
+                BASELINE_TOLERANCE * 100.0,
+                baseline_ops
+            ),
+            Err(why) => {
+                eprintln!("baseline check FAILED: {why}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Returns the argument following `--check-baseline`, if present.
+fn check_baseline_arg() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--check-baseline" {
+            return Some(args.next().unwrap_or_else(|| {
+                eprintln!("--check-baseline requires a path");
+                std::process::exit(2);
+            }));
+        }
+    }
+    None
+}
+
+/// Reads `sim_ops_per_wall_second` from a previously written BENCH_map JSON
+/// and checks the measured rate against it with [`BASELINE_TOLERANCE`]
+/// headroom.
+fn check_baseline(path: &str, measured_ops_per_sec: f64) -> Result<f64, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = json::Value::parse(&text).map_err(|e| format!("{path} does not parse: {e}"))?;
+    let baseline_ops = doc
+        .get("sim_ops_per_wall_second")
+        .and_then(|v| v.as_f64())
+        .ok_or_else(|| format!("{path} has no sim_ops_per_wall_second"))?;
+    if measured_ops_per_sec < BASELINE_TOLERANCE * baseline_ops {
+        return Err(format!(
+            "measured {measured_ops_per_sec:.0} ops/s is below {:.0}% of the \
+             baseline {baseline_ops:.0} ops/s from {path}",
+            BASELINE_TOLERANCE * 100.0
+        ));
+    }
+    Ok(baseline_ops)
+}

@@ -3,8 +3,8 @@
 use ossd_bench::{print_header, scale_from_args};
 use ossd_core::contract::ContractTerm;
 use ossd_core::experiments::{
-    figure2, figure3, fleet_sweep, lifetime, multi_host, parallelism_sweep, policy_compare, swtf,
-    table1, table2, table3, table4, table5, trace_capture,
+    figure2, figure3, fleet_sweep, lifetime, map_cache, multi_host, parallelism_sweep,
+    policy_compare, swtf, table1, table2, table3, table4, table5, trace_capture,
 };
 
 fn main() {
@@ -183,6 +183,23 @@ fn main() {
         r.rebuilt_mib,
         r.rebuild_mbps
     );
+
+    print_header("Map-cache sweep (demand-paged mapping)", scale);
+    for p in map_cache::run(scale).expect("map-cache sweep") {
+        println!(
+            "skew {:.1}  budget {:>9}  hit {:>6.3}  WA {:>6.3}  {:>8.2} MB/s  \
+             p99 {:>8.3} ms  sram {:>7.5}",
+            p.skew,
+            p.budget_entries
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "resident".to_string()),
+            p.hit_rate,
+            p.write_amplification,
+            p.bandwidth_mb_s,
+            p.p99_ms,
+            p.sram_fraction()
+        );
+    }
 
     print_header("Trace capture (cross-layer telemetry export)", scale);
     let capture = trace_capture::run(scale).expect("trace capture");

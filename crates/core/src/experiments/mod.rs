@@ -32,12 +32,16 @@
 //! [`fleet_sweep`] scales out to a multi-device striped array
 //! (`ossd-fleet`): aggregate bandwidth per devices × threads × stripe
 //! unit, plus a replica-failure → rebuild scenario reporting survivor
-//! tail latency and rebuild bandwidth.
+//! tail latency and rebuild bandwidth.  [`map_cache`] sweeps the
+//! demand-paged mapping subsystem (`ossd-mapcache`): map-cache hit rate,
+//! effective write amplification, bandwidth and p99 vs. cache budget ×
+//! workload skew, on a TB-class geometry at paper scale.
 
 pub mod figure2;
 pub mod figure3;
 pub mod fleet_sweep;
 pub mod lifetime;
+pub mod map_cache;
 pub mod multi_host;
 pub mod parallelism_sweep;
 pub mod policy_compare;

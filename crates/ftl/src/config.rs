@@ -20,6 +20,7 @@
 //! windows are long enough to use it.
 
 use ossd_gc::CleaningPolicyKind;
+use ossd_mapcache::MapCacheConfig;
 
 use crate::error::FtlError;
 
@@ -84,6 +85,15 @@ pub struct FtlConfig {
     /// Number of erased blocks per element reserved exclusively for cleaning
     /// so that GC can always make forward progress.
     pub gc_reserved_blocks: u32,
+    /// Demand-paged mapping (page-mapped FTL only): `Some` stores the
+    /// translation table in on-flash translation pages behind an
+    /// SRAM-budgeted map cache (`ossd-mapcache`).  A finite entry budget
+    /// reserves map-area capacity out of the exported space and issues
+    /// real `MapRead`/`MapWrite` flash ops for misses and dirty-entry
+    /// writebacks; an infinite budget (`entry_budget: None`) is bit-for-bit
+    /// identical to the resident table.  `None` (the default) keeps the
+    /// historical fully resident map.
+    pub map_cache: Option<MapCacheConfig>,
 }
 
 impl Default for FtlConfig {
@@ -97,6 +107,7 @@ impl Default for FtlConfig {
             honor_free: false,
             wear_leveling: Some(WearLevelConfig::default()),
             gc_reserved_blocks: 1,
+            map_cache: None,
         }
     }
 }
@@ -165,6 +176,12 @@ impl FtlConfig {
         self
     }
 
+    /// Returns the configuration with demand-paged mapping enabled.
+    pub fn with_map_cache(mut self, map_cache: MapCacheConfig) -> Self {
+        self.map_cache = Some(map_cache);
+        self
+    }
+
     /// Validates internal consistency.
     pub fn validate(&self) -> Result<(), FtlError> {
         if !(0.0..0.9).contains(&self.overprovisioning) {
@@ -194,6 +211,11 @@ impl FtlConfig {
             return Err(FtlError::InvalidConfig {
                 reason: "at least one block per element must be reserved for cleaning".to_string(),
             });
+        }
+        if let Some(map_cache) = &self.map_cache {
+            map_cache
+                .validate()
+                .map_err(|reason| FtlError::InvalidConfig { reason })?;
         }
         Ok(())
     }
@@ -273,5 +295,17 @@ mod tests {
             ..FtlConfig::default()
         };
         assert!(c.validate().is_err());
+        assert!(FtlConfig::default()
+            .with_map_cache(MapCacheConfig::default().with_budget(0))
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn map_cache_defaults_off_and_composes() {
+        assert!(FtlConfig::default().map_cache.is_none());
+        let c = FtlConfig::default().with_map_cache(MapCacheConfig::infinite());
+        assert_eq!(c.map_cache, Some(MapCacheConfig::infinite()));
+        c.validate().unwrap();
     }
 }

@@ -35,11 +35,11 @@ pub(crate) fn check_against_recompute(
     Ok(())
 }
 
-/// Builds the legacy candidate slice (ascending block order, excluded block
-/// dropped) out of recomputed rows.
+/// Builds the legacy candidate slice (ascending block order, excluded
+/// blocks dropped) out of recomputed rows.
 fn legacy_candidates(rows: &[CandidateRow], total_pages: u32, ctx: &PickContext) -> Vec<BlockInfo> {
     rows.iter()
-        .filter(|&&(block, ..)| Some(block) != ctx.exclude)
+        .filter(|&&(block, ..)| !ctx.excludes(block))
         .map(|&(block, valid, invalid, erase, last_write)| BlockInfo {
             block,
             valid_pages: valid,
@@ -69,9 +69,10 @@ pub(crate) fn check_policy_equivalence(
         if from_slice != from_index {
             return Err(format!(
                 "{what}: policy {} picked {from_index:?} from the index but \
-                 {from_slice:?} from the recomputed scan (exclude {:?})",
+                 {from_slice:?} from the recomputed scan (exclude {:?}/{:?})",
                 kind.name(),
-                ctx.exclude
+                ctx.exclude,
+                ctx.exclude2
             ));
         }
     }

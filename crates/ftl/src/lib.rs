@@ -41,3 +41,7 @@ pub use types::{FlashOp, FlashOpKind, Ftl, FtlStats, Lpn, OpPurpose, ReadOutcome
 // Re-exported so device configuration can name cleaning policies without a
 // direct `ossd-gc` dependency.
 pub use ossd_gc::{CleaningPolicy, CleaningPolicyKind};
+
+// Re-exported so device configuration and stats consumers can name the
+// demand-paged mapping types without a direct `ossd-mapcache` dependency.
+pub use ossd_mapcache::{EvictionPolicy, MapCacheConfig, MapStats};

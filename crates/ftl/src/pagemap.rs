@@ -31,6 +31,7 @@ use ossd_flash::{
 use ossd_gc::{
     AnyPolicy, CleaningPolicy, PickContext, TriggerContext, TriggerDecision, VictimIndex,
 };
+use ossd_mapcache::{MapCache, MapStats, ENTRY_BYTES};
 use ossd_telemetry::{EventKind, TelemetryHandle, Track};
 
 use crate::bitset::FixedBitset;
@@ -39,6 +40,12 @@ use crate::error::FtlError;
 use crate::types::{FlashOp, FlashOpKind, Ftl, FtlStats, Lpn, OpPurpose, WriteContext};
 
 const UNMAPPED: u64 = u64::MAX;
+
+/// Reverse-map tag marking a physical page as a *translation page* of the
+/// demand-paged map area: the tagged value is `MAP_TAG | tpn`.  Logical
+/// page numbers never reach bit 63 (capacity would exceed the address
+/// space), so tagged and untagged values cannot collide.
+const MAP_TAG: u64 = 1 << 63;
 
 /// Maximum victims reclaimed by one watermark-triggered cleaning pass; keeps
 /// a single host write from stalling behind an unbounded amount of cleaning.
@@ -60,6 +67,46 @@ struct ElementState {
     /// is not re-scanned on every write.  Cleared by the next invalidation
     /// on this element (which is the only event that can create a victim).
     clean_stalled: bool,
+}
+
+/// Demand-paged mapping state (DFTL-style): the translation table lives
+/// in on-flash *translation pages* (one per `entries_per_tp` consecutive
+/// lpns), an SRAM-budgeted [`MapCache`] holds the hot entries, and a
+/// global translation directory (GTD) pins the current flash location of
+/// each translation page.
+///
+/// The authoritative `map`/`rmap` arrays stay resident: the cache and the
+/// translation pages model the *traffic and timing* of demand paging (a
+/// miss costs a map read, a dirty eviction costs a read-modify-write
+/// program), while mapping values are always served from the authoritative
+/// arrays.  This keeps correctness independent of the paging model and
+/// makes the infinite-budget configuration bit-for-bit identical to the
+/// resident table: with no budget there are no evictions, no entry is
+/// ever written back, the GTD never materializes, and therefore no map
+/// flash op is ever issued.
+#[derive(Clone, Debug)]
+struct DemandPaging {
+    cache: MapCache,
+    /// Global translation directory: current physical page of each
+    /// translation page, `UNMAPPED` while the tp has never been written
+    /// back (its entries exist only in the cache / are all unmapped).
+    gtd: Vec<u64>,
+    /// Per-element append block of the map area, separate from the host
+    /// data append point so translation pages and host data do not share
+    /// blocks.
+    map_active: Vec<Option<u32>>,
+    /// Translation-page reads issued (map-cache misses on materialized
+    /// tps, plus the read half of each writeback's read-modify-write).
+    map_reads: u64,
+    /// Translation-page programs issued (writebacks and flushes).
+    map_writes: u64,
+    /// Valid translation pages relocated by cleaning or wear-leveling.
+    map_gc_moves: u64,
+    /// Scratch: distinct tpns whose on-flash translation page was made
+    /// stale by a relocation of an *uncached* entry and must be rewritten
+    /// before the pass ends.  Reused across passes to stay allocation-free
+    /// on the hot path.
+    pending_tpns: Vec<u64>,
 }
 
 /// A page-mapped log-structured FTL over a [`FlashArray`].
@@ -107,6 +154,13 @@ pub struct PageFtl {
     /// Telemetry sink for GC and reliability instants; detached (free) by
     /// default.
     telemetry: TelemetryHandle,
+    /// Demand-paged mapping (DFTL-style map cache + on-flash translation
+    /// pages); `None` keeps the historical fully resident table.
+    paging: Option<DemandPaging>,
+    /// Blocks per element withheld from host-path allocation: the
+    /// configured GC reserve, plus one for the map-area append point when
+    /// the translation table spills to flash (finite cache budget).
+    data_reserve_blocks: u32,
 }
 
 impl PageFtl {
@@ -142,15 +196,51 @@ impl PageFtl {
         // nothing at all, and a device must survive a pure sequential fill
         // of everything it advertises (no overwrites means no stale pages,
         // so cleaning cannot help there).
+        let finite_paging = config.map_cache.is_some_and(|mc| mc.entry_budget.is_some());
+        // A finite map cache spills the table to flash, and the map area
+        // appends through its own per-element block: one extra reserved
+        // block per element funds that append point so map writebacks and
+        // host data never fight over the last free block.
+        let data_reserve_blocks = config.gc_reserved_blocks + u32::from(finite_paging);
         let reserved_pages = geometry.elements() as u64
-            * config.gc_reserved_blocks as u64
+            * data_reserve_blocks as u64
             * geometry.pages_per_block as u64;
         let placeable = total_pages
             .saturating_sub(reserved_pages)
             .saturating_sub(factory_bad_pages);
-        let logical_pages = (((total_pages as f64) * (1.0 - config.overprovisioning)).floor()
+        let mut logical_pages = (((total_pages as f64) * (1.0 - config.overprovisioning)).floor()
             as u64)
             .min(placeable);
+        let mut paging = None;
+        if let Some(map_cache) = config.map_cache {
+            let entries_per_tp = (geometry.page_bytes as u64 / ENTRY_BYTES).max(1);
+            if map_cache.entry_budget.is_some() {
+                // The map area comes out of the exported capacity: one
+                // translation page per `entries_per_tp` logical pages,
+                // doubled because the map is itself a log — superseded
+                // translation-page versions linger as stale pages until
+                // cleaning reclaims them, so the map log needs its own
+                // over-provisioning.  (The per-element append block is
+                // funded by `data_reserve_blocks` above.)
+                let tp_pages = logical_pages.div_ceil(entries_per_tp);
+                logical_pages = logical_pages.saturating_sub(tp_pages * 2);
+            }
+            if logical_pages == 0 {
+                return Err(FtlError::InvalidConfig {
+                    reason: "geometry too small for the demand-paged map area".to_string(),
+                });
+            }
+            let gtd_len = logical_pages.div_ceil(entries_per_tp) as usize;
+            paging = Some(DemandPaging {
+                cache: MapCache::new(map_cache, entries_per_tp),
+                gtd: vec![UNMAPPED; gtd_len],
+                map_active: vec![None; geometry.elements() as usize],
+                map_reads: 0,
+                map_writes: 0,
+                map_gc_moves: 0,
+                pending_tpns: Vec::new(),
+            });
+        }
         if logical_pages == 0 {
             return Err(FtlError::InvalidConfig {
                 reason: "geometry too small: no logical pages exported".to_string(),
@@ -206,6 +296,8 @@ impl PageFtl {
             victim_trace: None,
             retire_pending: vec![false; total_blocks],
             telemetry: TelemetryHandle::noop(),
+            paging,
+            data_reserve_blocks,
         })
     }
 
@@ -280,6 +372,7 @@ impl PageFtl {
                 let ctx = PickContext {
                     clock: self.clock,
                     exclude: self.cleaning_exclusion(element, include_full_active),
+                    exclude2: self.map_cleaning_exclusion(element, include_full_active),
                 };
                 crate::indexcheck::check_policy_equivalence(
                     &mut self.index[element],
@@ -367,7 +460,7 @@ impl PageFtl {
         let reserve = if allow_reserve {
             0
         } else {
-            self.config.gc_reserved_blocks as usize
+            self.data_reserve_blocks as usize
         };
         let state = &mut self.elements[element];
         if state.free_blocks.len() <= reserve {
@@ -599,6 +692,7 @@ impl PageFtl {
         let ctx = PickContext {
             clock: self.clock,
             exclude: self.cleaning_exclusion(element, include_full_active),
+            exclude2: self.map_cleaning_exclusion(element, include_full_active),
         };
         self.policy
             .select_from_index(&mut self.index[element], &ctx)
@@ -623,6 +717,354 @@ impl PageFtl {
         } else {
             Some(active)
         }
+    }
+
+    /// The map-area append block a cleaning pick on `element` must skip
+    /// (demand paging only), with the same admit-when-full relaxation as
+    /// [`PageFtl::cleaning_exclusion`]: a full map append block is a closed
+    /// log segment and may be reclaimed by the forced/background paths.
+    fn map_cleaning_exclusion(&self, element: usize, include_full_active: bool) -> Option<u32> {
+        let active = self.paging.as_ref()?.map_active[element]?;
+        let admit_full = include_full_active
+            && self
+                .flash
+                .element(ElementId(element as u32))
+                .expect("element in range")
+                .block(active)
+                .expect("block in range")
+                .is_full();
+        if admit_full {
+            None
+        } else {
+            Some(active)
+        }
+    }
+
+    // ---- Demand-paged mapping (DFTL-style) -----------------------------
+
+    /// Whether demand paging runs with a *finite* cache budget.  Only a
+    /// finite budget spills the table to flash; an infinite budget is the
+    /// resident table in all but bookkeeping and must issue no flash op.
+    fn paging_finite(&self) -> bool {
+        self.paging
+            .as_ref()
+            .is_some_and(|p| p.cache.config().entry_budget.is_some())
+    }
+
+    /// Ensures the element has a map-area append block with a free page,
+    /// pulling the lowest-erase free block if needed.  Host-path callers
+    /// keep the same reserve as host data allocation (so cleaning is
+    /// forced while relocation headroom remains); in-cleaning callers
+    /// (`allow_reserve`) may dip into the reserve like any relocation.
+    fn ensure_map_active_block(
+        &mut self,
+        element: usize,
+        allow_reserve: bool,
+    ) -> Result<u32, FtlError> {
+        let current = self
+            .paging
+            .as_ref()
+            .expect("demand paging enabled")
+            .map_active[element];
+        let need_new = match current {
+            Some(block) => self
+                .flash
+                .element(ElementId(element as u32))?
+                .block(block)?
+                .is_full(),
+            None => true,
+        };
+        if !need_new {
+            return Ok(current.expect("checked above"));
+        }
+        let reserve = if allow_reserve {
+            0
+        } else {
+            self.data_reserve_blocks as usize
+        };
+        let flash_element = self.flash.element(ElementId(element as u32))?;
+        let state = &mut self.elements[element];
+        if state.free_blocks.len() <= reserve {
+            return Err(FtlError::NoFreeBlocks {
+                element: element as u32,
+            });
+        }
+        // Lowest erase count first, like the host append point.
+        let mut best_idx = 0usize;
+        let mut best_erases = u32::MAX;
+        for (i, &b) in state.free_blocks.iter().enumerate() {
+            let erases = flash_element.block(b)?.erase_count();
+            if erases < best_erases {
+                best_erases = erases;
+                best_idx = i;
+            }
+        }
+        let block = state.free_blocks.swap_remove(best_idx);
+        self.paging
+            .as_mut()
+            .expect("demand paging enabled")
+            .map_active[element] = Some(block);
+        Ok(block)
+    }
+
+    /// Programs the next version of translation page `tpn` into the map
+    /// area of `element`, superseding (invalidating) the previous on-flash
+    /// version and updating the GTD and reverse map.  Emits the `MapWrite`
+    /// op; program failures are handled exactly like [`PageFtl::program_page`]
+    /// (burned page billed, block scheduled for retirement, retry on a
+    /// fresh block).
+    ///
+    /// `forced_clean_allowed` lets an out-of-blocks element clean its way
+    /// to a free block first (host-path writebacks); relocation callers
+    /// already run inside cleaning and pass `false` — their headroom is
+    /// the extra reserved block.
+    fn program_map_page(
+        &mut self,
+        mut element: usize,
+        tpn: u64,
+        purpose: OpPurpose,
+        forced_clean_allowed: bool,
+        ops: &mut Vec<FlashOp>,
+    ) -> Result<(), FtlError> {
+        loop {
+            let block = match self.ensure_map_active_block(element, !forced_clean_allowed) {
+                Ok(block) => block,
+                Err(FtlError::NoFreeBlocks { .. }) if forced_clean_allowed => {
+                    if self.clean_one_block(element, OpPurpose::Clean, true, ops)? {
+                        continue;
+                    }
+                    // No victim on this element (its stale pages may all
+                    // sit elsewhere): metadata cannot be refused, so dip
+                    // into the reserve — the next cleaning pass restores
+                    // the headroom.
+                    match self.ensure_map_active_block(element, true) {
+                        Ok(block) => block,
+                        Err(FtlError::NoFreeBlocks { .. }) => {
+                            // Last resort: place this translation-page
+                            // version on any element with headroom (the
+                            // GTD tracks it wherever it lands).
+                            let n = self.elements.len();
+                            let mut found = None;
+                            for k in 1..n {
+                                let alt = (element + k) % n;
+                                if let Ok(block) = self.ensure_map_active_block(alt, true) {
+                                    found = Some((alt, block));
+                                    break;
+                                }
+                            }
+                            let Some((alt, block)) = found else {
+                                return Err(FtlError::NoFreeBlocks {
+                                    element: element as u32,
+                                });
+                            };
+                            element = alt;
+                            block
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                Err(e) => return Err(e),
+            };
+            let addr = match self.flash.program(ElementId(element as u32), block) {
+                Ok(addr) => addr,
+                Err(FlashError::ProgramFailed { .. }) => {
+                    ops.push(FlashOp::map_write(ElementId(element as u32), purpose));
+                    self.elements[element].free_pages -= 1;
+                    self.total_free_pages -= 1;
+                    let global = self.global_block(element, block);
+                    self.retire_pending[global] = true;
+                    self.telemetry.instant_now(
+                        Track::Element(element as u32),
+                        EventKind::ProgramFail,
+                        block as u64,
+                        element as u64,
+                    );
+                    self.index[element].on_skip(block);
+                    self.paging
+                        .as_mut()
+                        .expect("demand paging enabled")
+                        .map_active[element] = None;
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            };
+            self.elements[element].free_pages -= 1;
+            self.total_free_pages -= 1;
+            // Translation pages are metadata written now: they carry the
+            // current clock, not a relocated-data age.
+            let timestamp = if addr.page == 0 {
+                self.clock
+            } else {
+                self.index[element].last_write(block).max(self.clock)
+            };
+            self.index[element].on_program(block, timestamp);
+            let new_ppn = self.encode(addr);
+            let old_ppn = {
+                let paging = self.paging.as_mut().expect("demand paging enabled");
+                let old = paging.gtd[tpn as usize];
+                paging.gtd[tpn as usize] = new_ppn;
+                paging.map_writes += 1;
+                old
+            };
+            if old_ppn != UNMAPPED {
+                let old_addr = self.decode(old_ppn);
+                let change = self.flash.invalidate(old_addr)?;
+                if change.newly_stale {
+                    self.index[old_addr.element.index()].on_invalidate(old_addr.block);
+                }
+                self.rmap[old_ppn as usize] = UNMAPPED;
+                // A fresh stale page un-stalls cleaning on its element.
+                self.elements[old_addr.element.index()].clean_stalled = false;
+            }
+            self.rmap[new_ppn as usize] = MAP_TAG | tpn;
+            ops.push(FlashOp::map_write(ElementId(element as u32), purpose));
+            return Ok(());
+        }
+    }
+
+    /// Read-modify-write of translation page `tpn`: the read half costs a
+    /// `MapRead` when a previous version is materialized on flash; the
+    /// write half programs the merged page into the tpn's home element
+    /// (`tpn % elements`, striping the map area like host data).
+    fn map_writeback(
+        &mut self,
+        tpn: u64,
+        purpose: OpPurpose,
+        forced_clean_allowed: bool,
+        ops: &mut Vec<FlashOp>,
+    ) -> Result<(), FtlError> {
+        let tp_ppn = self.paging.as_ref().expect("demand paging enabled").gtd[tpn as usize];
+        if tp_ppn != UNMAPPED {
+            let element = self.decode(tp_ppn).element;
+            self.paging
+                .as_mut()
+                .expect("demand paging enabled")
+                .map_reads += 1;
+            ops.push(FlashOp::map_read(element, purpose));
+        }
+        let home = (tpn % self.elements.len() as u64) as usize;
+        self.program_map_page(home, tpn, purpose, forced_clean_allowed, ops)
+    }
+
+    /// Map-cache lookup ahead of a host access: counts the hit or miss
+    /// and, on a miss whose translation page is materialized on flash,
+    /// issues the demand `MapRead`.  Returns whether the entry was cached.
+    fn map_lookup(&mut self, lpn: Lpn, purpose: OpPurpose, ops: &mut Vec<FlashOp>) -> bool {
+        let tp_ppn = {
+            let Some(paging) = self.paging.as_mut() else {
+                return true;
+            };
+            if paging.cache.lookup(lpn.0).is_some() {
+                return true;
+            }
+            let tpn = paging.cache.tpn_of(lpn.0);
+            paging.gtd[tpn as usize]
+        };
+        if tp_ppn != UNMAPPED {
+            let element = self.decode(tp_ppn).element;
+            self.paging
+                .as_mut()
+                .expect("demand paging enabled")
+                .map_reads += 1;
+            ops.push(FlashOp::map_read(element, purpose));
+        }
+        false
+    }
+
+    /// Installs (or refreshes) `lpn → ppn` in the map cache after the
+    /// access resolved its value.  A dirty eviction triggers the batched
+    /// writeback of every dirty sibling of the evicted entry's translation
+    /// page — one read-modify-write covers them all.
+    fn map_install(
+        &mut self,
+        lpn: Lpn,
+        ppn: u64,
+        dirty: bool,
+        hit: bool,
+        purpose: OpPurpose,
+        ops: &mut Vec<FlashOp>,
+    ) -> Result<(), FtlError> {
+        let evicted = {
+            let Some(paging) = self.paging.as_mut() else {
+                return Ok(());
+            };
+            if hit {
+                if dirty {
+                    paging.cache.update(lpn.0, ppn, true);
+                }
+                return Ok(());
+            }
+            paging.cache.insert(lpn.0, ppn, dirty)
+        };
+        if let Some(evicted) = evicted {
+            if evicted.dirty {
+                let paging = self.paging.as_mut().expect("demand paging enabled");
+                let tpn = paging.cache.tpn_of(evicted.lpn);
+                let _batch = paging
+                    .cache
+                    .writeback_batch(tpn, Some((evicted.lpn, evicted.ppn)));
+                self.map_writeback(tpn, purpose, true, ops)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Notes a relocation (cleaning/wear-leveling) of `lpn` to `new_ppn`
+    /// for the paging model: a cached entry is updated in place and goes
+    /// dirty (its on-flash translation page now points at the old
+    /// location); an uncached entry whose translation page is materialized
+    /// stales that page, which is queued for a rewrite at the end of the
+    /// pass ([`PageFtl::flush_pending_tpns`]).
+    fn note_relocation(&mut self, lpn: u64, new_ppn: u64) {
+        let Some(paging) = self.paging.as_mut() else {
+            return;
+        };
+        if paging.cache.update(lpn, new_ppn, true) {
+            return;
+        }
+        let tpn = paging.cache.tpn_of(lpn);
+        if paging.gtd[tpn as usize] != UNMAPPED {
+            paging.pending_tpns.push(tpn);
+        }
+    }
+
+    /// Rewrites every translation page queued by
+    /// [`PageFtl::note_relocation`] (sorted and deduplicated — one
+    /// read-modify-write per distinct translation page, however many of
+    /// its entries the pass relocated).
+    fn flush_pending_tpns(
+        &mut self,
+        purpose: OpPurpose,
+        ops: &mut Vec<FlashOp>,
+    ) -> Result<(), FtlError> {
+        let mut tpns = {
+            let Some(paging) = self.paging.as_mut() else {
+                return Ok(());
+            };
+            if paging.pending_tpns.is_empty() {
+                return Ok(());
+            }
+            std::mem::take(&mut paging.pending_tpns)
+        };
+        tpns.sort_unstable();
+        tpns.dedup();
+        for &tpn in &tpns {
+            // Dirty cached siblings of this tp ride along in the rewrite.
+            let _batch = self
+                .paging
+                .as_mut()
+                .expect("demand paging enabled")
+                .cache
+                .writeback_batch(tpn, None);
+            self.map_writeback(tpn, purpose, true, ops)?;
+        }
+        // Hand the emptied buffer back so the next pass reuses it.
+        tpns.clear();
+        self.paging
+            .as_mut()
+            .expect("demand paging enabled")
+            .pending_tpns = tpns;
+        Ok(())
     }
 
     /// Reclaims one victim block on `element`, appending the flash
@@ -654,6 +1096,13 @@ impl PageFtl {
         if self.elements[element].active_block == Some(victim) {
             self.elements[element].active_block = None;
         }
+        // Same for the map-area append block: translation blocks are
+        // cleanable victims like any other.
+        if let Some(paging) = self.paging.as_mut() {
+            if paging.map_active[element] == Some(victim) {
+                paging.map_active[element] = None;
+            }
+        }
         // Relocated data keeps the victim block's age (LFS convention).
         let victim_timestamp = self.index[element].last_write(victim);
         let element_id = ElementId(element as u32);
@@ -671,6 +1120,26 @@ impl PageFtl {
                 ossd_flash::PageState::Valid => {
                     let old_ppn = self.encode(addr);
                     let lpn = self.rmap[old_ppn as usize];
+                    if lpn != UNMAPPED && lpn & MAP_TAG != 0 {
+                        // A live translation page: relocate it through the
+                        // map area.  The program supersedes this copy via
+                        // the GTD, invalidating it in passing.
+                        let tpn = lpn & !MAP_TAG;
+                        debug_assert_eq!(
+                            self.paging
+                                .as_ref()
+                                .expect("tagged page implies paging")
+                                .gtd[tpn as usize],
+                            old_ppn,
+                            "reverse map and GTD disagree"
+                        );
+                        self.program_map_page(element, tpn, purpose, false, ops)?;
+                        self.paging
+                            .as_mut()
+                            .expect("tagged page implies paging")
+                            .map_gc_moves += 1;
+                        continue;
+                    }
                     debug_assert_ne!(lpn, UNMAPPED, "valid page with no reverse mapping");
                     // Copy the page to the element's append point.
                     let new_addr =
@@ -684,6 +1153,7 @@ impl PageFtl {
                     self.rmap[new_ppn as usize] = lpn;
                     if lpn != UNMAPPED {
                         self.map[lpn as usize] = new_ppn;
+                        self.note_relocation(lpn, new_ppn);
                     }
                     ops.push(FlashOp {
                         element: element_id,
@@ -773,6 +1243,10 @@ impl PageFtl {
             }
             victims += 1;
         }
+        // Rewrite the translation pages staled by relocating uncached
+        // entries — once per pass, so tps shared across victims cost one
+        // read-modify-write.
+        self.flush_pending_tpns(OpPurpose::Clean, ops)?;
         if victims == 0 {
             self.stats.gc_fruitless_passes += 1;
             self.elements[element].clean_stalled = true;
@@ -815,6 +1289,8 @@ impl PageFtl {
                 break;
             }
         }
+        // Batched rewrite of translation pages staled by this pass.
+        self.flush_pending_tpns(OpPurpose::BackgroundClean, ops)?;
         Ok(())
     }
 
@@ -833,6 +1309,10 @@ impl PageFtl {
         self.writes_since_wear_check = 0;
         let element_id = ElementId(element as u32);
         let state = &self.elements[element];
+        let map_active = self
+            .paging
+            .as_ref()
+            .and_then(|paging| paging.map_active[element]);
         let flash_element = self.flash.element(element_id)?;
         let mut min_block: Option<(u32, u32)> = None;
         let mut max_erases = 0u32;
@@ -844,7 +1324,10 @@ impl PageFtl {
             }
             let erases = block.erase_count();
             max_erases = max_erases.max(erases);
-            if Some(idx) == state.active_block || block.is_erased() {
+            // Neither append point (host data or map area) is a migration
+            // source: erasing a block still being appended to would hand
+            // its pages out twice.
+            if Some(idx) == state.active_block || Some(idx) == map_active || block.is_erased() {
                 continue;
             }
             if block.valid_count() == 0 {
@@ -884,6 +1367,16 @@ impl PageFtl {
             }
             let old_ppn = self.encode(addr);
             let lpn = self.rmap[old_ppn as usize];
+            if lpn != UNMAPPED && lpn & MAP_TAG != 0 {
+                // A cold translation page migrates through the map area.
+                let tpn = lpn & !MAP_TAG;
+                self.program_map_page(element, tpn, OpPurpose::WearLevel, false, ops)?;
+                self.paging
+                    .as_mut()
+                    .expect("tagged page implies paging")
+                    .map_gc_moves += 1;
+                continue;
+            }
             let new_addr =
                 self.program_page(element, true, cold_timestamp, OpPurpose::WearLevel, ops)?;
             let new_ppn = self.encode(new_addr);
@@ -895,6 +1388,7 @@ impl PageFtl {
             self.rmap[new_ppn as usize] = lpn;
             if lpn != UNMAPPED {
                 self.map[lpn as usize] = new_ppn;
+                self.note_relocation(lpn, new_ppn);
             }
             self.stats.wear_level_moves += 1;
             ops.push(FlashOp {
@@ -903,6 +1397,8 @@ impl PageFtl {
                 purpose: OpPurpose::WearLevel,
             });
         }
+        // Rewrite translation pages staled by migrating uncached entries.
+        self.flush_pending_tpns(OpPurpose::WearLevel, ops)?;
         // Retire (a cold block that previously failed a program must not
         // return to service) or erase-and-recycle the migrated block; the
         // shared helper keeps wear-leveling's reclamation identical to
@@ -939,10 +1435,16 @@ impl Ftl for PageFtl {
     ) -> Result<bool, FtlError> {
         self.check_lpn(lpn)?;
         self.stats.host_reads += 1;
+        // Demand paging: the mapping entry must be in the cache before the
+        // data read can be addressed; a miss on a materialized translation
+        // page costs a map read first.
+        let map_hit = self.map_lookup(lpn, OpPurpose::HostRead, ops);
         let ppn = self.map[lpn.index()];
         if ppn == UNMAPPED {
             // Reading a never-written page returns zeroes without touching
-            // the flash array.
+            // the flash array (the FTL still had to consult the map to
+            // know that, so the unmapped verdict is cached too).
+            self.map_install(lpn, UNMAPPED, false, map_hit, OpPurpose::HostRead, ops)?;
             return Ok(false);
         }
         let addr = self.decode(ppn);
@@ -968,6 +1470,7 @@ impl Ftl for PageFtl {
                 0,
             );
         }
+        self.map_install(lpn, ppn, false, map_hit, OpPurpose::HostRead, ops)?;
         Ok(status.uncorrectable)
     }
 
@@ -981,6 +1484,11 @@ impl Ftl for PageFtl {
         self.check_lpn(lpn)?;
         self.stats.host_writes += 1;
         self.clock += 1;
+        // Demand paging: consult the map cache up front — the old mapping
+        // must be known before it can be superseded, so a miss on a
+        // materialized translation page costs a map read before anything
+        // else proceeds.
+        let map_hit = self.map_lookup(lpn, OpPurpose::HostWrite, ops);
         let element = self.pick_element();
 
         // Watermark-driven cleaning and wear-leveling happen before the
@@ -1012,6 +1520,35 @@ impl Ftl for PageFtl {
                             invalidated_early = true;
                             continue;
                         }
+                        // With demand paging the picked element's free pages
+                        // can be locked inside its two append blocks while a
+                        // sibling element still has allocatable blocks or
+                        // cleanable victims — retry there before giving up.
+                        // (Only reachable in states that previously errored,
+                        // so pinned sequences are unaffected.)
+                        let n = self.elements.len();
+                        let mut switched = false;
+                        for k in 1..n {
+                            let alt = (element + k) % n;
+                            match self.ensure_active_block(alt, false) {
+                                Ok(_) => {
+                                    element = alt;
+                                    switched = true;
+                                    break;
+                                }
+                                Err(FtlError::NoFreeBlocks { .. }) => {
+                                    if self.clean_one_block(alt, OpPurpose::Clean, true, ops)? {
+                                        element = alt;
+                                        switched = true;
+                                        break;
+                                    }
+                                }
+                                Err(e) => return Err(e),
+                            }
+                        }
+                        if switched {
+                            continue;
+                        }
                         return Err(FtlError::NoFreeBlocks {
                             element: element as u32,
                         });
@@ -1020,6 +1557,10 @@ impl Ftl for PageFtl {
                 Err(e) => return Err(e),
             }
         }
+
+        // Translation pages staled by forced cleaning are rewritten before
+        // the host program proceeds.
+        self.flush_pending_tpns(OpPurpose::Clean, ops)?;
 
         // Supersede any previous version of this logical page (unless the
         // forced-cleaning fallback already did).
@@ -1032,6 +1573,9 @@ impl Ftl for PageFtl {
         self.rmap[ppn as usize] = lpn.0;
         self.stats.pages_programmed_host += 1;
         ops.push(FlashOp::host_program(addr.element));
+        // The new mapping enters the cache dirty; a dirty eviction here
+        // emits the batched translation-page writeback.
+        self.map_install(lpn, ppn, true, map_hit, OpPurpose::HostWrite, ops)?;
         Ok(())
     }
 
@@ -1045,6 +1589,13 @@ impl Ftl for PageFtl {
             return Ok(false);
         }
         self.invalidate_mapping(lpn, true)?;
+        // Demand paging: a cached entry goes (dirty) unmapped.  An uncached
+        // entry's stale on-flash translation page is left for the next
+        // natural rewrite — TRIM is advisory and mapping values are always
+        // served authoritatively, so deferring costs nothing.
+        if let Some(paging) = self.paging.as_mut() {
+            paging.cache.update(lpn.0, UNMAPPED, true);
+        }
         Ok(true)
     }
 
@@ -1055,6 +1606,28 @@ impl Ftl for PageFtl {
         ops: &mut Vec<FlashOp>,
     ) -> Result<(), FtlError> {
         self.background_clean_impl(max_erases, target_free_fraction, ops)
+    }
+
+    fn flush_into(&mut self, ops: &mut Vec<FlashOp>) -> Result<(), FtlError> {
+        // Only a finite-budget map cache has on-flash state to make
+        // durable; with an infinite budget the cache *is* the table and no
+        // flash op may be issued (bit-for-bit resident-table equivalence).
+        if !self.paging_finite() {
+            return Ok(());
+        }
+        // Staled tps queued by earlier relocations drain first, then every
+        // dirty cached entry.
+        self.flush_pending_tpns(OpPurpose::HostWrite, ops)?;
+        let batches = self
+            .paging
+            .as_mut()
+            .expect("finite paging checked")
+            .cache
+            .drain_dirty();
+        for (tpn, _entries) in batches {
+            self.map_writeback(tpn, OpPurpose::HostWrite, true, ops)?;
+        }
+        Ok(())
     }
 
     fn stats(&self) -> FtlStats {
@@ -1113,6 +1686,37 @@ impl Ftl for PageFtl {
 
     fn set_telemetry(&mut self, telemetry: TelemetryHandle) {
         self.telemetry = telemetry;
+    }
+
+    fn map_stats(&self) -> MapStats {
+        let total = self.logical_pages * ENTRY_BYTES;
+        match &self.paging {
+            None => MapStats {
+                bytes_resident: total,
+                bytes_total: total,
+                ..MapStats::default()
+            },
+            Some(paging) => {
+                let mut stats = MapStats {
+                    bytes_total: total,
+                    // SRAM the paged design holds besides the cached
+                    // entries: the GTD, once the table actually spills
+                    // (finite budget).  An infinite budget never
+                    // materializes it.
+                    bytes_resident: if paging.cache.config().entry_budget.is_some() {
+                        paging.gtd.len() as u64 * ENTRY_BYTES
+                    } else {
+                        0
+                    },
+                    map_reads: paging.map_reads,
+                    map_writes: paging.map_writes,
+                    map_gc_moves: paging.map_gc_moves,
+                    ..MapStats::default()
+                };
+                paging.cache.stats_into(&mut stats);
+                stats
+            }
+        }
     }
 
     fn gc_backlog_blocks(&self) -> u64 {
@@ -1746,5 +2350,187 @@ mod tests {
         let wa = ftl.stats().write_amplification();
         assert!(wa >= 1.0);
         assert!(wa < 5.0, "write amplification {wa} unreasonably high");
+    }
+
+    // ---- Demand-paged mapping ------------------------------------------
+
+    use ossd_mapcache::{EvictionPolicy, MapCacheConfig};
+
+    /// A geometry with small (512 B) pages so that a translation page
+    /// holds only 64 entries and a unit test exercises many translation
+    /// pages and real map-area pressure.
+    fn paging_geometry() -> FlashGeometry {
+        FlashGeometry {
+            packages: 2,
+            dies_per_package: 1,
+            planes_per_die: 1,
+            blocks_per_plane: 24,
+            pages_per_block: 16,
+            page_bytes: 512,
+        }
+    }
+
+    /// An infinite-budget map cache must be *bit-for-bit* identical to the
+    /// resident table: same ops from every call, same stats, same wear —
+    /// while still counting cache traffic.
+    #[test]
+    fn infinite_budget_map_cache_is_bit_for_bit_inert() {
+        let config = FtlConfig::default()
+            .with_overprovisioning(0.25)
+            .with_watermarks(0.3, 0.1);
+        let mut baseline = tiny_ftl(config.clone());
+        let mut paged = tiny_ftl(config.with_map_cache(MapCacheConfig::infinite()));
+        assert_eq!(baseline.logical_pages(), paged.logical_pages());
+        let logical = baseline.logical_pages();
+        for _ in 0..6 {
+            for i in 0..logical {
+                let lpn = Lpn((i * 13) % logical);
+                let a = baseline.write(lpn, 4096, &WriteContext::idle()).unwrap();
+                let b = paged.write(lpn, 4096, &WriteContext::idle()).unwrap();
+                assert_eq!(a, b, "write ops diverged at lpn {lpn:?}");
+            }
+        }
+        for lpn in 0..logical {
+            let a = baseline.read(Lpn(lpn), 4096).unwrap();
+            let b = paged.read(Lpn(lpn), 4096).unwrap();
+            assert_eq!(a, b, "read outcome diverged at lpn {lpn}");
+        }
+        assert!(paged.flush().unwrap().is_empty(), "nothing to make durable");
+        assert_eq!(baseline.stats(), paged.stats());
+        assert_eq!(baseline.wear_summary(), paged.wear_summary());
+        // The cache saw every access yet issued no map op and spilled
+        // nothing.
+        let ms = paged.map_stats();
+        assert!(ms.hits > 0);
+        assert_eq!(ms.misses, logical, "one compulsory miss per lpn");
+        assert_eq!(ms.map_reads, 0);
+        assert_eq!(ms.map_writes, 0);
+        assert_eq!(ms.writebacks, 0);
+        assert_eq!(ms.evictions_clean + ms.evictions_dirty, 0);
+    }
+
+    /// A finite budget reserves the map area out of the exported capacity
+    /// and issues real map reads (misses) and map writes (writebacks),
+    /// while every logical page stays intact through GC of both data and
+    /// translation blocks.
+    #[test]
+    fn finite_budget_reserves_map_area_and_issues_map_traffic() {
+        let geometry = paging_geometry();
+        let resident = PageFtl::new(geometry, FlashTiming::slc(), FtlConfig::default()).unwrap();
+        let budget = 32u64;
+        let mut ftl = PageFtl::new(
+            geometry,
+            FlashTiming::slc(),
+            FtlConfig::default().with_map_cache(MapCacheConfig::default().with_budget(budget)),
+        )
+        .unwrap();
+        assert!(
+            ftl.logical_pages() < resident.logical_pages(),
+            "the map area must come out of the exported capacity"
+        );
+        let logical = ftl.logical_pages();
+        let entries_per_tp = geometry.page_bytes as u64 / 8;
+        let gtd_entries = logical.div_ceil(entries_per_tp);
+        let (mut saw_map_read, mut saw_map_write) = (false, false);
+        for _ in 0..4 {
+            for i in 0..logical {
+                let lpn = Lpn((i * 13) % logical);
+                let ops = ftl.write(lpn, 512, &WriteContext::idle()).unwrap();
+                for op in &ops {
+                    match op.kind {
+                        FlashOpKind::MapRead => saw_map_read = true,
+                        FlashOpKind::MapWrite => saw_map_write = true,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        assert!(
+            saw_map_write,
+            "dirty evictions must program translation pages"
+        );
+        assert!(saw_map_read, "misses on materialized tps must read them");
+        let ms = ftl.map_stats();
+        assert!(ms.misses > 0 && ms.map_writes > 0 && ms.writebacks > 0);
+        assert!(ms.hit_rate() < 1.0);
+        assert!(
+            ms.bytes_resident <= (gtd_entries + budget) * 8,
+            "SRAM footprint {} exceeds GTD + budget",
+            ms.bytes_resident
+        );
+        assert!(ms.bytes_resident < ms.bytes_total / 4);
+        // Mapping integrity held through cleaning of data and translation
+        // blocks alike, and the victim index stayed consistent.
+        for lpn in 0..logical {
+            assert!(ftl.is_mapped(Lpn(lpn)));
+        }
+        ftl.check_victim_index().unwrap();
+        // Flush makes the dirty tail durable; a second flush is a no-op.
+        let flush_ops = ftl.flush().unwrap();
+        assert!(!flush_ops.is_empty());
+        assert!(flush_ops
+            .iter()
+            .all(|o| matches!(o.kind, FlashOpKind::MapRead | FlashOpKind::MapWrite)));
+        assert!(ftl.flush().unwrap().is_empty());
+    }
+
+    /// Under churn heavy enough to clean translation blocks, map pages are
+    /// relocated as first-class GC citizens (counted separately from host
+    /// data moves).
+    #[test]
+    fn translation_blocks_are_cleanable_victims() {
+        let mut ftl = PageFtl::new(
+            paging_geometry(),
+            FlashTiming::slc(),
+            FtlConfig::default()
+                .with_overprovisioning(0.25)
+                .with_map_cache(
+                    MapCacheConfig::default()
+                        .with_budget(16)
+                        .with_policy(EvictionPolicy::Lru),
+                ),
+        )
+        .unwrap();
+        let logical = ftl.logical_pages();
+        for _ in 0..8 {
+            for i in 0..logical {
+                ftl.write(Lpn((i * 7) % logical), 512, &WriteContext::idle())
+                    .unwrap();
+            }
+        }
+        let ms = ftl.map_stats();
+        assert!(
+            ms.map_gc_moves > 0,
+            "sustained churn must force relocation of live translation pages"
+        );
+        for lpn in 0..logical {
+            assert!(ftl.is_mapped(Lpn(lpn)));
+        }
+        ftl.check_victim_index().unwrap();
+    }
+
+    /// TRIM with paging: a freed entry is served authoritatively (no data
+    /// read for freed lpns) whether or not it is cached.
+    #[test]
+    fn trim_with_paging_keeps_values_authoritative() {
+        let mut ftl = PageFtl::new(
+            paging_geometry(),
+            FlashTiming::slc(),
+            FtlConfig::informed().with_map_cache(MapCacheConfig::default().with_budget(16)),
+        )
+        .unwrap();
+        let logical = ftl.logical_pages();
+        for lpn in 0..logical {
+            ftl.write(Lpn(lpn), 512, &WriteContext::idle()).unwrap();
+        }
+        for lpn in (0..logical).step_by(2) {
+            assert!(ftl.free(Lpn(lpn)).unwrap());
+        }
+        for lpn in 0..logical {
+            assert_eq!(ftl.is_mapped(Lpn(lpn)), lpn % 2 == 1);
+            let outcome = ftl.read(Lpn(lpn), 512).unwrap();
+            let has_data_read = outcome.ops.iter().any(|o| o.kind == FlashOpKind::ReadPage);
+            assert_eq!(has_data_read, lpn % 2 == 1, "lpn {lpn}");
+        }
     }
 }

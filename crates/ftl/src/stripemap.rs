@@ -325,6 +325,7 @@ impl StripeFtl {
         let ctx = PickContext {
             clock: self.clock,
             exclude: self.active_superblock,
+            exclude2: None,
         };
         crate::indexcheck::check_policy_equivalence(
             &mut self.index,
@@ -642,6 +643,7 @@ impl StripeFtl {
         let ctx = PickContext {
             clock: self.clock,
             exclude: self.active_superblock,
+            exclude2: None,
         };
         let Some(victim) = self.policy.select_from_index(&mut self.index, &ctx) else {
             return Ok(false);
@@ -918,6 +920,19 @@ impl Ftl for StripeFtl {
 
     fn stats(&self) -> FtlStats {
         self.stats
+    }
+
+    fn map_stats(&self) -> ossd_mapcache::MapStats {
+        // The stripe map holds one entry per logical *stripe* (not per
+        // flash page), which is exactly why low-end devices get away with
+        // a fully resident table: coarse mapping shrinks it by the
+        // stripe-to-page ratio.  Resident equals total — nothing is paged.
+        let bytes = self.map.len() as u64 * ossd_mapcache::ENTRY_BYTES;
+        ossd_mapcache::MapStats {
+            bytes_resident: bytes,
+            bytes_total: bytes,
+            ..ossd_mapcache::MapStats::default()
+        }
     }
 
     fn free_page_fraction(&self) -> f64 {

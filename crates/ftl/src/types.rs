@@ -35,6 +35,15 @@ pub enum FlashOpKind {
     CopybackPage,
     /// Block erase.
     EraseBlock,
+    /// Demand-paged mapping: read of a translation page from the map area
+    /// (a map-cache miss whose translation page is materialized on
+    /// flash).  Timed like a page read — array read then bus transfer.
+    MapRead,
+    /// Demand-paged mapping: program of a translation page into the map
+    /// area (batched dirty-entry writeback, or GC relocating a valid
+    /// translation page).  Timed like a page program — bus transfer then
+    /// array program.
+    MapWrite,
 }
 
 /// Why an operation was issued; the device accounts foreground and
@@ -131,6 +140,26 @@ impl FlashOp {
             element,
             kind: FlashOpKind::EraseBlock,
             purpose: OpPurpose::Clean,
+        }
+    }
+
+    /// Convenience constructor for a translation-page read (map-cache
+    /// miss) on behalf of `purpose`.
+    pub fn map_read(element: ElementId, purpose: OpPurpose) -> Self {
+        FlashOp {
+            element,
+            kind: FlashOpKind::MapRead,
+            purpose,
+        }
+    }
+
+    /// Convenience constructor for a translation-page program (writeback
+    /// or relocation) on behalf of `purpose`.
+    pub fn map_write(element: ElementId, purpose: OpPurpose) -> Self {
+        FlashOp {
+            element,
+            kind: FlashOpKind::MapWrite,
+            purpose,
         }
     }
 }
@@ -455,6 +484,19 @@ pub trait Ftl: Send {
     /// none.
     fn gc_stale_pages(&self) -> u64 {
         0
+    }
+
+    /// Mapping-table statistics: SRAM footprint (resident vs. full-table
+    /// bytes) and, for a demand-paged FTL, the map-cache hit/miss/evict/
+    /// writeback counters.  The default reports a fully resident table —
+    /// the whole map in SRAM, no cache traffic.
+    fn map_stats(&self) -> ossd_mapcache::MapStats {
+        let bytes = self.logical_pages() * ossd_mapcache::ENTRY_BYTES;
+        ossd_mapcache::MapStats {
+            bytes_resident: bytes,
+            bytes_total: bytes,
+            ..ossd_mapcache::MapStats::default()
+        }
     }
 }
 

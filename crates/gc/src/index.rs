@@ -40,6 +40,10 @@ pub struct PickContext {
     /// Block excluded from this pick (the element's active append block,
     /// unless the caller deliberately admits it once full).
     pub exclude: Option<u32>,
+    /// Second excluded block: an FTL with a separate append point for
+    /// metadata (the demand-paged map area's translation-page log) excludes
+    /// that block too, for the same reason as [`PickContext::exclude`].
+    pub exclude2: Option<u32>,
 }
 
 impl PickContext {
@@ -48,6 +52,7 @@ impl PickContext {
         PickContext {
             clock,
             exclude: None,
+            exclude2: None,
         }
     }
 
@@ -55,6 +60,17 @@ impl PickContext {
     pub fn excluding(mut self, block: Option<u32>) -> Self {
         self.exclude = block;
         self
+    }
+
+    /// Returns this context with the second exclusion slot set.
+    pub fn excluding2(mut self, block: Option<u32>) -> Self {
+        self.exclude2 = block;
+        self
+    }
+
+    /// Whether `block` is excluded from this pick.
+    pub fn excludes(&self, block: u32) -> bool {
+        Some(block) == self.exclude || Some(block) == self.exclude2
     }
 }
 
@@ -129,12 +145,19 @@ impl VictimIndex {
             .sum()
     }
 
-    /// Number of candidates a pick excluding `exclude` would consider.
-    pub fn candidates_excluding(&self, exclude: Option<u32>) -> usize {
-        let excluded = exclude
-            .and_then(|b| self.slots.get(b as usize))
-            .map(|s| s.is_member() as usize)
-            .unwrap_or(0);
+    /// Number of candidates a pick under `ctx`'s exclusions would consider.
+    pub fn candidates_excluding(&self, ctx: &PickContext) -> usize {
+        let mut excluded = 0usize;
+        let mut counted: Option<u32> = None;
+        for block in [ctx.exclude, ctx.exclude2].into_iter().flatten() {
+            if counted == Some(block) {
+                continue;
+            }
+            if let Some(slot) = self.slots.get(block as usize) {
+                excluded += slot.is_member() as usize;
+            }
+            counted = Some(block);
+        }
         self.members - excluded
     }
 
@@ -278,32 +301,32 @@ impl VictimIndex {
 
     /// The greedy victim: most stale pages, then fewest erases, then the
     /// lowest block index — the first entry of the highest non-empty bucket,
-    /// skipping the excluded block.  O(1) amortized.
-    pub fn pick_greedy(&mut self, exclude: Option<u32>) -> Option<u32> {
+    /// skipping the excluded blocks.  O(1) amortized.
+    pub fn pick_greedy(&mut self, exclude: Option<u32>, exclude2: Option<u32>) -> Option<u32> {
         self.settle_max();
         let mut level = self.max_invalid;
         while level > 0 {
             for &block in &self.buckets[level] {
-                if Some(block) != exclude {
+                if Some(block) != exclude && Some(block) != exclude2 {
                     return Some(block);
                 }
             }
-            // Only the excluded block lives at this level; look lower.
+            // Only excluded blocks live at this level; look lower.
             level -= 1;
         }
         None
     }
 
-    /// Fills the scratch buffer with every candidate except `exclude`.
-    /// When `by_block` is set the candidates are sorted into the ascending
-    /// block order of the pre-index scan (required for bit-for-bit victim
-    /// sequences on tie-breaking scan policies).
+    /// Fills the scratch buffer with every candidate except the excluded
+    /// blocks.  When `by_block` is set the candidates are sorted into the
+    /// ascending block order of the pre-index scan (required for bit-for-bit
+    /// victim sequences on tie-breaking scan policies).
     fn fill_scratch(&mut self, ctx: &PickContext, by_block: bool) {
         let mut scratch = std::mem::take(&mut self.scratch);
         scratch.clear();
         for bucket in &self.buckets[1..=self.max_invalid] {
             for &block in bucket {
-                if Some(block) == ctx.exclude {
+                if ctx.excludes(block) {
                     continue;
                 }
                 let slot = &self.slots[block as usize];
@@ -445,7 +468,7 @@ mod tests {
         index
             .snapshot()
             .into_iter()
-            .filter(|&(b, ..)| Some(b) != ctx.exclude)
+            .filter(|&(b, ..)| !ctx.excludes(b))
             .map(|(b, valid, invalid, erase, lw)| BlockInfo {
                 block: b,
                 valid_pages: valid,
@@ -472,14 +495,25 @@ mod tests {
         // Give block 5 a higher erase count by cycling it once first is not
         // possible post-hoc; instead check the base tie-break: equal stale
         // counts break towards the lower block.
-        assert_eq!(index.pick_greedy(None), Some(3));
-        assert_eq!(index.pick_greedy(Some(3)), Some(5));
+        assert_eq!(index.pick_greedy(None, None), Some(3));
+        assert_eq!(index.pick_greedy(Some(3), None), Some(5));
+        // A second exclusion slot skips both append points.
+        assert_eq!(index.pick_greedy(Some(3), Some(5)), Some(1));
         let ctx = PickContext::at(10);
         let legacy = legacy_candidates(&index, &ctx);
-        assert_eq!(Greedy.select_victim(&legacy), index.pick_greedy(None));
+        assert_eq!(Greedy.select_victim(&legacy), index.pick_greedy(None, None));
         assert_eq!(index.len(), 3);
-        assert_eq!(index.candidates_excluding(Some(3)), 2);
-        assert_eq!(index.candidates_excluding(Some(0)), 3);
+        assert_eq!(index.candidates_excluding(&ctx.excluding(Some(3))), 2);
+        assert_eq!(index.candidates_excluding(&ctx.excluding(Some(0))), 3);
+        assert_eq!(
+            index.candidates_excluding(&ctx.excluding(Some(3)).excluding2(Some(5))),
+            1
+        );
+        assert_eq!(
+            index.candidates_excluding(&ctx.excluding(Some(3)).excluding2(Some(3))),
+            2,
+            "the same block in both slots is excluded once"
+        );
         index.verify_internal().unwrap();
     }
 
@@ -521,11 +555,11 @@ mod tests {
             index.on_invalidate(block);
             index.on_invalidate(block);
         }
-        assert_eq!(index.pick_greedy(None), Some(2));
+        assert_eq!(index.pick_greedy(None, None), Some(2));
         let ctx = PickContext::at(5);
         let mut idx2 = index.clone();
         let legacy = legacy_candidates(&index, &ctx);
-        assert_eq!(Greedy.select_victim(&legacy), idx2.pick_greedy(None));
+        assert_eq!(Greedy.select_victim(&legacy), idx2.pick_greedy(None, None));
     }
 
     #[test]
@@ -546,8 +580,8 @@ mod tests {
         index.on_skip(1);
         assert!(!index.is_member(1));
         assert_eq!(index.len(), 1);
-        assert_eq!(index.pick_greedy(None), Some(2));
-        assert_eq!(index.pick_greedy(Some(2)), None);
+        assert_eq!(index.pick_greedy(None, None), Some(2));
+        assert_eq!(index.pick_greedy(Some(2), None), None);
         index.verify_internal().unwrap();
     }
 
@@ -556,7 +590,7 @@ mod tests {
         let mut index = VictimIndex::new(2, 4);
         index.on_skip(0);
         assert!(index.is_member(0));
-        assert_eq!(index.pick_greedy(None), Some(0));
+        assert_eq!(index.pick_greedy(None, None), Some(0));
         let snap = index.snapshot();
         assert_eq!(snap, vec![(0, 0, 1, 0, 0)]);
     }
@@ -598,7 +632,7 @@ mod tests {
             let mut policy = WindowedGreedy::new(window as u32);
             let expected = policy.select_victim(&legacy);
             let got = if legacy.len() <= window {
-                index.pick_greedy(ctx.exclude)
+                index.pick_greedy(ctx.exclude, ctx.exclude2)
             } else {
                 index.pick_windowed(window, &ctx)
             };

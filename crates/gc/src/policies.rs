@@ -50,7 +50,7 @@ impl CleaningPolicy for Greedy {
     /// Index-native fast path: the first entry of the highest non-empty
     /// bucket, O(1) amortized.
     fn select_from_index(&mut self, index: &mut VictimIndex, ctx: &PickContext) -> Option<u32> {
-        index.pick_greedy(ctx.exclude)
+        index.pick_greedy(ctx.exclude, ctx.exclude2)
     }
 }
 
@@ -182,8 +182,8 @@ impl CleaningPolicy for WindowedGreedy {
     /// in O(candidates) without touching non-candidate blocks.
     fn select_from_index(&mut self, index: &mut VictimIndex, ctx: &PickContext) -> Option<u32> {
         let window = self.window as usize;
-        if window == 0 || index.candidates_excluding(ctx.exclude) <= window {
-            return index.pick_greedy(ctx.exclude);
+        if window == 0 || index.candidates_excluding(ctx) <= window {
+            return index.pick_greedy(ctx.exclude, ctx.exclude2);
         }
         index.pick_windowed(window, ctx)
     }

@@ -165,6 +165,7 @@ impl Ssd {
             gc_backlog_blocks: self.ftl.gc_backlog_blocks(),
             gc_stale_pages: self.ftl.gc_stale_pages(),
             host_bytes_written: self.stats.bytes_written,
+            map_hit_rate: self.ftl.map_stats().hit_rate(),
             element_depths: self
                 .elements
                 .iter()
@@ -199,6 +200,7 @@ impl Ssd {
         let mut s = self.stats;
         s.ftl = self.ftl.stats();
         s.reliability = self.ftl.reliability_counters();
+        s.map = self.ftl.map_stats();
         s
     }
 
@@ -369,6 +371,66 @@ impl Ssd {
                         );
                     }
                     (s.start, s.completion, timing.erase_block)
+                }
+                FlashOpKind::MapRead => {
+                    // A translation-page fill costs a full page read: array
+                    // read on the die, then the transfer serialises on the
+                    // gang bus — map traffic competes with host traffic.
+                    let read = self.elements[element].accept(floor, timing.read_page);
+                    let xfer =
+                        self.buses[gang].accept(read.completion, timing.transfer(page_bytes));
+                    if traced {
+                        self.telemetry.span(
+                            read.start,
+                            read.completion,
+                            Track::Element(element as u32),
+                            EventKind::FlashMapRead,
+                            purpose,
+                            element as u64,
+                        );
+                        self.telemetry.span(
+                            xfer.start,
+                            xfer.completion,
+                            Track::Bus(gang as u32),
+                            EventKind::BusTransfer,
+                            purpose,
+                            element as u64,
+                        );
+                    }
+                    (
+                        read.start,
+                        xfer.completion,
+                        timing.read_page + timing.transfer(page_bytes),
+                    )
+                }
+                FlashOpKind::MapWrite => {
+                    // A translation-page writeback costs a full page program:
+                    // the page crosses the gang bus, then the die programs.
+                    let xfer = self.buses[gang].accept(floor, timing.transfer(page_bytes));
+                    let prog = self.elements[element].accept(xfer.completion, timing.program_page);
+                    if traced {
+                        self.telemetry.span(
+                            xfer.start,
+                            xfer.completion,
+                            Track::Bus(gang as u32),
+                            EventKind::BusTransfer,
+                            purpose,
+                            element as u64,
+                        );
+                        self.telemetry.span(
+                            prog.start,
+                            prog.completion,
+                            Track::Element(element as u32),
+                            EventKind::FlashMapWrite,
+                            purpose,
+                            element as u64,
+                        );
+                    }
+                    (
+                        xfer.start,
+                        prog.completion,
+                        timing.transfer(page_bytes) + timing.program_page,
+                    )
                 }
             };
             service_begin = service_begin.min(begin);

@@ -1,7 +1,7 @@
 //! Cumulative SSD device statistics.
 
 use ossd_flash::ReliabilityCounters;
-use ossd_ftl::FtlStats;
+use ossd_ftl::{FtlStats, MapStats};
 use ossd_gc::WriteAmpAccounting;
 use ossd_sim::SimDuration;
 
@@ -50,6 +50,11 @@ pub struct SsdStats {
     /// ECC read retries, uncorrectable reads).  All zero on a fault-free
     /// device.
     pub reliability: ReliabilityCounters,
+    /// Demand-paged mapping counters (map-cache hits/misses, translation-page
+    /// reads and writebacks, resident footprint).  On a device with a fully
+    /// resident mapping table the footprint equals the table size and every
+    /// access counter stays zero.
+    pub map: MapStats,
 }
 
 impl SsdStats {

@@ -14,7 +14,7 @@
 
 use ossd_block::{BlockDevice, BlockRequest, Completion};
 use ossd_flash::{FlashGeometry, FlashTiming, ReliabilityConfig, WearSummary};
-use ossd_ftl::{FtlConfig, FtlStats};
+use ossd_ftl::{FtlConfig, FtlStats, MapCacheConfig};
 use ossd_gc::BackgroundGcConfig;
 use ossd_sim::{SimDuration, SimRng, SimTime};
 use ossd_ssd::{MappingKind, SchedulerKind, Ssd, SsdConfig};
@@ -96,16 +96,13 @@ fn run_workload(ssd: &mut Ssd) -> RunResult {
     }
 }
 
-fn run_detached(mapping: MappingKind, scheduler: SchedulerKind) -> RunResult {
-    let mut ssd = Ssd::new(device_config(mapping, scheduler)).expect("device");
+fn run_detached(config: &SsdConfig) -> RunResult {
+    let mut ssd = Ssd::new(config.clone()).expect("device");
     run_workload(&mut ssd)
 }
 
-fn run_attached(
-    mapping: MappingKind,
-    scheduler: SchedulerKind,
-) -> (RunResult, Vec<TraceEvent>, u64) {
-    let mut ssd = Ssd::new(device_config(mapping, scheduler)).expect("device");
+fn run_attached(config: &SsdConfig) -> (RunResult, Vec<TraceEvent>, u64) {
+    let mut ssd = Ssd::new(config.clone()).expect("device");
     let (handle, recorder) = Recorder::shared(RecorderConfig::default());
     ssd.set_telemetry(handle);
     let result = run_workload(&mut ssd);
@@ -121,18 +118,18 @@ fn victim_picks(events: &[TraceEvent]) -> Vec<TraceEvent> {
         .collect()
 }
 
-fn assert_neutral(mapping: MappingKind, scheduler: SchedulerKind) {
-    let detached = run_detached(mapping, scheduler);
-    let (attached, events, dropped) = run_attached(mapping, scheduler);
+fn assert_neutral_config(config: &SsdConfig, label: &str) -> Vec<TraceEvent> {
+    let detached = run_detached(config);
+    let (attached, events, dropped) = run_attached(config);
 
     assert!(
         !events.is_empty(),
-        "{mapping:?}/{scheduler:?}: the recording run captured nothing"
+        "{label}: the recording run captured nothing"
     );
     assert_eq!(
         detached.completions.len(),
         attached.completions.len(),
-        "{mapping:?}/{scheduler:?}: completion counts diverge"
+        "{label}: completion counts diverge"
     );
     for (i, (d, a)) in detached
         .completions
@@ -140,32 +137,35 @@ fn assert_neutral(mapping: MappingKind, scheduler: SchedulerKind) {
         .zip(&attached.completions)
         .enumerate()
     {
-        assert_eq!(d, a, "{mapping:?}/{scheduler:?}: completion {i} diverges");
+        assert_eq!(d, a, "{label}: completion {i} diverges");
     }
     assert_eq!(
         detached.ftl_stats, attached.ftl_stats,
-        "{mapping:?}/{scheduler:?}: FTL statistics diverge"
+        "{label}: FTL statistics diverge"
     );
     assert_eq!(
         detached.wear, attached.wear,
-        "{mapping:?}/{scheduler:?}: wear summaries diverge"
+        "{label}: wear summaries diverge"
     );
 
     // The workload forces cleaning, so victim picks must be on the trace,
     // and a second recording run must reproduce them exactly.
     let picks = victim_picks(&events);
-    assert!(
-        !picks.is_empty(),
-        "{mapping:?}/{scheduler:?}: no victim picks recorded"
-    );
-    let (_, events_again, dropped_again) = run_attached(mapping, scheduler);
+    assert!(!picks.is_empty(), "{label}: no victim picks recorded");
+    let (_, events_again, dropped_again) = run_attached(config);
     assert_eq!(
         picks,
         victim_picks(&events_again),
-        "{mapping:?}/{scheduler:?}: victim sequences diverge between runs"
+        "{label}: victim sequences diverge between runs"
     );
     assert_eq!(events, events_again);
     assert_eq!(dropped, dropped_again);
+    events
+}
+
+fn assert_neutral(mapping: MappingKind, scheduler: SchedulerKind) {
+    let config = device_config(mapping, scheduler);
+    assert_neutral_config(&config, &format!("{mapping:?}/{scheduler:?}"));
 }
 
 #[test]
@@ -198,4 +198,35 @@ fn stripe_mapped_swtf_is_neutral() {
         },
         SchedulerKind::Swtf,
     );
+}
+
+#[test]
+fn demand_paged_mapping_is_neutral_and_traced() {
+    // A finite map-cache budget makes translation-page traffic part of the
+    // replay: neutrality must hold with map reads/writebacks in the op
+    // stream, and the recording run must surface them as first-class
+    // flash-map events.
+    for scheduler in [SchedulerKind::Fcfs, SchedulerKind::Swtf] {
+        let mut config = device_config(MappingKind::PageMapped, scheduler);
+        config.ftl = config
+            .ftl
+            .with_map_cache(MapCacheConfig::default().with_budget(256));
+        let events = assert_neutral_config(&config, &format!("demand-paged/{scheduler:?}"));
+        let map_reads = events
+            .iter()
+            .filter(|e| e.kind == EventKind::FlashMapRead)
+            .count();
+        let map_writes = events
+            .iter()
+            .filter(|e| e.kind == EventKind::FlashMapWrite)
+            .count();
+        assert!(
+            map_reads > 0,
+            "{scheduler:?}: no map-read events on the trace"
+        );
+        assert!(
+            map_writes > 0,
+            "{scheduler:?}: no map-writeback events on the trace"
+        );
+    }
 }

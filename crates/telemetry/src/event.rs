@@ -107,6 +107,12 @@ pub enum EventKind {
     /// Span: a page crossing a gang bus.  `a` = purpose code, `b` = element
     /// index the transfer serves.
     BusTransfer,
+    /// Span: a translation-page read (map-cache miss fill) occupying an
+    /// element.  `a` = purpose code, `b` = element index.
+    FlashMapRead,
+    /// Span: a translation-page program (dirty map writeback) occupying an
+    /// element.  `a` = purpose code, `b` = element index.
+    FlashMapWrite,
     // -- device-scope spans --------------------------------------------------
     /// Span: an idle window delivered by the event engine with nothing in
     /// flight.
@@ -166,6 +172,8 @@ impl EventKind {
                 | EventKind::FlashCopyback
                 | EventKind::FlashErase
                 | EventKind::BusTransfer
+                | EventKind::FlashMapRead
+                | EventKind::FlashMapWrite
                 | EventKind::DeviceIdle
                 | EventKind::GcBackgroundWindow
         )
@@ -186,6 +194,8 @@ impl EventKind {
             EventKind::FlashCopyback => "flash-copyback",
             EventKind::FlashErase => "flash-erase",
             EventKind::BusTransfer => "bus-transfer",
+            EventKind::FlashMapRead => "flash-map-read",
+            EventKind::FlashMapWrite => "flash-map-write",
             EventKind::DeviceIdle => "idle",
             EventKind::GcBackgroundWindow => "gc-background",
             EventKind::GcTrigger => "gc-trigger",
@@ -215,7 +225,9 @@ impl EventKind {
             | EventKind::FlashProgram
             | EventKind::FlashCopyback
             | EventKind::FlashErase
-            | EventKind::BusTransfer => "flash",
+            | EventKind::BusTransfer
+            | EventKind::FlashMapRead
+            | EventKind::FlashMapWrite => "flash",
             EventKind::DeviceIdle => "device",
             EventKind::GcBackgroundWindow
             | EventKind::GcTrigger
@@ -244,7 +256,9 @@ impl EventKind {
             | EventKind::FlashProgram
             | EventKind::FlashCopyback
             | EventKind::FlashErase
-            | EventKind::BusTransfer => [Some("purpose"), Some("element")],
+            | EventKind::BusTransfer
+            | EventKind::FlashMapRead
+            | EventKind::FlashMapWrite => [Some("purpose"), Some("element")],
             EventKind::DeviceIdle => [None, None],
             EventKind::GcBackgroundWindow => [Some("erases"), Some("moves")],
             EventKind::GcTrigger | EventKind::GcPostponed => [Some("free_ppm"), Some("element")],
@@ -270,6 +284,8 @@ impl EventKind {
                 | EventKind::FlashCopyback
                 | EventKind::FlashErase
                 | EventKind::BusTransfer
+                | EventKind::FlashMapRead
+                | EventKind::FlashMapWrite
         )
     }
 }
