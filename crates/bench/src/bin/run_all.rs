@@ -3,9 +3,10 @@
 use ossd_bench::{print_header, scale_from_args};
 use ossd_core::contract::ContractTerm;
 use ossd_core::experiments::{
-    figure2, figure3, fleet_sweep, lifetime, map_cache, multi_host, parallelism_sweep,
-    policy_compare, swtf, table1, table2, table3, table4, table5, trace_capture,
+    figure2, figure3, fleet_sweep, latency_blame, lifetime, map_cache, multi_host,
+    parallelism_sweep, policy_compare, swtf, table1, table2, table3, table4, table5, trace_capture,
 };
+use ossd_telemetry::BlameCat;
 
 fn main() {
     let scale = scale_from_args();
@@ -200,6 +201,25 @@ fn main() {
             p.sram_fraction()
         );
     }
+
+    print_header("Latency blame (p99.9 tail attribution)", scale);
+    let blame = latency_blame::run(scale).expect("latency blame");
+    for point in &blame.points {
+        let all = point.report.class("all").expect("all row");
+        println!(
+            "map {:<12} {:>6} completions  p99.9 {:>10.1} us  tail blame: \
+             sq {:>5.1}%  gc {:>5.1}%  map {:>5.1}%  bus {:>5.1}%  ecc {:>5.1}%",
+            point.label,
+            point.completions,
+            all.p999_us,
+            100.0 * all.share(BlameCat::SqWait),
+            100.0 * all.share(BlameCat::GcWait),
+            100.0 * all.share(BlameCat::Map),
+            100.0 * all.share(BlameCat::Bus),
+            100.0 * all.share(BlameCat::Ecc),
+        );
+    }
+    println!("run the `tail_latency` binary for the per-class report and artifacts");
 
     print_header("Trace capture (cross-layer telemetry export)", scale);
     let capture = trace_capture::run(scale).expect("trace capture");

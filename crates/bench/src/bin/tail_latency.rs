@@ -1,0 +1,225 @@
+//! Tail-latency attribution: where the p99.9 comes from, and how fast the
+//! simulator answers that question.
+//!
+//! Runs `ossd_core::experiments::latency_blame` — a GC-active,
+//! 4-initiator TPC-C slice with the latency-attribution subsystem enabled,
+//! swept across demand-paged map-cache budgets — and reports, per request
+//! class, the deep-tail percentiles (p50/p99/p99.9/p99.99) and the share
+//! of p99.9-tail latency blamed on each component (GC, map I/O, fences,
+//! arbitration, bus, ECC, the command's own flash time).
+//!
+//! Artifacts: `BENCH_tail.json` (machine-readable report plus the
+//! attribution-enabled simulation rate CI trends), one blame CSV per sweep
+//! point, and the starved point's cumulative blame as Perfetto counter
+//! tracks.  Quick runs write `_quick`-suffixed files alongside.
+//!
+//! Pass `--quick` for the CI smoke configuration, and
+//! `--check-baseline <path>` to compare the measured attribution-enabled
+//! rate against a previously committed report (exits non-zero on a >10%
+//! regression — the guard that keeps blame accounting cheap).
+
+use std::time::Instant;
+
+use ossd_bench::{print_header, scale_from_args, Scale};
+use ossd_core::experiments::latency_blame::{self, LatencyBlamePoint};
+use ossd_telemetry::{json, BlameCat};
+
+/// Fraction of the baseline rate the measured rate must reach when
+/// `--check-baseline` is given.  Wall-clock throughput is noisy across
+/// machines and CI runners, so the guard is deliberately loose.
+const BASELINE_TOLERANCE: f64 = 0.90;
+
+fn main() {
+    let scale = scale_from_args();
+    print_header("Tail latency: per-request blame for the p99.9", scale);
+
+    let wall_start = Instant::now();
+    let blame = latency_blame::run(scale).expect("latency blame sweep");
+    let wall = wall_start.elapsed().as_secs_f64();
+    let completions: usize = blame.points.iter().map(|p| p.completions).sum();
+    let completions_per_sec = completions as f64 / wall;
+
+    for point in &blame.points {
+        println!(
+            "-- map {}: {} completions --",
+            point.label, point.completions
+        );
+        println!(
+            "{:<8} {:>7} {:>10} {:>10} {:>10} {:>10}  {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
+            "class",
+            "count",
+            "p50_us",
+            "p99_us",
+            "p99.9_us",
+            "p99.99_us",
+            "sq%",
+            "flash%",
+            "gc%",
+            "map%",
+            "bus%",
+            "ecc%"
+        );
+        for class in &point.report.classes {
+            println!(
+                "{:<8} {:>7} {:>10.1} {:>10.1} {:>10.1} {:>10.1}  \
+                 {:>6.1} {:>6.1} {:>6.1} {:>6.1} {:>6.1} {:>6.1}",
+                class.class,
+                class.count,
+                class.p50_us,
+                class.p99_us,
+                class.p999_us,
+                class.p9999_us,
+                100.0 * class.share(BlameCat::SqWait),
+                100.0 * class.share(BlameCat::Flash),
+                100.0 * class.share(BlameCat::GcWait),
+                100.0 * class.share(BlameCat::Map),
+                100.0 * class.share(BlameCat::Bus),
+                100.0 * class.share(BlameCat::Ecc),
+            );
+        }
+    }
+    println!(
+        "attribution-enabled rate: {} completions in {:.3} s wall -> {:.0} completions/s",
+        completions, wall, completions_per_sec
+    );
+
+    let suffix = match scale {
+        Scale::Paper => "",
+        Scale::Quick => "_quick",
+    };
+    for point in &blame.points {
+        let csv_path = format!("BENCH_tail_blame_{}{}.csv", slug(&point.label), suffix);
+        std::fs::write(&csv_path, &point.blame_csv).expect("write blame csv");
+        println!("wrote {csv_path}");
+    }
+    let counters_path = format!("BENCH_tail_counters{suffix}.trace.json");
+    let starved = blame.points.last().expect("sweep is non-empty");
+    std::fs::write(&counters_path, &starved.counters_json).expect("write counter tracks");
+    println!("wrote {counters_path} (open in https://ui.perfetto.dev)");
+
+    // Check before writing the new report: the CI gate compares against
+    // the *committed* quick baseline, which lives at the same path a quick
+    // run writes to.
+    let gate = check_baseline_arg().map(|baseline_path| {
+        let result = check_baseline(&baseline_path, completions_per_sec);
+        (baseline_path, result)
+    });
+
+    let json_path = match scale {
+        Scale::Paper => "BENCH_tail.json",
+        Scale::Quick => "BENCH_tail_quick.json",
+    };
+    let json = render_json(&blame.points, wall, completions_per_sec);
+    std::fs::write(json_path, &json).expect("write bench json");
+    println!("wrote {json_path}");
+
+    if let Some((baseline_path, result)) = gate {
+        match result {
+            Ok(baseline) => println!(
+                "baseline check: {:.0} completions/s >= {:.0}% of {baseline_path}'s {:.0} -- ok",
+                completions_per_sec,
+                BASELINE_TOLERANCE * 100.0,
+                baseline
+            ),
+            Err(why) => {
+                eprintln!("baseline check FAILED: {why}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Filesystem-safe sweep-point label (`"budget 2048"` -> `"budget2048"`).
+fn slug(label: &str) -> String {
+    label.chars().filter(|c| !c.is_whitespace()).collect()
+}
+
+/// Hand-formats the machine-readable report (the workspace vendors its own
+/// JSON codec; no serializer dependency).
+fn render_json(points: &[LatencyBlamePoint], wall: f64, completions_per_sec: f64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"wall_seconds\": {wall:.6},\n"));
+    out.push_str(&format!(
+        "  \"completions_per_wall_second\": {completions_per_sec:.1},\n"
+    ));
+    out.push_str("  \"points\": [\n");
+    for (i, point) in points.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"label\": \"{}\",\n", point.label));
+        out.push_str(&format!(
+            "      \"map_budget\": {},\n",
+            point
+                .map_budget
+                .map_or("null".to_string(), |b| b.to_string())
+        ));
+        out.push_str(&format!("      \"completions\": {},\n", point.completions));
+        out.push_str("      \"classes\": [\n");
+        for (j, class) in point.report.classes.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"class\": \"{}\", \"count\": {}, \"p50_us\": {:.2}, \
+                 \"p99_us\": {:.2}, \"p999_us\": {:.2}, \"p9999_us\": {:.2}, \
+                 \"tail_sq_share\": {:.6}, \"tail_flash_share\": {:.6}, \
+                 \"tail_gc_share\": {:.6}, \"tail_map_share\": {:.6}, \
+                 \"tail_bus_share\": {:.6}, \"tail_ecc_share\": {:.6}}}{}\n",
+                class.class,
+                class.count,
+                class.p50_us,
+                class.p99_us,
+                class.p999_us,
+                class.p9999_us,
+                class.share(BlameCat::SqWait),
+                class.share(BlameCat::Flash),
+                class.share(BlameCat::GcWait),
+                class.share(BlameCat::Map),
+                class.share(BlameCat::Bus),
+                class.share(BlameCat::Ecc),
+                if j + 1 < point.report.classes.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Returns the argument following `--check-baseline`, if present.
+fn check_baseline_arg() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--check-baseline" {
+            return Some(args.next().unwrap_or_else(|| {
+                eprintln!("--check-baseline requires a path");
+                std::process::exit(2);
+            }));
+        }
+    }
+    None
+}
+
+/// Reads `completions_per_wall_second` from a previously written BENCH_tail
+/// JSON and checks the measured rate against it with [`BASELINE_TOLERANCE`]
+/// headroom.
+fn check_baseline(path: &str, measured: f64) -> Result<f64, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = json::Value::parse(&text).map_err(|e| format!("{path} does not parse: {e}"))?;
+    let baseline = doc
+        .get("completions_per_wall_second")
+        .and_then(|v| v.as_f64())
+        .ok_or_else(|| format!("{path} has no completions_per_wall_second"))?;
+    if measured < BASELINE_TOLERANCE * baseline {
+        return Err(format!(
+            "measured {measured:.0} completions/s is below {:.0}% of the \
+             baseline {baseline:.0} completions/s from {path}",
+            BASELINE_TOLERANCE * 100.0
+        ));
+    }
+    Ok(baseline)
+}

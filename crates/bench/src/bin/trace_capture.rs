@@ -29,6 +29,18 @@ fn main() {
         "metrics: {} samples x {} series, write amplification {:.3}",
         capture.samples, capture.series, capture.write_amplification
     );
+    if capture.dropped_events > 0 {
+        println!(
+            "WARNING: event ring overflowed; the span trace is missing {} events \
+             (raise RecorderConfig::ring_capacity for a complete capture; the \
+             dropped_events column in {} marks the lossy region)",
+            capture.dropped_events,
+            match scale {
+                Scale::Paper => "BENCH_trace_metrics.csv",
+                Scale::Quick => "BENCH_trace_metrics_quick.csv",
+            }
+        );
+    }
 
     let (trace_path, csv_path) = match scale {
         Scale::Paper => ("BENCH_trace.trace.json", "BENCH_trace_metrics.csv"),

@@ -12,7 +12,11 @@ use crate::device::DeviceError;
 use crate::host::{HostInterface, HostQueue};
 use crate::request::{BlockOpKind, BlockRequest, Completion};
 
-/// p50/p95/p99 response times of one request class, in milliseconds.
+/// p50/p95/p99/p99.9/p99.99 response times of one request class, in
+/// milliseconds.  The deep-tail points only separate from `p99_ms` once a
+/// class has ≥ 1000 (p99.9) / ≥ 10000 (p99.99) samples; below that the
+/// nearest-rank estimate collapses onto the maximum, same as `p99_ms` does
+/// under 100 samples.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct LatencyPercentiles {
     /// Median response time.
@@ -21,6 +25,10 @@ pub struct LatencyPercentiles {
     pub p95_ms: f64,
     /// 99th-percentile response time.
     pub p99_ms: f64,
+    /// 99.9th-percentile response time.
+    pub p999_ms: f64,
+    /// 99.99th-percentile response time.
+    pub p9999_ms: f64,
 }
 
 impl LatencyPercentiles {
@@ -30,6 +38,8 @@ impl LatencyPercentiles {
             p50_ms: stats.percentile(50.0).as_millis_f64(),
             p95_ms: stats.percentile(95.0).as_millis_f64(),
             p99_ms: stats.percentile(99.0).as_millis_f64(),
+            p999_ms: stats.percentile(99.9).as_millis_f64(),
+            p9999_ms: stats.percentile(99.99).as_millis_f64(),
         }
     }
 }
@@ -102,7 +112,7 @@ impl ReplayReport {
         Throughput::from_totals(self.bytes_written, self.makespan()).megabytes_per_sec()
     }
 
-    /// p50/p95/p99 response times per request class.
+    /// p50/p95/p99/p99.9/p99.99 response times per request class.
     pub fn percentiles(&self) -> ReportPercentiles {
         ReportPercentiles {
             all: LatencyPercentiles::of(&self.all),
@@ -335,6 +345,8 @@ mod tests {
         assert_eq!(report.bandwidth_mbps(), 0.0);
         let p = report.percentiles();
         assert_eq!(p.all.p99_ms, 0.0);
+        assert_eq!(p.all.p999_ms, 0.0);
+        assert_eq!(p.all.p9999_ms, 0.0);
     }
 
     #[test]
@@ -347,6 +359,9 @@ mod tests {
         assert!((p.all.p50_ms - 2.0).abs() < 1e-9);
         assert!((p.all.p99_ms - 3.0).abs() < 1e-9);
         assert!(p.all.p50_ms <= p.all.p95_ms && p.all.p95_ms <= p.all.p99_ms);
+        // With only 3 samples, the deep-tail points collapse onto the max.
+        assert!((p.all.p999_ms - 3.0).abs() < 1e-9);
+        assert!(p.all.p99_ms <= p.all.p999_ms && p.all.p999_ms <= p.all.p9999_ms);
         // The one high-priority read finished at 2 ms.
         assert!((p.high_priority.p99_ms - 2.0).abs() < 1e-9);
         assert!(p.reads.p50_ms > 0.0 && p.writes.p50_ms > 0.0);

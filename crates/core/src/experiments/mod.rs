@@ -36,10 +36,16 @@
 //! demand-paged mapping subsystem (`ossd-mapcache`): map-cache hit rate,
 //! effective write amplification, bandwidth and p99 vs. cache budget ×
 //! workload skew, on a TB-class geometry at paper scale.
+//! [`latency_blame`] turns the latency-attribution subsystem
+//! (`ossd_telemetry::attribution`) on a GC-active multi-initiator TPC-C
+//! slice and reports, per request class, the p50/p99/p99.9/p99.99 tail and
+//! the share of p99.9 latency blamed on GC, map I/O, fences, arbitration,
+//! bus transfer and ECC retries, swept across demand-paged map budgets.
 
 pub mod figure2;
 pub mod figure3;
 pub mod fleet_sweep;
+pub mod latency_blame;
 pub mod lifetime;
 pub mod map_cache;
 pub mod multi_host;

@@ -39,7 +39,7 @@ use ossd_block::{
 use ossd_ftl::FtlStats;
 use ossd_sim::SimTime;
 use ossd_ssd::{Ssd, SsdConfig, SsdError, SsdStats};
-use ossd_telemetry::{Recorder, RecorderConfig, TelemetryHandle};
+use ossd_telemetry::{BlameRecord, Recorder, RecorderConfig, TelemetryHandle};
 use std::sync::{Arc, Mutex};
 
 use crate::config::{FleetConfig, FleetLayout};
@@ -91,6 +91,9 @@ pub struct Fleet {
     rebuilt_bytes: u64,
     next_rebuild_id: u64,
     series: FleetSeries,
+    /// Whether latency attribution is enabled fleet-wide (sticky, so
+    /// replacement devices inherit it).
+    attribution: bool,
 }
 
 impl Fleet {
@@ -140,6 +143,7 @@ impl Fleet {
             rebuilt_bytes: 0,
             next_rebuild_id: 1 << 48,
             series: FleetSeries::new(),
+            attribution: false,
         })
     }
 
@@ -208,6 +212,38 @@ impl Fleet {
                 recorder
             })
             .collect()
+    }
+
+    /// Turns on latency attribution on every live member (and, sticky,
+    /// on any future replacement device).  Purely observational: schedules
+    /// and completions are bit-identical to an attribution-off fleet.
+    pub fn enable_attribution(&mut self) {
+        self.attribution = true;
+        for slot in self.slots.iter_mut() {
+            if let Some(ssd) = slot.ssd.as_mut() {
+                ssd.enable_attribution();
+            }
+        }
+    }
+
+    /// Whether [`Fleet::enable_attribution`] has been called.
+    pub fn attribution_enabled(&self) -> bool {
+        self.attribution
+    }
+
+    /// Drains every live member's per-request blame records, merged into
+    /// the fleet's canonical order `(finish, device, initiator, id)` and
+    /// tagged with the member device index.  Per-device aggregates
+    /// (histograms, class totals) stay behind on each device.
+    pub fn take_blame_records(&mut self) -> Vec<(usize, BlameRecord)> {
+        let mut merged: Vec<(usize, BlameRecord)> = Vec::new();
+        for (device, slot) in self.slots.iter_mut().enumerate() {
+            if let Some(ssd) = slot.ssd.as_mut() {
+                merged.extend(ssd.take_blame_records().into_iter().map(|r| (device, r)));
+            }
+        }
+        merged.sort_by_key(|(device, r)| (r.finish, *device, r.initiator, r.id));
+        merged
     }
 
     /// The canonical merged sub-completion order of the last serve session,
@@ -296,7 +332,10 @@ impl Fleet {
         }
         let generation = self.slots[index].generation + 1;
         let config = self.config.device_config(index, generation);
-        let ssd = Ssd::new(config).map_err(|e| DeviceError::Internal(e.to_string()))?;
+        let mut ssd = Ssd::new(config).map_err(|e| DeviceError::Internal(e.to_string()))?;
+        if self.attribution {
+            ssd.enable_attribution();
+        }
         self.slots[index].ssd = Some(ssd);
         self.slots[index].generation = generation;
         Ok(())

@@ -12,7 +12,7 @@ use ossd_ftl::{FtlConfig, FtlStats};
 use ossd_gc::BackgroundGcConfig;
 use ossd_sim::{SimDuration, SimRng, SimTime};
 use ossd_ssd::{MappingKind, SchedulerKind, SsdConfig};
-use ossd_telemetry::RecorderConfig;
+use ossd_telemetry::{BlameCat, RecorderConfig};
 
 const PAGE: u32 = 4096;
 const INITIATORS: usize = 2;
@@ -163,4 +163,68 @@ fn recorder_attached_fleet_run_is_neutral_and_namespaced() {
     assert_eq!(sample.device_bytes.len(), 3);
     assert!(sample.host_bytes_total > 0);
     assert!(!attached.series().to_csv().is_empty());
+}
+
+#[test]
+fn attribution_enabled_fleet_run_is_neutral_and_merges_records() {
+    // Detached reference run.
+    let mut detached = Fleet::new(fleet_config()).expect("fleet");
+    let reference = run_workload(&mut detached);
+
+    // Attribution-enabled run of the identical fleet: blame accounting
+    // must not move a single sub-completion on any member.
+    let mut attributed = Fleet::new(fleet_config()).expect("fleet");
+    attributed.enable_attribution();
+    assert!(attributed.attribution_enabled());
+    let observed = run_workload(&mut attributed);
+
+    assert_eq!(
+        reference.completions, observed.completions,
+        "attribution changed the completion schedules"
+    );
+    assert_eq!(
+        reference.merged, observed.merged,
+        "attribution changed the merged sub-completion log"
+    );
+    assert_eq!(
+        reference.ftl_stats, observed.ftl_stats,
+        "attribution changed per-device FTL statistics"
+    );
+
+    // One record per sub-completion, drained in the canonical merged
+    // order, every one summing exactly to its end-to-end latency, with
+    // the workload's forced cleaning visible as GC blame.
+    let records = attributed.take_blame_records();
+    assert_eq!(
+        records.len(),
+        reference.merged.len(),
+        "one blame record per merged sub-completion"
+    );
+    let mut devices_seen = [false; 3];
+    let mut gc_blamed = 0u64;
+    for window in records.windows(2) {
+        let key = |(device, r): &(usize, _)| {
+            let r: &ossd_telemetry::BlameRecord = r;
+            (r.finish, *device, r.initiator, r.id)
+        };
+        assert!(key(&window[0]) <= key(&window[1]), "records out of order");
+    }
+    for (device, r) in &records {
+        devices_seen[*device] = true;
+        assert!(
+            r.is_exact(),
+            "device {device}: blame components sum to {} ns but command {} took {} ns",
+            r.total_nanos(),
+            r.id,
+            r.finish.saturating_since(r.arrival).as_nanos()
+        );
+        gc_blamed += r.breakdown.get(BlameCat::GcWait);
+    }
+    assert!(
+        devices_seen.iter().all(|&d| d),
+        "a member produced no records"
+    );
+    assert!(gc_blamed > 0, "no latency blamed on GC across the fleet");
+    // The drain is destructive: a second take returns nothing new.
+    assert!(attributed.take_blame_records().is_empty());
 }

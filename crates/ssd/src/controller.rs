@@ -39,7 +39,9 @@
 use ossd_block::{BlockOpKind, BlockRequest, Completion, CompletionStatus, Priority};
 use ossd_sim::engine::{Controller, DispatchedOp};
 use ossd_sim::{SimDuration, SimTime};
-use ossd_telemetry::{EventKind, ServiceClass, TelemetryHandle, Track};
+use ossd_telemetry::{
+    BlameBreakdown, BlameCat, BlameRecord, EventKind, ServiceClass, TelemetryHandle, Track,
+};
 
 use crate::device::Ssd;
 use crate::error::SsdError;
@@ -129,6 +131,12 @@ pub(crate) struct SsdController<'a> {
     fence_remaining: Vec<u64>,
     /// Global indices of the fences of each initiator, ascending.
     fences_by_initiator: Vec<Vec<usize>>,
+    /// Running maximum finish time per initiator, updated as commands
+    /// complete.  When a fence dispatches, every earlier same-initiator
+    /// command has completed (that is what made it eligible), so this is
+    /// exactly the instant the fence stopped being fence-blocked — the
+    /// split point between its `Fence` and `SqWait` blame.
+    initiator_drain: Vec<SimTime>,
     completions: Vec<Option<Completion>>,
     /// Reusable dispatch-decision buffers (queue positions of the eligible
     /// commands and their scheduler views), refilled on every decision
@@ -176,6 +184,7 @@ impl<'a> SsdController<'a> {
             prev_fence,
             fence_remaining,
             fences_by_initiator,
+            initiator_drain: vec![SimTime::ZERO; initiators],
             completions: vec![None; commands.len()],
             eligible_scratch: Vec::new(),
             views_scratch: Vec::new(),
@@ -242,6 +251,70 @@ impl<'a> SsdController<'a> {
             self.telemetry
                 .observe_service(class, completion.response_time().as_nanos());
         }
+    }
+
+    /// Assembles one dispatched command's blame record.  The
+    /// controller-visible wait `[arrival, dispatch)` is split at the instant
+    /// the command became *eligible* — data commands when their nearest
+    /// earlier fence finished, fences when their initiator drained — into
+    /// `Fence` (ordering stall) and `SqWait` (arbitration / dispatch-window
+    /// wait), then joined with the device-side breakdown of
+    /// `[dispatch, finish)` that `issue_request`/`flush` left pending.
+    fn record_attribution(&mut self, index: usize, dispatch: SimTime, completion: &Completion) {
+        let command = &self.commands[index];
+        let eligible = match &command.payload {
+            CommandPayload::Data(_) => match self.prev_fence[index] {
+                None => command.arrival,
+                Some(fence) => {
+                    let fence_finish = self.completions[fence]
+                        .as_ref()
+                        .expect("eligibility requires the fence to have finished")
+                        .finish;
+                    command.arrival.max(fence_finish)
+                }
+            },
+            CommandPayload::Flush | CommandPayload::Barrier => {
+                command.arrival.max(self.initiator_drain[command.initiator])
+            }
+        };
+        let mut breakdown = match &command.payload {
+            // A barrier does no device work; its whole latency is ordering.
+            CommandPayload::Barrier => BlameBreakdown::new(),
+            CommandPayload::Data(_) | CommandPayload::Flush => self
+                .ssd
+                .take_pending_blame()
+                .expect("device left a pending breakdown for the issued command"),
+        };
+        breakdown.add(BlameCat::Fence, eligible.saturating_since(command.arrival));
+        breakdown.add(BlameCat::SqWait, dispatch.saturating_since(eligible));
+        let class = match &command.payload {
+            CommandPayload::Data(request) => match request.kind {
+                BlockOpKind::Read => Some(ServiceClass::Read),
+                BlockOpKind::Write => Some(ServiceClass::Write),
+                BlockOpKind::Free => Some(ServiceClass::Free),
+            },
+            CommandPayload::Flush => Some(ServiceClass::Flush),
+            CommandPayload::Barrier => None,
+        };
+        let record = BlameRecord {
+            id: command.id,
+            initiator: command.initiator as u32,
+            class,
+            arrival: command.arrival,
+            finish: completion.finish,
+            breakdown,
+        };
+        debug_assert!(
+            record.is_exact(),
+            "blame components ({} ns) do not sum to end-to-end latency ({} ns) for command {}",
+            record.total_nanos(),
+            completion
+                .finish
+                .saturating_since(command.arrival)
+                .as_nanos(),
+            command.id
+        );
+        self.ssd.record_blame(record);
     }
 
     /// Whether the queued command may be dispatched now: fences wait for
@@ -344,6 +417,9 @@ impl Controller for SsdController<'_> {
             if self.telemetry.is_enabled() {
                 self.trace_command(command, dispatch, &completion);
             }
+            if self.ssd.attribution_enabled() {
+                self.record_attribution(picked.index, dispatch, &completion);
+            }
             self.completions[picked.index] = Some(completion);
             self.slots_in_use += 1;
             self.unfinished += 1;
@@ -366,6 +442,12 @@ impl Controller for SsdController<'_> {
         let index = token as usize;
         self.finished[index] = true;
         let done = self.commands[index];
+        let finish = self.completions[index]
+            .as_ref()
+            .expect("completion stored at dispatch")
+            .finish;
+        let drain = &mut self.initiator_drain[done.initiator];
+        *drain = (*drain).max(finish);
         // Every later fence of this initiator waits on one fewer command.
         for &fence in &self.fences_by_initiator[done.initiator] {
             if self.commands[fence].seq > done.seq {

@@ -11,10 +11,15 @@ use ossd_block::{
     arbitrate_round_robin, BlockDevice, BlockOpKind, BlockRequest, Completion, CompletionStatus,
     DeviceError, DeviceInfo, HostCommand, HostInterface, HostQueue, StreamTemperature,
 };
-use ossd_ftl::{FlashOp, FlashOpKind, Ftl, FtlStats, Lpn, PageFtl, StripeFtl, WriteContext};
+use ossd_ftl::{
+    FlashOp, FlashOpKind, Ftl, FtlStats, Lpn, OpPurpose, PageFtl, StripeFtl, WriteContext,
+};
 use ossd_gc::{BackgroundCleaner, BackgroundGcStats};
-use ossd_sim::{SimDuration, SimTime};
-use ossd_telemetry::{EventKind, MetricsSample, TelemetryHandle, Track};
+use ossd_sim::{Service, SimDuration, SimTime};
+use ossd_telemetry::{
+    BlameBreakdown, BlameCat, BlameCollector, BlameRecord, BlameSource, EventKind, MetricsSample,
+    TelemetryHandle, Track,
+};
 
 use crate::config::{MappingKind, SsdConfig};
 use crate::controller::{CommandPayload, SessionCommand, SsdController};
@@ -42,6 +47,106 @@ pub struct Ssd {
     op_scratch: Vec<FlashOp>,
     /// Telemetry sink shared with the FTL; detached (inert) by default.
     telemetry: TelemetryHandle,
+    /// Latency-attribution state; `None` (zero cost beyond one pointer
+    /// check) unless [`Ssd::enable_attribution`] was called.
+    attribution: Option<Box<Attribution>>,
+}
+
+/// Blame captured for one scheduled flash op: its queue waits (split by
+/// what ran ahead) plus its own element/bus service time, and where its
+/// chain finished.  Only the critical op — the one whose finish *is* the
+/// batch finish — contributes to the request's breakdown; the others ran
+/// in parallel under it.
+struct OpBlame {
+    blame: BlameBreakdown,
+    finish: SimTime,
+    foreground: bool,
+}
+
+/// Device-side latency-attribution state (see `ossd_telemetry::attribution`).
+#[derive(Default)]
+struct Attribution {
+    collector: BlameCollector,
+    /// Monotonic owner token for ledger self-matching.  Request ids can
+    /// collide across initiators and sessions, so ledger segments are owned
+    /// by this counter instead.
+    next_owner: u64,
+    /// Critical-chain blame of the most recent `schedule_ops` batch,
+    /// covering exactly `[floor, finish)` of that batch.
+    chain: BlameBreakdown,
+    /// Completed device-side breakdown (dispatch → finish) of the command
+    /// just issued, awaiting pickup by the controller.
+    pending: Option<BlameBreakdown>,
+    /// Reusable per-op blame buffer for `schedule_ops`.
+    op_scratch: Vec<OpBlame>,
+}
+
+/// What a flash op's busy time *is*, for the wait-attribution ledger.
+fn blame_source(op: &FlashOp) -> BlameSource {
+    let gc_purpose = matches!(
+        op.purpose,
+        OpPurpose::Clean | OpPurpose::BackgroundClean | OpPurpose::WearLevel
+    );
+    match op.kind {
+        FlashOpKind::CopybackPage | FlashOpKind::EraseBlock => BlameSource::Gc,
+        FlashOpKind::MapRead | FlashOpKind::MapWrite => {
+            if gc_purpose {
+                // Translation pages relocated by cleaning are GC work.
+                BlameSource::Gc
+            } else {
+                BlameSource::Map
+            }
+        }
+        FlashOpKind::ReadRetry => BlameSource::Ecc,
+        FlashOpKind::ReadPage | FlashOpKind::ProgramPage => {
+            if gc_purpose {
+                // The stripe FTL cleans with plain reads/programs.
+                BlameSource::Gc
+            } else {
+                BlameSource::HostData
+            }
+        }
+    }
+}
+
+/// The category an op's *own* element-array service time is blamed on.
+fn own_element_cat(source: BlameSource) -> BlameCat {
+    match source {
+        BlameSource::HostData => BlameCat::Flash,
+        BlameSource::Gc => BlameCat::GcWait,
+        BlameSource::Map => BlameCat::Map,
+        BlameSource::Ecc => BlameCat::Ecc,
+    }
+}
+
+/// The category an op's *own* bus-transfer time is blamed on.
+fn own_bus_cat(source: BlameSource) -> BlameCat {
+    match source {
+        BlameSource::HostData => BlameCat::Bus,
+        other => own_element_cat(other),
+    }
+}
+
+/// `ElementQueue::accept`, blaming the op's wait and own service into
+/// `blame` when attribution is on (`blame` is `Some`).  Timing is identical
+/// either way.
+fn accept_blamed(
+    queue: &mut ElementQueue,
+    arrival: SimTime,
+    service: SimDuration,
+    own_cat: BlameCat,
+    owner: u64,
+    source: BlameSource,
+    blame: Option<&mut BlameBreakdown>,
+) -> Service {
+    match blame {
+        Some(b) => {
+            let svc = queue.accept_tagged(arrival, service, owner, source, b);
+            b.add(own_cat, service);
+            svc
+        }
+        None => queue.accept(arrival, service),
+    }
 }
 
 // The fleet layer moves whole devices to worker threads, so `Ssd` must stay
@@ -129,7 +234,70 @@ impl Ssd {
             last_activity: SimTime::ZERO,
             op_scratch: Vec::new(),
             telemetry: TelemetryHandle::noop(),
+            attribution: None,
         })
+    }
+
+    /// Enables per-request latency attribution: every element/bus queue
+    /// keeps a blame ledger, and every completion gets a [`BlameRecord`]
+    /// decomposing its end-to-end latency into components that sum exactly
+    /// (see `ossd_telemetry::attribution`).  Purely observational — the
+    /// schedule is bit-identical with attribution on or off.  Idempotent.
+    pub fn enable_attribution(&mut self) {
+        if self.attribution.is_some() {
+            return;
+        }
+        for q in &mut self.elements {
+            q.enable_blame();
+        }
+        for q in &mut self.buses {
+            q.enable_blame();
+        }
+        self.attribution = Some(Box::default());
+    }
+
+    /// Whether [`Ssd::enable_attribution`] was called.
+    pub fn attribution_enabled(&self) -> bool {
+        self.attribution.is_some()
+    }
+
+    /// The attributed completions recorded so far (empty when attribution
+    /// is disabled or the records were drained).
+    pub fn blame_records(&self) -> &[BlameRecord] {
+        self.attribution
+            .as_ref()
+            .map(|a| a.collector.records())
+            .unwrap_or(&[])
+    }
+
+    /// Drains the attributed completions, leaving per-class/per-initiator
+    /// aggregates in place.  Experiments drain after a prefill phase so the
+    /// measured records cover only the workload of interest.
+    pub fn take_blame_records(&mut self) -> Vec<BlameRecord> {
+        self.attribution
+            .as_mut()
+            .map(|a| a.collector.take_records())
+            .unwrap_or_default()
+    }
+
+    /// The blame aggregates (per class, per initiator), when attribution is
+    /// enabled.
+    pub fn blame_collector(&self) -> Option<&BlameCollector> {
+        self.attribution.as_ref().map(|a| &a.collector)
+    }
+
+    /// Hands the device-side breakdown (dispatch → finish) of the command
+    /// just issued to the controller, which adds SQ/fence components and
+    /// records the completed [`BlameRecord`].
+    pub(crate) fn take_pending_blame(&mut self) -> Option<BlameBreakdown> {
+        self.attribution.as_mut().and_then(|a| a.pending.take())
+    }
+
+    /// Stores one completed attribution record (called by the controller).
+    pub(crate) fn record_blame(&mut self, record: BlameRecord) {
+        if let Some(a) = self.attribution.as_deref_mut() {
+            a.collector.push(record);
+        }
     }
 
     /// Attaches a telemetry sink to the device and its FTL.  Every layer —
@@ -166,6 +334,7 @@ impl Ssd {
             gc_stale_pages: self.ftl.gc_stale_pages(),
             host_bytes_written: self.stats.bytes_written,
             map_hit_rate: self.ftl.map_stats().hit_rate(),
+            dropped_events: 0, // the recording sink stamps its own drop count
             element_depths: self
                 .elements
                 .iter()
@@ -240,16 +409,32 @@ impl Ssd {
     /// starting no earlier than `at`.  Returns the completion time of the
     /// flush (equal to `at` when there was nothing to flush).
     pub fn flush(&mut self, at: SimTime) -> Result<SimTime, SsdError> {
+        if let Some(a) = self.attribution.as_deref_mut() {
+            a.chain = BlameBreakdown::new();
+            a.pending = None;
+        }
         let mut ops = std::mem::take(&mut self.op_scratch);
         ops.clear();
         self.ftl.flush_into(&mut ops)?;
         if ops.is_empty() {
             self.op_scratch = ops;
+            if let Some(a) = self.attribution.as_deref_mut() {
+                a.pending = Some(BlameBreakdown::new());
+            }
             return Ok(at);
         }
         let (_, finish) = self.schedule_ops(&ops, at);
         self.op_scratch = ops;
         self.last_activity = self.last_activity.max(finish);
+        if let Some(a) = self.attribution.as_deref_mut() {
+            // The critical chain covers `[at, finish)` exactly; any
+            // remainder (none today) would be controller time.
+            let mut breakdown = a.chain;
+            let total = finish.saturating_since(at).as_nanos();
+            let scheduled = breakdown.total_nanos();
+            breakdown.add_nanos(BlameCat::Controller, total.saturating_sub(scheduled));
+            a.pending = Some(breakdown);
+        }
         Ok(finish)
     }
 
@@ -266,6 +451,12 @@ impl Ssd {
     /// after any element/bus queueing) and the completion time of the last
     /// host-visible (foreground) operation — or of the last operation
     /// overall when the batch holds only background work.
+    ///
+    /// With attribution enabled, every accept additionally records its busy
+    /// segment in the queue's blame ledger and splits its wait over what ran
+    /// ahead; the **critical chain** — the op whose finish *is* the returned
+    /// finish — becomes `Attribution::chain`, an exact decomposition of
+    /// `[floor, finish)`.  None of this alters timing.
     fn schedule_ops(&mut self, ops: &[FlashOp], floor: SimTime) -> (SimTime, SimTime) {
         let timing = &self.config.timing;
         let page_bytes = self.config.geometry.page_bytes as u64;
@@ -273,19 +464,47 @@ impl Ssd {
         let mut any_finish = floor;
         let mut service_begin = SimTime::MAX;
         let traced = self.telemetry.is_enabled();
+        let attribution_on = self.attribution.is_some();
+        let owner = match self.attribution.as_deref_mut() {
+            Some(a) => {
+                a.op_scratch.clear();
+                a.chain = BlameBreakdown::new();
+                let owner = a.next_owner;
+                a.next_owner += 1;
+                owner
+            }
+            None => 0,
+        };
         for op in ops {
             let element = op.element.index();
             let gang = self.gang_of(element);
             let purpose = op.purpose.telemetry_code();
+            let source = blame_source(op);
+            let mut op_blame = attribution_on.then(BlameBreakdown::new);
             let (begin, finish, busy) = match op.kind {
                 FlashOpKind::ReadPage | FlashOpKind::ReadRetry => {
                     // Array read on the die, then the transfer serialises on
                     // the gang bus.  An ECC read-retry re-reads the array
                     // with shifted thresholds and re-transfers the page, so
                     // it costs a full read pass of latency.
-                    let read = self.elements[element].accept(floor, timing.read_page);
-                    let xfer =
-                        self.buses[gang].accept(read.completion, timing.transfer(page_bytes));
+                    let read = accept_blamed(
+                        &mut self.elements[element],
+                        floor,
+                        timing.read_page,
+                        own_element_cat(source),
+                        owner,
+                        source,
+                        op_blame.as_mut(),
+                    );
+                    let xfer = accept_blamed(
+                        &mut self.buses[gang],
+                        read.completion,
+                        timing.transfer(page_bytes),
+                        own_bus_cat(source),
+                        owner,
+                        source,
+                        op_blame.as_mut(),
+                    );
                     if traced {
                         let kind = if op.kind == FlashOpKind::ReadRetry {
                             EventKind::FlashReadRetry
@@ -317,8 +536,24 @@ impl Ssd {
                 }
                 FlashOpKind::ProgramPage => {
                     // Data crosses the gang bus first, then the die programs.
-                    let xfer = self.buses[gang].accept(floor, timing.transfer(page_bytes));
-                    let prog = self.elements[element].accept(xfer.completion, timing.program_page);
+                    let xfer = accept_blamed(
+                        &mut self.buses[gang],
+                        floor,
+                        timing.transfer(page_bytes),
+                        own_bus_cat(source),
+                        owner,
+                        source,
+                        op_blame.as_mut(),
+                    );
+                    let prog = accept_blamed(
+                        &mut self.elements[element],
+                        xfer.completion,
+                        timing.program_page,
+                        own_element_cat(source),
+                        owner,
+                        source,
+                        op_blame.as_mut(),
+                    );
                     if traced {
                         self.telemetry.span(
                             xfer.start,
@@ -345,7 +580,15 @@ impl Ssd {
                 }
                 FlashOpKind::CopybackPage => {
                     let svc = timing.copyback_service();
-                    let s = self.elements[element].accept(floor, svc);
+                    let s = accept_blamed(
+                        &mut self.elements[element],
+                        floor,
+                        svc,
+                        own_element_cat(source),
+                        owner,
+                        source,
+                        op_blame.as_mut(),
+                    );
                     if traced {
                         self.telemetry.span(
                             s.start,
@@ -359,7 +602,15 @@ impl Ssd {
                     (s.start, s.completion, svc)
                 }
                 FlashOpKind::EraseBlock => {
-                    let s = self.elements[element].accept(floor, timing.erase_block);
+                    let s = accept_blamed(
+                        &mut self.elements[element],
+                        floor,
+                        timing.erase_block,
+                        own_element_cat(source),
+                        owner,
+                        source,
+                        op_blame.as_mut(),
+                    );
                     if traced {
                         self.telemetry.span(
                             s.start,
@@ -376,9 +627,24 @@ impl Ssd {
                     // A translation-page fill costs a full page read: array
                     // read on the die, then the transfer serialises on the
                     // gang bus — map traffic competes with host traffic.
-                    let read = self.elements[element].accept(floor, timing.read_page);
-                    let xfer =
-                        self.buses[gang].accept(read.completion, timing.transfer(page_bytes));
+                    let read = accept_blamed(
+                        &mut self.elements[element],
+                        floor,
+                        timing.read_page,
+                        own_element_cat(source),
+                        owner,
+                        source,
+                        op_blame.as_mut(),
+                    );
+                    let xfer = accept_blamed(
+                        &mut self.buses[gang],
+                        read.completion,
+                        timing.transfer(page_bytes),
+                        own_bus_cat(source),
+                        owner,
+                        source,
+                        op_blame.as_mut(),
+                    );
                     if traced {
                         self.telemetry.span(
                             read.start,
@@ -406,8 +672,24 @@ impl Ssd {
                 FlashOpKind::MapWrite => {
                     // A translation-page writeback costs a full page program:
                     // the page crosses the gang bus, then the die programs.
-                    let xfer = self.buses[gang].accept(floor, timing.transfer(page_bytes));
-                    let prog = self.elements[element].accept(xfer.completion, timing.program_page);
+                    let xfer = accept_blamed(
+                        &mut self.buses[gang],
+                        floor,
+                        timing.transfer(page_bytes),
+                        own_bus_cat(source),
+                        owner,
+                        source,
+                        op_blame.as_mut(),
+                    );
+                    let prog = accept_blamed(
+                        &mut self.elements[element],
+                        xfer.completion,
+                        timing.program_page,
+                        own_element_cat(source),
+                        owner,
+                        source,
+                        op_blame.as_mut(),
+                    );
                     if traced {
                         self.telemetry.span(
                             xfer.start,
@@ -435,21 +717,34 @@ impl Ssd {
             };
             service_begin = service_begin.min(begin);
             any_finish = any_finish.max(finish);
+            let mut foreground = false;
             match op.purpose {
-                ossd_ftl::OpPurpose::Clean => {
+                OpPurpose::Clean => {
                     self.stats.cleaning_busy = self.stats.cleaning_busy.saturating_add(busy);
                 }
-                ossd_ftl::OpPurpose::BackgroundClean => {
+                OpPurpose::BackgroundClean => {
                     self.stats.background_cleaning_busy =
                         self.stats.background_cleaning_busy.saturating_add(busy);
                 }
-                ossd_ftl::OpPurpose::WearLevel => {
+                OpPurpose::WearLevel => {
                     self.stats.wear_level_busy = self.stats.wear_level_busy.saturating_add(busy);
                 }
                 _ => {
                     self.stats.host_busy = self.stats.host_busy.saturating_add(busy);
                     host_finish = host_finish.max(finish);
+                    foreground = true;
                 }
+            }
+            if let Some(blame) = op_blame {
+                self.attribution
+                    .as_deref_mut()
+                    .expect("op_blame is Some only with attribution on")
+                    .op_scratch
+                    .push(OpBlame {
+                        blame,
+                        finish,
+                        foreground,
+                    });
             }
         }
         if service_begin == SimTime::MAX {
@@ -460,6 +755,29 @@ impl Ssd {
         } else {
             any_finish
         };
+        if let Some(a) = self.attribution.as_deref_mut() {
+            // The batch finish is some op's chain finish; that op's waits
+            // and services decompose `[floor, finish)` exactly — everything
+            // else in the batch overlapped under it.  Prefer a foreground
+            // op on ties (its chain is what the host actually waited for).
+            let mut pick: Option<usize> = None;
+            for (i, ob) in a.op_scratch.iter().enumerate() {
+                if ob.finish != finish {
+                    continue;
+                }
+                match pick {
+                    None => pick = Some(i),
+                    Some(p) => {
+                        if ob.foreground || !a.op_scratch[p].foreground {
+                            pick = Some(i);
+                        }
+                    }
+                }
+            }
+            if let Some(i) = pick {
+                a.chain = a.op_scratch[i].blame;
+            }
+        }
         (service_begin, finish)
     }
 
@@ -561,6 +879,13 @@ impl Ssd {
         // Keep the sink's time register current before FTL work: the FTL
         // stamps its GC and reliability instants from this register.
         self.telemetry.set_now(start);
+        if let Some(a) = self.attribution.as_deref_mut() {
+            // A fresh chain per command: paths that never reach the flash
+            // array (frees, prefetch hits, buffered writes) leave it zero
+            // and their whole service time lands on the controller.
+            a.chain = BlameBreakdown::new();
+            a.pending = None;
+        }
         // `service_start` is refined to the moment the first flash operation
         // actually began once the request reaches the flash array; requests
         // served entirely from controller RAM keep the dispatch time.
@@ -658,6 +983,23 @@ impl Ssd {
             finish,
             request.id
         );
+        if let Some(a) = self.attribution.as_deref_mut() {
+            // Device-side breakdown of `[dispatch, finish)`: the scheduled
+            // critical chain covers `[floor, finish)`; everything before the
+            // floor — overhead, random penalty, RAM transfer, RAM-only
+            // service — is controller time by definition, so the difference
+            // is exact without re-deriving which path was taken.
+            let mut breakdown = a.chain;
+            let total = finish.saturating_since(start).as_nanos();
+            let scheduled = breakdown.total_nanos();
+            debug_assert!(
+                scheduled <= total,
+                "chain ({scheduled} ns) exceeds device service ({total} ns) for request {}",
+                request.id
+            );
+            breakdown.add_nanos(BlameCat::Controller, total.saturating_sub(scheduled));
+            a.pending = Some(breakdown);
+        }
         Ok(Completion {
             request_id: request.id,
             arrival: request.arrival,

@@ -8,10 +8,18 @@
 //! *waiting* to start at any point in simulated time — the per-element queue
 //! occupancy that NCQ-style queue depths (`SsdConfig::queue_depth`) and the
 //! shortest-wait-time-first scheduler reason about.
+//!
+//! With latency attribution enabled ([`ElementQueue::enable_blame`]), each
+//! queue additionally keeps a [`BlameLedger`] of the busy segments accepted
+//! ops occupy, so a later op's wait can be split by *what ran ahead of it*
+//! (host data vs GC vs map vs ECC traffic).  The ledger is purely
+//! observational — [`ElementQueue::accept_tagged`] computes the identical
+//! schedule as [`ElementQueue::accept`].
 
 use std::collections::VecDeque;
 
 use ossd_sim::{Server, Service, SimDuration, SimTime};
+use ossd_telemetry::{BlameBreakdown, BlameLedger, BlameSource};
 
 /// One flash element's (or gang bus's) dispatch queue: operations accepted
 /// by the controller wait here until the resource starts them.
@@ -23,6 +31,9 @@ pub struct ElementQueue {
     pending_starts: VecDeque<SimTime>,
     peak_queued: usize,
     ops_accepted: u64,
+    /// Busy-segment ledger for wait attribution; `None` unless the device
+    /// has latency attribution enabled.
+    ledger: Option<BlameLedger>,
 }
 
 impl ElementQueue {
@@ -41,6 +52,38 @@ impl ElementQueue {
             self.peak_queued = self.peak_queued.max(self.pending_starts.len());
         }
         self.ops_accepted += 1;
+        svc
+    }
+
+    /// Start keeping a busy-segment ledger so [`ElementQueue::accept_tagged`]
+    /// can attribute waits.  Idempotent; never affects schedules.
+    pub fn enable_blame(&mut self) {
+        if self.ledger.is_none() {
+            self.ledger = Some(BlameLedger::new());
+        }
+    }
+
+    /// [`ElementQueue::accept`], plus blame bookkeeping: the op's waiting
+    /// interval is split over the ledger's recorded segments into `waits`
+    /// (categories relative to `owner`), and the op's own busy segment is
+    /// recorded as `source` work for *later* waiters to blame.
+    ///
+    /// Timing is byte-identical to the untagged path; when no ledger is
+    /// enabled this *is* the untagged path.
+    pub fn accept_tagged(
+        &mut self,
+        arrival: SimTime,
+        service: SimDuration,
+        owner: u64,
+        source: BlameSource,
+        waits: &mut BlameBreakdown,
+    ) -> Service {
+        let svc = self.accept(arrival, service);
+        if let Some(ledger) = &mut self.ledger {
+            ledger.prune(arrival);
+            ledger.split_wait(arrival, svc.start, owner, waits);
+            ledger.record(svc.start, svc.completion, owner, source);
+        }
         svc
     }
 
@@ -122,6 +165,44 @@ mod tests {
         // Only one op was ever waiting at a time: the first of each pair
         // started immediately.
         assert_eq!(q.peak_queued(), 1);
+    }
+
+    #[test]
+    fn tagged_accept_matches_untagged_and_attributes_waits() {
+        use ossd_telemetry::BlameCat;
+        let mut plain = ElementQueue::new();
+        let mut tagged = ElementQueue::new();
+        tagged.enable_blame();
+        let mut sink = BlameBreakdown::new();
+        // A GC erase occupies [0, 10); a host op from owner 1 arrives at 2.
+        let p1 = plain.accept(SimTime::ZERO, SimDuration::from_micros(10));
+        let t1 = tagged.accept_tagged(
+            SimTime::ZERO,
+            SimDuration::from_micros(10),
+            0,
+            BlameSource::Gc,
+            &mut sink,
+        );
+        assert_eq!((p1.start, p1.completion), (t1.start, t1.completion));
+        assert_eq!(sink.total_nanos(), 0);
+        let mut waits = BlameBreakdown::new();
+        let p2 = plain.accept(SimTime::from_micros(2), SimDuration::from_micros(5));
+        let t2 = tagged.accept_tagged(
+            SimTime::from_micros(2),
+            SimDuration::from_micros(5),
+            1,
+            BlameSource::HostData,
+            &mut waits,
+        );
+        assert_eq!((p2.start, p2.completion), (t2.start, t2.completion));
+        // The 8 µs wait is entirely blamed on the GC segment ahead of it.
+        assert_eq!(waits.get(BlameCat::GcWait), 8_000);
+        assert_eq!(
+            waits.total_nanos(),
+            t2.start
+                .saturating_since(SimTime::from_micros(2))
+                .as_nanos()
+        );
     }
 
     #[test]

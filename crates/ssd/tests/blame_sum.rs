@@ -1,0 +1,175 @@
+//! Blame-sum property test: for *every* completion of a randomized,
+//! fault-injected, demand-paged, multi-initiator workload, the latency
+//! attribution subsystem must produce exactly one record whose components
+//! sum *exactly* to the command's end-to-end latency — no unexplained
+//! nanoseconds, no double counting.
+//!
+//! The workload is deliberately hostile to the accounting: a finite
+//! map-cache budget puts translation traffic (MapRead/MapWrite) in front of
+//! host commands, the stressed wear-out fault model makes ECC retries part
+//! of the schedule, watermark-driven cleaning interleaves copybacks and
+//! erases, three initiators mix reads, writes, frees, flushes and barriers
+//! (so fence and arbitration waits are exercised), and both schedulers are
+//! run across several seeds.
+
+use std::collections::HashMap;
+
+use ossd_block::{
+    BlockDevice, ByteRange, Completion, HostCommand, HostInterface, HostQueue, WriteHint,
+};
+use ossd_flash::{FlashGeometry, FlashTiming, ReliabilityConfig};
+use ossd_ftl::{FtlConfig, MapCacheConfig};
+use ossd_gc::BackgroundGcConfig;
+use ossd_sim::{SimDuration, SimRng, SimTime};
+use ossd_ssd::{MappingKind, SchedulerKind, Ssd, SsdConfig};
+use ossd_telemetry::BlameCat;
+
+const PAGE: u32 = 4096;
+const INITIATORS: usize = 3;
+
+fn device_config(scheduler: SchedulerKind) -> SsdConfig {
+    SsdConfig {
+        name: "blame-sum".to_string(),
+        geometry: FlashGeometry {
+            packages: 4,
+            dies_per_package: 1,
+            planes_per_die: 1,
+            blocks_per_plane: 48,
+            pages_per_block: 32,
+            page_bytes: PAGE,
+        },
+        timing: FlashTiming::slc(),
+        mapping: MappingKind::PageMapped,
+        ftl: FtlConfig::default()
+            .with_overprovisioning(0.12)
+            .with_watermarks(0.10, 0.04)
+            // A finite map budget forces translation-page faults, so map
+            // traffic stands in front of host commands.
+            .with_map_cache(MapCacheConfig::default().with_budget(128)),
+        // Wear-out faults put ECC retries in the schedule.
+        reliability: ReliabilityConfig::wearout(0xD00D_5EED),
+        background_gc: Some(BackgroundGcConfig::default()),
+        gangs: 2,
+        scheduler,
+        queue_depth: 4,
+        controller_overhead: SimDuration::from_micros(10),
+        random_penalty: SimDuration::ZERO,
+        sequential_prefetch: false,
+        ram_bytes_per_sec: 200_000_000,
+    }
+}
+
+/// Runs seeded churn in multi-initiator serve sessions and returns every
+/// completion tagged with its initiator.
+fn run_workload(ssd: &mut Ssd, seed: u64) -> Vec<(usize, Completion)> {
+    let page = ssd.logical_page_bytes();
+    let logical_pages = ssd.capacity_bytes() / page;
+    let mut queues: Vec<HostQueue> = (0..INITIATORS).map(|_| HostQueue::new()).collect();
+    let mut completions: Vec<(usize, Completion)> = Vec::new();
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut at = SimTime::ZERO;
+    let mut id = 0u64;
+    let total_ops = logical_pages * 3;
+    let mut issued = 0u64;
+    while issued < total_ops {
+        let batch = 96.min(total_ops - issued);
+        for k in 0..batch {
+            let arrival = at + SimDuration::from_micros(k * 2);
+            let command = if issued + k < logical_pages {
+                // Sequential fill so later churn always overwrites live data.
+                HostCommand::Write {
+                    range: ByteRange::new((issued + k) * page, page),
+                    hint: WriteHint::default(),
+                }
+            } else {
+                let pages = 1 + rng.next_u64_below(3);
+                let start = rng.next_u64_below(logical_pages - pages);
+                let range = ByteRange::new(start * page, pages * page);
+                match rng.next_u64_below(16) {
+                    0 => HostCommand::Flush,
+                    1 => HostCommand::Barrier,
+                    2 => HostCommand::Free { range },
+                    3..=6 => HostCommand::Read { range },
+                    _ => HostCommand::Write {
+                        range,
+                        hint: WriteHint::default(),
+                    },
+                }
+            };
+            let initiator = (id % INITIATORS as u64) as usize;
+            queues[initiator].submit(id, command, arrival);
+            id += 1;
+        }
+        ssd.serve(&mut queues).expect("session serves cleanly");
+        let mut last = at;
+        for (i, queue) in queues.iter_mut().enumerate() {
+            for c in queue.drain_completions() {
+                last = last.max(c.finish);
+                completions.push((i, c));
+            }
+        }
+        at = last + SimDuration::from_micros(10);
+        issued += batch;
+    }
+    completions
+}
+
+#[test]
+fn every_completion_decomposes_exactly_under_randomized_churn() {
+    let mut totals = [0u64; BlameCat::COUNT];
+    for scheduler in [SchedulerKind::Fcfs, SchedulerKind::Swtf] {
+        for seed in [0x5EED_0001u64, 0x5EED_0002, 0x5EED_0003] {
+            let label = format!("{scheduler:?}/seed {seed:#x}");
+            let mut ssd = Ssd::new(device_config(scheduler)).expect("device");
+            ssd.enable_attribution();
+            let completions = run_workload(&mut ssd, seed);
+            let records = ssd.take_blame_records();
+            assert_eq!(
+                records.len(),
+                completions.len(),
+                "{label}: one blame record per completion"
+            );
+            // Records and completions pair off by (initiator, id), and each
+            // record spans exactly its completion's [arrival, finish].
+            let mut by_key: HashMap<(u32, u64), &ossd_telemetry::BlameRecord> =
+                records.iter().map(|r| ((r.initiator, r.id), r)).collect();
+            assert_eq!(by_key.len(), records.len(), "{label}: duplicate records");
+            for (initiator, c) in &completions {
+                let r = by_key
+                    .remove(&(*initiator as u32, c.request_id))
+                    .unwrap_or_else(|| panic!("{label}: no record for command {}", c.request_id));
+                assert_eq!(r.arrival, c.arrival, "{label}: arrival mismatch");
+                assert_eq!(r.finish, c.finish, "{label}: finish mismatch");
+                assert!(
+                    r.is_exact(),
+                    "{label}: command {} blame sums to {} ns over a {} ns latency: {:?}",
+                    c.request_id,
+                    r.total_nanos(),
+                    c.finish.saturating_since(c.arrival).as_nanos(),
+                    r.breakdown
+                );
+                for (cat, nanos) in r.breakdown.iter() {
+                    totals[cat.index()] += nanos;
+                }
+            }
+        }
+    }
+    // Exactness aside, the hostile workload must actually light up the
+    // interesting categories: queueing behind GC and map traffic, fence and
+    // arbitration stalls, and the command's own flash/bus/controller time.
+    for cat in [
+        BlameCat::SqWait,
+        BlameCat::Fence,
+        BlameCat::Controller,
+        BlameCat::Flash,
+        BlameCat::Bus,
+        BlameCat::Map,
+        BlameCat::GcWait,
+    ] {
+        assert!(
+            totals[cat.index()] > 0,
+            "no latency blamed on {} across any run",
+            cat.name()
+        );
+    }
+}

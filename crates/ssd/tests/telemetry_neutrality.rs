@@ -18,7 +18,7 @@ use ossd_ftl::{FtlConfig, FtlStats, MapCacheConfig};
 use ossd_gc::BackgroundGcConfig;
 use ossd_sim::{SimDuration, SimRng, SimTime};
 use ossd_ssd::{MappingKind, SchedulerKind, Ssd, SsdConfig};
-use ossd_telemetry::{EventKind, Recorder, RecorderConfig, TraceEvent};
+use ossd_telemetry::{BlameCat, BlameRecord, EventKind, Recorder, RecorderConfig, TraceEvent};
 
 const PAGE: u32 = 4096;
 
@@ -110,6 +110,14 @@ fn run_attached(config: &SsdConfig) -> (RunResult, Vec<TraceEvent>, u64) {
     (result, r.events().to_vec(), r.dropped_events())
 }
 
+fn run_attributed(config: &SsdConfig) -> (RunResult, Vec<BlameRecord>) {
+    let mut ssd = Ssd::new(config.clone()).expect("device");
+    ssd.enable_attribution();
+    let result = run_workload(&mut ssd);
+    let records = ssd.take_blame_records();
+    (result, records)
+}
+
 fn victim_picks(events: &[TraceEvent]) -> Vec<TraceEvent> {
     events
         .iter()
@@ -160,6 +168,44 @@ fn assert_neutral_config(config: &SsdConfig, label: &str) -> Vec<TraceEvent> {
     );
     assert_eq!(events, events_again);
     assert_eq!(dropped, dropped_again);
+
+    // Latency attribution is held to the same bar: blame accounting rides
+    // the identical schedule (no serve decision consults the ledger), so an
+    // attribution-enabled run must be bit-for-bit the detached run — and on
+    // top, every completion must have a record whose components sum exactly
+    // to its end-to-end latency.
+    let (attributed, records) = run_attributed(config);
+    assert_eq!(
+        detached.completions, attributed.completions,
+        "{label}: attribution-enabled completions diverge from detached"
+    );
+    assert_eq!(
+        detached.ftl_stats, attributed.ftl_stats,
+        "{label}: attribution-enabled FTL statistics diverge"
+    );
+    assert_eq!(
+        detached.wear, attributed.wear,
+        "{label}: attribution-enabled wear summaries diverge"
+    );
+    assert_eq!(
+        records.len(),
+        attributed.completions.len(),
+        "{label}: one blame record per completion"
+    );
+    let mut gc_blamed = 0u64;
+    for r in &records {
+        assert!(
+            r.is_exact(),
+            "{label}: blame components sum to {} ns but command {} took {} ns",
+            r.total_nanos(),
+            r.id,
+            r.finish.saturating_since(r.arrival).as_nanos()
+        );
+        gc_blamed += r.breakdown.get(BlameCat::GcWait);
+    }
+    // The workload forces cleaning, so some host latency must be blamed on
+    // GC standing in front of host commands.
+    assert!(gc_blamed > 0, "{label}: no latency blamed on GC");
     events
 }
 

@@ -20,6 +20,11 @@
 //! * **Time-series** ([`MetricsSeries`]) — periodic sim-time samples of
 //!   write amplification, free-block watermark, GC backlog, per-element
 //!   queue depth and utilization, exported as CSV.
+//! * **Latency attribution** ([`attribution`]) — per-request blame
+//!   accounting: every completion's `(finish − arrival)` decomposed into
+//!   components (SQ wait, fences, controller, own flash/bus/ECC/map time,
+//!   GC interference, plain queueing) that sum exactly, aggregated into a
+//!   per-class [`TailReport`] with p99.9 blame shares.
 //!
 //! The [`chrome`] module renders recorded events as Chrome-trace-event JSON
 //! that opens directly in Perfetto or `chrome://tracing`; the [`json`]
@@ -28,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attribution;
 pub mod chrome;
 pub mod event;
 pub mod histogram;
@@ -36,6 +42,10 @@ pub mod metrics;
 pub mod observer;
 pub mod recorder;
 
+pub use attribution::{
+    to_chrome_counters, BlameBreakdown, BlameCat, BlameCollector, BlameLedger, BlameRecord,
+    BlameSource, ClassTail, TailReport,
+};
 pub use chrome::{to_chrome_trace, to_chrome_trace_multi};
 pub use event::{purpose, purpose_name, EventKind, TraceEvent, Track};
 pub use histogram::LogHistogram;

@@ -78,6 +78,11 @@ pub struct MetricsSample {
     /// Cumulative map-cache hit rate (1.0 on devices with a fully resident
     /// mapping table, where every lookup hits by definition).
     pub map_hit_rate: f64,
+    /// Trace events the recording sink has dropped to ring overflow so far.
+    /// Producers (the device) leave this 0; the [`crate::Recorder`] stamps
+    /// its own running drop count when the sample is pushed, so a nonzero
+    /// column warns that the span trace is incomplete from that time on.
+    pub dropped_events: u64,
     /// Queue depth of each element at sample time.
     pub element_depths: Vec<u32>,
     /// Cumulative busy fraction of each element (clamped to 1.0).
@@ -123,7 +128,7 @@ impl MetricsSeries {
     pub fn series_count(&self) -> usize {
         match self.samples.first() {
             None => 0,
-            Some(s) => 6 + s.element_depths.len() + s.element_util.len() + s.bus_util.len(),
+            Some(s) => 7 + s.element_depths.len() + s.element_util.len() + s.bus_util.len(),
         }
     }
 
@@ -135,7 +140,7 @@ impl MetricsSeries {
             Some(s) => (s.element_depths.len(), s.bus_util.len()),
             None => (0, 0),
         };
-        out.push_str("time_us,write_amplification,free_fraction,gc_backlog_blocks,gc_stale_pages,host_bytes_written,map_hit_rate");
+        out.push_str("time_us,write_amplification,free_fraction,gc_backlog_blocks,gc_stale_pages,host_bytes_written,map_hit_rate,dropped_events");
         for e in 0..elems {
             out.push_str(&format!(",elem{e}_queue_depth"));
         }
@@ -148,7 +153,7 @@ impl MetricsSeries {
         out.push('\n');
         for s in &self.samples {
             out.push_str(&format!(
-                "{:.3},{:.6},{:.6},{},{},{},{:.6}",
+                "{:.3},{:.6},{:.6},{},{},{},{:.6},{}",
                 s.at.as_nanos() as f64 / 1_000.0,
                 s.write_amplification,
                 s.free_fraction,
@@ -156,6 +161,7 @@ impl MetricsSeries {
                 s.gc_stale_pages,
                 s.host_bytes_written,
                 s.map_hit_rate,
+                s.dropped_events,
             ));
             for d in &s.element_depths {
                 out.push_str(&format!(",{d}"));
@@ -186,6 +192,7 @@ mod tests {
             gc_stale_pages: 17,
             host_bytes_written: 4096,
             map_hit_rate: 0.875,
+            dropped_events: 2,
             element_depths: vec![1, 0],
             element_util: vec![0.5, 0.25],
             bus_util: vec![0.75],
@@ -212,15 +219,16 @@ mod tests {
         let csv = series.to_csv();
         let mut lines = csv.lines();
         let header = lines.next().unwrap();
-        // 6 scalar series + 2 depth + 2 util + 1 bus = 11 series + time.
-        assert_eq!(header.split(',').count(), 12);
-        assert_eq!(series.series_count(), 11);
+        // 7 scalar series + 2 depth + 2 util + 1 bus = 12 series + time.
+        assert_eq!(header.split(',').count(), 13);
+        assert_eq!(series.series_count(), 12);
         assert!(header.starts_with("time_us,write_amplification"));
         assert!(header.contains("map_hit_rate"));
+        assert!(header.contains("dropped_events"));
         assert!(header.contains("elem1_queue_depth"));
         assert!(header.contains("bus0_util"));
         let row = lines.next().unwrap();
-        assert_eq!(row.split(',').count(), 12);
+        assert_eq!(row.split(',').count(), 13);
         assert!(row.starts_with("10.000,1.250000"));
         assert_eq!(lines.count(), 1);
     }

@@ -162,7 +162,11 @@ impl TelemetrySink for Recorder {
         true
     }
 
-    fn push_sample(&mut self, sample: MetricsSample) {
+    fn push_sample(&mut self, mut sample: MetricsSample) {
+        // The producer can't know how full this recorder's ring is; stamp
+        // the running overflow count so the exported CSV records, sample by
+        // sample, whether (and since when) the span trace is lossy.
+        sample.dropped_events = self.dropped;
         self.series.push(sample);
     }
 }
@@ -215,6 +219,34 @@ mod tests {
         assert!(handle.sample_due(SimTime::from_micros(450)));
         assert!(!handle.sample_due(SimTime::from_micros(500)));
         assert!(handle.sample_due(SimTime::from_micros(550)));
+    }
+
+    #[test]
+    fn push_sample_stamps_running_drop_count() {
+        let (handle, recorder) = Recorder::shared(RecorderConfig {
+            ring_capacity: 1,
+            ..RecorderConfig::default()
+        });
+        for i in 0..3 {
+            let e = event_at(i);
+            handle.span(e.start, e.end, e.track, e.kind, e.a, e.b);
+        }
+        handle.push_sample(MetricsSample {
+            at: SimTime::from_micros(5),
+            write_amplification: 1.0,
+            free_fraction: 1.0,
+            gc_backlog_blocks: 0,
+            gc_stale_pages: 0,
+            host_bytes_written: 0,
+            map_hit_rate: 1.0,
+            dropped_events: 0, // producers leave this 0; the recorder stamps it
+            element_depths: Vec::new(),
+            element_util: Vec::new(),
+            bus_util: Vec::new(),
+        });
+        let r = recorder.lock().unwrap();
+        assert_eq!(r.series().samples()[0].dropped_events, 2);
+        assert!(r.series().to_csv().contains(",2\n"));
     }
 
     #[test]
