@@ -1,6 +1,7 @@
 //! Fleet scale-out sweep: CSV of aggregate striped-array bandwidth per
-//! devices × threads × stripe unit, plus the replica-failure → rebuild
-//! scenario (survivor tail latency and rebuild bandwidth).
+//! devices × threads × stripe unit, plus the parity failure → rebuild
+//! scenario (survivor tail latency vs copy-back bandwidth, one row per
+//! rebuild-budget setting).
 //!
 //! The simulated results are bit-identical for every thread count — that
 //! is the fleet determinism contract — so the thread axis only moves
@@ -11,7 +12,7 @@ use ossd_core::experiments::fleet_sweep;
 
 fn main() {
     let scale = scale_from_args();
-    print_header("Fleet sweep: striped scale-out and replica rebuild", scale);
+    print_header("Fleet sweep: striped scale-out and parity rebuild", scale);
     let sweep = fleet_sweep::run(scale).expect("fleet sweep runs");
 
     println!("devices,threads,stripe_kib,bandwidth_mbps,p50_ms,p99_ms,wall_seconds,ops");
@@ -29,21 +30,64 @@ fn main() {
         );
     }
 
-    let r = &sweep.rebuild;
     println!();
     println!(
-        "replicas,healthy_p99_ms,healthy_p999_ms,rebuild_p99_ms,rebuild_p999_ms,\
-         rebuilt_mib,rebuild_mbps"
+        "budget,budget_mbps,backoff,devices,healthy_p99_ms,healthy_p999_ms,\
+         degraded_p99_ms,degraded_p999_ms,rebuilt_mib,rebuild_mbps,\
+         degraded_reads,host_errors"
     );
-    println!(
-        "{},{:.4},{:.4},{:.4},{:.4},{:.1},{:.2}",
-        r.replicas,
-        r.healthy_p99_ms,
-        r.healthy_p999_ms,
-        r.rebuild_p99_ms,
-        r.rebuild_p999_ms,
-        r.rebuilt_mib,
-        r.rebuild_mbps
+    for r in &sweep.rebuild {
+        println!(
+            "{},{:.1},{},{},{:.4},{:.4},{:.4},{:.4},{:.1},{:.2},{},{}",
+            r.label,
+            r.budget_mbps,
+            r.backoff,
+            r.devices,
+            r.healthy.p99_ms,
+            r.healthy.p999_ms,
+            r.degraded.p99_ms,
+            r.degraded.p999_ms,
+            r.rebuilt_mib,
+            r.rebuild_mbps,
+            r.degraded_reads,
+            r.host_errors
+        );
+    }
+
+    // Degraded serving must be invisible to the host, and the budget knob
+    // must actually trade copy-back rate against survivor tails.
+    for r in &sweep.rebuild {
+        assert_eq!(
+            r.host_errors, 0,
+            "{}: degraded/rebuild serving surfaced host-visible errors",
+            r.label
+        );
+    }
+    let open = sweep
+        .rebuild
+        .iter()
+        .max_by(|a, b| a.rebuild_mbps.total_cmp(&b.rebuild_mbps))
+        .expect("non-empty rebuild sweep");
+    let tight = sweep
+        .rebuild
+        .iter()
+        .min_by(|a, b| a.rebuild_mbps.total_cmp(&b.rebuild_mbps))
+        .expect("non-empty rebuild sweep");
+    assert!(
+        open.rebuild_mbps > tight.rebuild_mbps,
+        "rebuild budgets did not separate copy-back bandwidth"
+    );
+    assert!(
+        open.degraded.p999_ms > tight.degraded.p999_ms,
+        "budget did not move copy-back bandwidth and survivor p99.9 in \
+         opposite directions: {} {:.2} MB/s p99.9 {:.3} ms vs {} {:.2} MB/s \
+         p99.9 {:.3} ms",
+        open.label,
+        open.rebuild_mbps,
+        open.degraded.p999_ms,
+        tight.label,
+        tight.rebuild_mbps,
+        tight.degraded.p999_ms
     );
 
     let widest = sweep
@@ -59,15 +103,19 @@ fn main() {
     eprintln!();
     eprintln!(
         "interpretation: striping {} -> {} devices scales aggregate bandwidth \
-         {:.1} -> {:.1} MB/s ({:.2}x); during rebuild the survivor p99 moves \
-         {:.3} -> {:.3} ms while the copy-back runs at {:.1} MB/s of sim time.",
+         {:.1} -> {:.1} MB/s ({:.2}x); on the degraded parity fleet, opening \
+         the rebuild budget {} -> {} raises copy-back {:.2} -> {:.2} MB/s and \
+         survivor p99.9 {:.3} -> {:.3} ms — the QoS trade in one line.",
         narrowest.devices,
         widest.devices,
         narrowest.bandwidth_mbps,
         widest.bandwidth_mbps,
         widest.bandwidth_mbps / narrowest.bandwidth_mbps,
-        r.healthy_p99_ms,
-        r.rebuild_p99_ms,
-        r.rebuild_mbps
+        tight.label,
+        open.label,
+        tight.rebuild_mbps,
+        open.rebuild_mbps,
+        tight.degraded.p999_ms,
+        open.degraded.p999_ms
     );
 }

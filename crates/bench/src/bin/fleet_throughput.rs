@@ -12,11 +12,16 @@
 //! per-device engine threads cut wall time, on a single-core container
 //! they cannot, and neither changes a single simulated timestamp.
 //!
-//! Pass `--quick` for the small CI configuration (writes
-//! `BENCH_fleet_quick.json` so the committed paper-scale artifact is never
-//! clobbered) and `--check-baseline <path>` to compare the measured
-//! aggregate rate against a previously committed JSON (exits non-zero
-//! below 90%).
+//! Alongside the striped grid, one 4-device/4-thread **parity** (RAID-5)
+//! point measures the read-modify-write parity tax and is gated
+//! separately.  Pass `--quick` for the small CI configuration (writes
+//! `BENCH_fleet_quick.json` so the paper-scale artifact is never
+//! clobbered), `--check-baseline <path>` to compare the measured striped
+//! aggregate rate against a previously committed JSON, and
+//! `--check-parity-baseline <path>` for the parity point (both exit
+//! non-zero below 90%).  Baselines are read before the output JSON is
+//! written, so a gate may point at this run's own output path and still
+//! compare against the committed copy.
 
 use std::time::Instant;
 
@@ -116,11 +121,21 @@ fn prefill(fleet: &mut Fleet, capacity: u64) -> SimTime {
     at
 }
 
-fn run_point(scale: Scale, devices: usize, threads: usize, churn_per_device: u64) -> Point {
-    let config = FleetConfig::striped(device_config(scale), devices, PAGE)
-        .with_threads(threads)
-        .with_seed(SEED)
-        .with_name("throughput");
+fn run_point(
+    scale: Scale,
+    devices: usize,
+    threads: usize,
+    churn_per_device: u64,
+    parity: bool,
+) -> Point {
+    let config = if parity {
+        FleetConfig::parity(device_config(scale), devices, PAGE)
+    } else {
+        FleetConfig::striped(device_config(scale), devices, PAGE)
+    }
+    .with_threads(threads)
+    .with_seed(SEED)
+    .with_name("throughput");
     let mut fleet = Fleet::new(config).expect("valid fleet config");
     let capacity = fleet.capacity_bytes();
     let logical_pages = capacity / PAGE;
@@ -187,8 +202,9 @@ fn main() {
 
     let points: Vec<Point> = POINTS
         .iter()
-        .map(|&(d, t)| run_point(scale, d, t, churn_per_device))
+        .map(|&(d, t)| run_point(scale, d, t, churn_per_device, false))
         .collect();
+    let parity = run_point(scale, 4, 4, churn_per_device, true);
 
     println!("devices,threads,ops,sim_seconds,agg_sim_ops_per_sec,wall_seconds,wall_ops_per_sec");
     for p in &points {
@@ -211,6 +227,53 @@ fn main() {
         "aggregate scale-out: {:.0} -> {:.0} sim ops/s at {} devices -> {:.2}x",
         single.agg_sim_ops_per_sec, widest.agg_sim_ops_per_sec, widest.devices, speedup
     );
+    println!(
+        "parity ({} devices, rotating RAID-5): {:.0} sim ops/s \
+         (read-modify-write parity tax vs {:.0} striped)",
+        parity.devices, parity.agg_sim_ops_per_sec, points[2].agg_sim_ops_per_sec
+    );
+
+    // Baseline checks run BEFORE the JSON is written so a gate pointed at
+    // the output path compares against the committed baseline, not this
+    // run's own result.
+    if let Some(baseline_path) = flag_arg("--check-baseline") {
+        match check_baseline(
+            &baseline_path,
+            "aggregate_sim_ops_per_sec",
+            widest.agg_sim_ops_per_sec,
+        ) {
+            Ok(baseline_ops) => println!(
+                "baseline check: {:.0} sim ops/s >= {:.0}% of {baseline_path}'s {:.0} -- ok",
+                widest.agg_sim_ops_per_sec,
+                BASELINE_TOLERANCE * 100.0,
+                baseline_ops
+            ),
+            Err(why) => {
+                eprintln!("baseline check FAILED: {why}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(baseline_path) = flag_arg("--check-parity-baseline") {
+        match check_baseline(
+            &baseline_path,
+            "parity_agg_sim_ops_per_sec",
+            parity.agg_sim_ops_per_sec,
+        ) {
+            Ok(baseline_ops) => println!(
+                "parity baseline check: {:.0} sim ops/s >= {:.0}% of \
+                 {baseline_path}'s {:.0} -- ok",
+                parity.agg_sim_ops_per_sec,
+                BASELINE_TOLERANCE * 100.0,
+                baseline_ops
+            ),
+            Err(why) => {
+                eprintln!("parity baseline check FAILED: {why}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     let json_path = match scale {
         Scale::Paper => "BENCH_fleet.json",
@@ -240,6 +303,8 @@ fn main() {
          \"single_device_sim_ops_per_sec\": {:.1},\n  \
          \"max_devices\": {},\n  \
          \"aggregate_sim_ops_per_sec\": {:.1},\n  \
+         \"parity_devices\": {},\n  \
+         \"parity_agg_sim_ops_per_sec\": {:.1},\n  \
          \"speedup_vs_single_device\": {:.3}\n}}\n",
         match scale {
             Scale::Paper => "paper",
@@ -250,34 +315,21 @@ fn main() {
         single.agg_sim_ops_per_sec,
         widest.devices,
         widest.agg_sim_ops_per_sec,
+        parity.devices,
+        parity.agg_sim_ops_per_sec,
         speedup
     );
     std::fs::write(json_path, &json_doc).expect("write bench json");
     println!("wrote {json_path}");
-
-    if let Some(baseline_path) = check_baseline_arg() {
-        match check_baseline(&baseline_path, widest.agg_sim_ops_per_sec) {
-            Ok(baseline_ops) => println!(
-                "baseline check: {:.0} sim ops/s >= {:.0}% of {baseline_path}'s {:.0} -- ok",
-                widest.agg_sim_ops_per_sec,
-                BASELINE_TOLERANCE * 100.0,
-                baseline_ops
-            ),
-            Err(why) => {
-                eprintln!("baseline check FAILED: {why}");
-                std::process::exit(1);
-            }
-        }
-    }
 }
 
-/// Returns the argument following `--check-baseline`, if present.
-fn check_baseline_arg() -> Option<String> {
+/// Returns the argument following `flag`, if present.
+fn flag_arg(flag: &str) -> Option<String> {
     let mut args = std::env::args();
     while let Some(arg) = args.next() {
-        if arg == "--check-baseline" {
+        if arg == flag {
             return Some(args.next().unwrap_or_else(|| {
-                eprintln!("--check-baseline requires a path");
+                eprintln!("{flag} requires a path");
                 std::process::exit(2);
             }));
         }
@@ -285,16 +337,16 @@ fn check_baseline_arg() -> Option<String> {
     None
 }
 
-/// Reads `aggregate_sim_ops_per_sec` from a previously written BENCH_fleet
-/// JSON (parsed with the telemetry crate's vendored codec) and checks the
-/// measured rate against it with [`BASELINE_TOLERANCE`] headroom.
-fn check_baseline(path: &str, measured: f64) -> Result<f64, String> {
+/// Reads `key` from a previously written BENCH_fleet JSON (parsed with the
+/// telemetry crate's vendored codec) and checks the measured rate against
+/// it with [`BASELINE_TOLERANCE`] headroom.
+fn check_baseline(path: &str, key: &str, measured: f64) -> Result<f64, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let doc = json::Value::parse(&text).map_err(|e| format!("{path} does not parse: {e}"))?;
     let baseline = doc
-        .get("aggregate_sim_ops_per_sec")
+        .get(key)
         .and_then(|v| v.as_f64())
-        .ok_or_else(|| format!("{path} has no aggregate_sim_ops_per_sec"))?;
+        .ok_or_else(|| format!("{path} has no {key}"))?;
     if measured < BASELINE_TOLERANCE * baseline {
         return Err(format!(
             "measured {measured:.0} sim ops/s is below {:.0}% of the \

@@ -157,7 +157,7 @@ fn main() {
         );
     }
 
-    print_header("Fleet sweep (striped scale-out and replica rebuild)", scale);
+    print_header("Fleet sweep (striped scale-out and parity rebuild)", scale);
     let fleet = fleet_sweep::run(scale).expect("fleet sweep");
     for p in &fleet.points {
         println!(
@@ -172,18 +172,21 @@ fn main() {
             p.wall_seconds
         );
     }
-    let r = &fleet.rebuild;
-    println!(
-        "rebuild ({} replicas): p99 {:.3} -> {:.3} ms, p99.9 {:.3} -> {:.3} ms, \
-         {:.1} MiB copied at {:.2} MB/s sim",
-        r.replicas,
-        r.healthy_p99_ms,
-        r.rebuild_p99_ms,
-        r.healthy_p999_ms,
-        r.rebuild_p999_ms,
-        r.rebuilt_mib,
-        r.rebuild_mbps
-    );
+    for r in &fleet.rebuild {
+        println!(
+            "rebuild {:<14} ({} devices): p99.9 {:.3} -> {:.3} ms, \
+             {:>5.1} MiB copied at {:>5.2} MB/s sim, degraded reads {:>3}, \
+             host errors {}",
+            r.label,
+            r.devices,
+            r.healthy.p999_ms,
+            r.degraded.p999_ms,
+            r.rebuilt_mib,
+            r.rebuild_mbps,
+            r.degraded_reads,
+            r.host_errors
+        );
+    }
 
     print_header("Map-cache sweep (demand-paged mapping)", scale);
     for p in map_cache::run(scale).expect("map-cache sweep") {

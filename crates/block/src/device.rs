@@ -22,6 +22,21 @@ pub enum DeviceError {
     },
     /// The request was malformed (zero length where data was required).
     EmptyRequest,
+    /// A device-management call (fail/replace/rebuild) targeted a member
+    /// device that is already failed — a typed no-op so callers can treat
+    /// repeated failure notifications idempotently.
+    AlreadyFailed {
+        /// Member device index.
+        device: usize,
+    },
+    /// A redundancy operation (failure injection, replacement, rebuild) is
+    /// invalid for the array's layout or current device state.  Unlike
+    /// [`DeviceError::Unsupported`], the description is built at the call
+    /// site so it can name the devices and layout involved.
+    Redundancy {
+        /// Description naming the offending device(s) and layout.
+        what: String,
+    },
     /// The device's internal state machine reported an error; this indicates
     /// a simulator bug and carries the underlying description.
     Internal(String),
@@ -35,6 +50,10 @@ impl fmt::Display for DeviceError {
             }
             DeviceError::Unsupported { what } => write!(f, "unsupported operation: {what}"),
             DeviceError::EmptyRequest => write!(f, "request transfers zero bytes"),
+            DeviceError::AlreadyFailed { device } => {
+                write!(f, "device {device} is already failed")
+            }
+            DeviceError::Redundancy { what } => write!(f, "redundancy error: {what}"),
             DeviceError::Internal(msg) => write!(f, "internal device error: {msg}"),
         }
     }

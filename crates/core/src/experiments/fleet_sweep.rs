@@ -1,5 +1,6 @@
 //! Fleet-scale sweep: aggregate throughput of a striped multi-device
-//! array, and foreground latency under replica failure and rebuild.
+//! array, and foreground latency under parity failure and QoS-throttled
+//! rebuild.
 //!
 //! Two questions the single-device experiments cannot ask:
 //!
@@ -8,18 +9,23 @@
 //!    per-device engine threads save?  (Sim results are bit-identical for
 //!    every thread count — that is the fleet determinism contract — so the
 //!    thread axis only moves `wall_seconds`.)
-//! 2. **Degraded mode.**  On a 3-way replicated fleet, what happens to
-//!    survivor foreground latency while a failed replica is being rebuilt?
-//!    Rebuild copy traffic occupies the source replica's and the
-//!    replacement's flash elements (element busy state persists across
+//! 2. **Degraded mode vs rebuild QoS.**  On a 4-device parity fleet with
+//!    one member failed and replaced, reconstruction copy-back occupies
+//!    every survivor's flash elements (element busy state persists across
 //!    sessions), so foreground requests queue behind it — the classic
-//!    degraded-array p99 story.
+//!    degraded-array tail story.  The scenario sweeps the rebuild
+//!    bandwidth budget ([`ossd_fleet::RebuildQos`]): an unthrottled
+//!    rebuild closes the reduced-redundancy window fastest but wrecks the
+//!    survivor p99.9, while a tight budget inverts the trade — the CSV
+//!    shows copy-back bandwidth and survivor tails moving in opposite
+//!    directions.
 
 use ossd_block::{
-    BlockDevice, ByteRange, DeviceError, HostCommand, HostInterface, HostQueue, WriteHint,
+    BlockDevice, ByteRange, CompletionStatus, DeviceError, HostCommand, HostInterface, HostQueue,
+    LatencyPercentiles, WriteHint,
 };
 use ossd_flash::{FlashGeometry, FlashTiming, ReliabilityConfig};
-use ossd_fleet::{Fleet, FleetConfig};
+use ossd_fleet::{Fleet, FleetConfig, RebuildQos};
 use ossd_ftl::FtlConfig;
 use ossd_sim::{LatencyStats, SimDuration, SimRng, SimTime};
 use ossd_ssd::{MappingKind, SchedulerKind, SsdConfig};
@@ -47,23 +53,30 @@ pub struct FleetPoint {
     pub ops: u64,
 }
 
-/// The replica-failure → rebuild scenario on a 3-way replicated fleet.
+/// One rebuild-budget setting of the parity failure → rebuild scenario.
 #[derive(Clone, Copy, Debug, PartialEq)]
-pub struct RebuildReport {
-    /// Replicas in the fleet.
-    pub replicas: usize,
-    /// Healthy-phase foreground p99, milliseconds.
-    pub healthy_p99_ms: f64,
-    /// Healthy-phase foreground p99.9, milliseconds.
-    pub healthy_p999_ms: f64,
-    /// Foreground p99 while the rebuild is in flight, milliseconds.
-    pub rebuild_p99_ms: f64,
-    /// Foreground p99.9 while the rebuild is in flight, milliseconds.
-    pub rebuild_p999_ms: f64,
-    /// Bytes copied back to the replacement, MiB.
+pub struct RebuildPoint {
+    /// Human-readable budget label (`"unthrottled"`, `"64MBps"`, ...).
+    pub label: &'static str,
+    /// Token-bucket budget in MB/s of copy-back (0 = unthrottled).
+    pub budget_mbps: f64,
+    /// Whether host-pressure backoff is enabled for this setting.
+    pub backoff: bool,
+    /// Member devices in the parity fleet.
+    pub devices: usize,
+    /// Healthy-phase foreground response-time percentiles.
+    pub healthy: LatencyPercentiles,
+    /// Survivor foreground percentiles while the rebuild is in flight.
+    pub degraded: LatencyPercentiles,
+    /// Bytes reconstructed onto the replacement, MiB.
     pub rebuilt_mib: f64,
-    /// Rebuild copy bandwidth, MB per simulated second.
+    /// Copy-back bandwidth over the whole rebuild span, MB per simulated
+    /// second.
     pub rebuild_mbps: f64,
+    /// Host reads served by XOR reconstruction during the scenario.
+    pub degraded_reads: u64,
+    /// Host-visible non-`Ok` completions (must stay zero).
+    pub host_errors: u64,
 }
 
 /// Everything the sweep produces.
@@ -71,8 +84,8 @@ pub struct RebuildReport {
 pub struct FleetSweep {
     /// The scale-out grid.
     pub points: Vec<FleetPoint>,
-    /// The degraded-mode scenario.
-    pub rebuild: RebuildReport,
+    /// The degraded-mode scenario, one point per rebuild-budget setting.
+    pub rebuild: Vec<RebuildPoint>,
 }
 
 const SEED: u64 = 0xF1EE_CAFE;
@@ -138,15 +151,16 @@ fn prefill<D: HostInterface>(fleet: &mut D, capacity: u64) -> Result<SimTime, De
 }
 
 /// One churn session: `ops` seeded random single-page commands (7/8
-/// writes, 1/8 reads) spread over the initiators, arrivals paced
-/// `pace_us` apart.  Returns the last completion finish and records
-/// response times.
+/// writes, 1/8 reads) spread over the initiators, arrivals paced one
+/// microsecond apart.  Returns the last completion finish, records
+/// response times and counts host-visible errors.
 #[allow(clippy::too_many_arguments)]
 fn churn_session<D: HostInterface>(
     fleet: &mut D,
     queues: &mut [HostQueue],
     rng: &mut SimRng,
     latency: &mut LatencyStats,
+    errors: &mut u64,
     logical_pages: u64,
     start: SimTime,
     ops: u64,
@@ -174,6 +188,9 @@ fn churn_session<D: HostInterface>(
     for queue in queues.iter_mut() {
         for c in queue.drain_completions() {
             latency.record(c.response_time());
+            if c.status != CompletionStatus::Ok {
+                *errors += 1;
+            }
             last = last.max(c.finish);
         }
     }
@@ -201,6 +218,7 @@ fn run_point(
     let mut queues: Vec<HostQueue> = (0..INITIATORS).map(|_| HostQueue::new()).collect();
     let mut rng = SimRng::seed_from_u64(SEED ^ devices as u64);
     let mut latency = LatencyStats::new();
+    let mut errors = 0u64;
     let mut at = fill_end + SimDuration::from_micros(100);
     let first = at;
     let mut bytes = 0u64;
@@ -214,6 +232,7 @@ fn run_point(
             &mut queues,
             &mut rng,
             &mut latency,
+            &mut errors,
             logical_pages,
             at,
             batch,
@@ -237,14 +256,44 @@ fn run_point(
     })
 }
 
-/// The degraded-mode scenario: fill a 3-way replicated fleet, measure
-/// healthy foreground tails, fail replica 1, replace it, then rebuild the
-/// whole space chunk-by-chunk with foreground churn interleaved, measuring
-/// survivor tails while the copy traffic holds the elements busy.
-fn run_rebuild(scale: Scale) -> Result<RebuildReport, DeviceError> {
-    let replicas = 3usize;
-    let config = FleetConfig::replicated(device_config(scale), replicas)
-        .with_threads(replicas)
+/// The rebuild-budget settings the degraded-mode scenario sweeps.  The
+/// budgets are sized against the simulated array's foreground bandwidth
+/// (single-digit MB per simulated second at these device geometries) so
+/// the token bucket actually binds.
+pub fn rebuild_budgets() -> Vec<(&'static str, RebuildQos)> {
+    vec![
+        ("unthrottled", RebuildQos::unthrottled()),
+        ("4MBps", RebuildQos::limited(4 * 1024 * 1024)),
+        ("1MBps", RebuildQos::limited(1024 * 1024)),
+        (
+            "1MBps+backoff",
+            RebuildQos::limited(1024 * 1024).with_backoff(8, SimDuration::from_micros(500)),
+        ),
+    ]
+}
+
+/// The degraded-mode scenario at one budget setting: fill a 4-device
+/// parity fleet, measure healthy foreground tails, fail member 1, replace
+/// it, then run a *fixed* number of foreground epochs on a *fixed
+/// cadence* (twice the mean healthy session span), admitting
+/// watermark-ordered 32-page rebuild chunks in the idle window after each
+/// session drains, as far as the QoS governor allows.  The foreground
+/// arrival schedule is identical across budget settings, so survivor
+/// percentiles and copy-back bandwidth compare apples to apples: a tight
+/// budget fits its copies inside the idle window (tails near the degraded
+/// baseline, little copied), an unthrottled one overflows it so the next
+/// sessions queue behind copy traffic.  Every third epoch is a light
+/// session (4 commands per initiator), which is where a pressure-backoff
+/// policy — parked while the heavy sessions keep per-initiator depth at
+/// the threshold — gets to make progress.
+pub fn run_rebuild(
+    scale: Scale,
+    label: &'static str,
+    qos: RebuildQos,
+) -> Result<RebuildPoint, DeviceError> {
+    let devices = 4usize;
+    let config = FleetConfig::parity(device_config(scale), devices, 4096)
+        .with_threads(devices)
         .with_seed(SEED)
         .with_name("rebuild");
     let mut fleet = Fleet::new(config).map_err(DeviceError::from)?;
@@ -256,16 +305,20 @@ fn run_rebuild(scale: Scale) -> Result<RebuildReport, DeviceError> {
     let mut rng = SimRng::seed_from_u64(SEED ^ 0xDEAD);
     let mut id = 2_000_000u64;
     let session = 128u64;
+    let mut errors = 0u64;
 
-    // Healthy phase.
+    // Healthy phase; its mean session span sets the degraded-phase cadence.
     let mut healthy = LatencyStats::new();
     let mut at = fill_end + SimDuration::from_micros(100);
-    for _ in 0..scale.count(4, 16) {
+    let healthy_start = at;
+    let healthy_sessions = scale.count(4, 16) as u64;
+    for _ in 0..healthy_sessions {
         let (last, _) = churn_session(
             &mut fleet,
             &mut queues,
             &mut rng,
             &mut healthy,
+            &mut errors,
             logical_pages,
             at,
             session,
@@ -273,57 +326,78 @@ fn run_rebuild(scale: Scale) -> Result<RebuildReport, DeviceError> {
         )?;
         at = last + SimDuration::from_micros(10);
     }
+    // Cadence: 1.25x the mean healthy session span, leaving an idle
+    // window of about a quarter-session per epoch — enough for a tightly
+    // budgeted rebuild to hide in, not enough for an unthrottled one.
+    let period = SimDuration::from_nanos(
+        at.saturating_since(healthy_start).as_nanos() * 5 / (4 * healthy_sessions),
+    );
 
-    // Failure and replacement.
+    // Failure, replacement, and the budget under test.
     fleet.fail_device(1)?;
     fleet.replace_device(1)?;
+    fleet.set_rebuild_qos(qos);
+    let rebuild_start = at;
 
-    // Rebuild the whole exported space in 32-page chunks, a fixed number
-    // of chunks between foreground sessions, measuring survivor latency
-    // while the copy traffic is in flight.
-    let chunk_pages = 32u64;
-    let chunk = chunk_pages * 4096;
-    let chunks = capacity / chunk;
-    let chunks_per_session = scale.count(4, 8) as u64;
+    // Fixed-cadence foreground epochs: session `n` arrives at
+    // `rebuild_start + n * period` regardless of when the previous one
+    // drained, so copy traffic that overflows an epoch's idle window
+    // delays the epochs after it.  Chunks are admitted right after each
+    // session drains — while the array is otherwise idle — as long as the
+    // governor clears them on the spot, capped per epoch so even the
+    // unthrottled setting interleaves rather than rebuilding the whole
+    // device in one burst.
+    let chunk_rows = 32u64;
+    let rows = fleet.parity_rows().expect("parity fleet");
+    let max_chunks_per_epoch = 8u64;
+    let epochs = scale.count(12, 32) as u64;
     let mut degraded = LatencyStats::new();
-    let mut rebuild_busy = SimDuration::ZERO;
     let mut copied = 0u64;
-    let mut next_chunk = 0u64;
-    while next_chunk < chunks {
-        let burst = chunks_per_session.min(chunks - next_chunk);
-        let rebuild_start = at;
-        for c in 0..burst {
-            let offset = (next_chunk + c) * chunk;
-            let (_, w) = fleet.rebuild_range(1, ByteRange::new(offset, chunk), at)?;
-            at = w.finish;
-            copied += chunk;
-        }
-        rebuild_busy += at.saturating_since(rebuild_start);
-        // Foreground arrivals overlap the tail of the copy burst, so they
-        // queue behind it on the shared elements.
-        let fg_start = rebuild_start + SimDuration::from_micros(50);
+    let mut next_row = 0u64;
+    for n in 0..epochs {
+        let start = rebuild_start.saturating_add(SimDuration::from_nanos(period.as_nanos() * n));
+        let ops = if n % 3 == 2 {
+            INITIATORS as u64 * 4
+        } else {
+            session
+        };
         let (last, _) = churn_session(
             &mut fleet,
             &mut queues,
             &mut rng,
             &mut degraded,
+            &mut errors,
             logical_pages,
-            fg_start,
-            session,
+            start,
+            ops,
             &mut id,
         )?;
         at = at.max(last) + SimDuration::from_micros(10);
-        next_chunk += burst;
+        let mut admitted_this_epoch = 0u64;
+        while next_row < rows && admitted_this_epoch < max_chunks_per_epoch {
+            let chunk = chunk_rows.min(rows - next_row) * 4096;
+            if fleet.preview_rebuild_admission(at, chunk) > at {
+                break;
+            }
+            fleet.rebuild_range(1, ByteRange::new(next_row * 4096, chunk), at)?;
+            copied += chunk;
+            next_row += chunk / 4096;
+            admitted_this_epoch += 1;
+        }
     }
+    let span = at.saturating_since(rebuild_start);
 
-    Ok(RebuildReport {
-        replicas,
-        healthy_p99_ms: healthy.percentile(99.0).as_millis_f64(),
-        healthy_p999_ms: healthy.percentile(99.9).as_millis_f64(),
-        rebuild_p99_ms: degraded.percentile(99.0).as_millis_f64(),
-        rebuild_p999_ms: degraded.percentile(99.9).as_millis_f64(),
+    Ok(RebuildPoint {
+        label,
+        budget_mbps: qos.bytes_per_sec.map_or(0.0, |b| b as f64 / 1e6),
+        backoff: qos.pressure_depth.is_some(),
+        devices,
+        healthy: LatencyPercentiles::of(&healthy),
+        degraded: LatencyPercentiles::of(&degraded),
         rebuilt_mib: copied as f64 / (1024.0 * 1024.0),
-        rebuild_mbps: copied as f64 / 1e6 / rebuild_busy.as_secs_f64().max(1e-12),
+        rebuild_mbps: copied as f64 / 1e6 / span.as_secs_f64().max(1e-12),
+        degraded_reads: fleet.degraded_reads(),
+        host_errors: errors,
     })
 }
 
@@ -351,7 +425,10 @@ pub fn run(scale: Scale) -> Result<FleetSweep, DeviceError> {
             }
         }
     }
-    let rebuild = run_rebuild(scale)?;
+    let mut rebuild = Vec::new();
+    for (label, qos) in rebuild_budgets() {
+        rebuild.push(run_rebuild(scale, label, qos)?);
+    }
     Ok(FleetSweep { points, rebuild })
 }
 
@@ -383,17 +460,30 @@ mod tests {
     }
 
     #[test]
-    fn rebuild_degrades_survivor_tails_and_makes_progress() {
-        let report = run_rebuild(Scale::Quick).unwrap();
-        assert!(report.rebuilt_mib > 0.0);
-        assert!(report.rebuild_mbps > 0.0);
-        // Copy traffic holds elements busy, so the degraded tail cannot be
-        // better than healthy.
+    fn rebuild_serves_degraded_with_zero_errors_and_makes_progress() {
+        let point = run_rebuild(Scale::Quick, "unthrottled", RebuildQos::unthrottled()).unwrap();
+        assert_eq!(point.host_errors, 0, "degraded serving surfaced errors");
+        assert!(point.degraded_reads > 0, "no reads hit the failed member");
+        assert!(point.rebuilt_mib > 0.0);
+        assert!(point.rebuild_mbps > 0.0);
+    }
+
+    #[test]
+    fn rebuild_budget_trades_copyback_bandwidth_against_survivor_tails() {
+        let open = run_rebuild(Scale::Quick, "unthrottled", RebuildQos::unthrottled()).unwrap();
+        let tight = run_rebuild(Scale::Quick, "1MBps", RebuildQos::limited(1024 * 1024)).unwrap();
+        assert_eq!(open.host_errors + tight.host_errors, 0);
         assert!(
-            report.rebuild_p99_ms >= report.healthy_p99_ms * 0.9,
-            "rebuild p99 {:.3} ms implausibly beats healthy p99 {:.3} ms",
-            report.rebuild_p99_ms,
-            report.healthy_p99_ms
+            open.rebuild_mbps > tight.rebuild_mbps,
+            "unthrottled copy-back {:.2} MB/s not above throttled {:.2} MB/s",
+            open.rebuild_mbps,
+            tight.rebuild_mbps
+        );
+        assert!(
+            open.degraded.p999_ms > tight.degraded.p999_ms,
+            "unthrottled survivor p99.9 {:.3} ms not above throttled {:.3} ms",
+            open.degraded.p999_ms,
+            tight.degraded.p999_ms
         );
     }
 
@@ -404,6 +494,10 @@ mod tests {
         for p in &sweep.points {
             assert!(p.bandwidth_mbps > 0.0);
             assert!(p.ops > 0);
+        }
+        assert_eq!(sweep.rebuild.len(), 4);
+        for r in &sweep.rebuild {
+            assert_eq!(r.host_errors, 0, "{}: host-visible errors", r.label);
         }
     }
 }

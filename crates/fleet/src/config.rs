@@ -21,6 +21,16 @@ pub enum FleetLayout {
     /// by page index.  Capacity is one device's capacity; any single
     /// device's data survives on the others.
     Replicated,
+    /// RAID-5-style rotating parity: each row of `devices - 1` data units
+    /// keeps an XOR parity unit on a rotating member (see
+    /// [`crate::parity`]).  Capacity is `devices - 1` devices' worth; any
+    /// single device failure degrades the array (reads reconstruct from
+    /// the survivors) instead of losing data.  Needs ≥ 3 devices.
+    Parity {
+        /// Stripe unit in bytes.  Must be a positive multiple of the
+        /// device's logical page size and no larger than one device.
+        stripe_bytes: u64,
+    },
 }
 
 impl FleetLayout {
@@ -29,6 +39,7 @@ impl FleetLayout {
         match self {
             FleetLayout::Striped { .. } => "striped",
             FleetLayout::Replicated => "replicated",
+            FleetLayout::Parity { .. } => "parity",
         }
     }
 }
@@ -86,6 +97,19 @@ impl FleetConfig {
         }
     }
 
+    /// A fleet of `devices` copies of `device` under rotating parity with
+    /// the given stripe unit, single-threaded by default.
+    pub fn parity(device: SsdConfig, devices: usize, stripe_bytes: u64) -> Self {
+        FleetConfig {
+            name: "fleet".to_string(),
+            device,
+            devices,
+            layout: FleetLayout::Parity { stripe_bytes },
+            threads: 1,
+            seed: 0xF1EE_7000,
+        }
+    }
+
     /// Sets the worker thread count.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
@@ -127,16 +151,25 @@ impl FleetConfig {
         if self.threads == 0 {
             return Err("fleet needs at least one worker thread".to_string());
         }
-        if let FleetLayout::Striped { stripe_bytes } = self.layout {
-            if stripe_bytes == 0 {
-                return Err("stripe_bytes must be positive".to_string());
+        match self.layout {
+            FleetLayout::Striped { stripe_bytes } | FleetLayout::Parity { stripe_bytes } => {
+                if stripe_bytes == 0 {
+                    return Err("stripe_bytes must be positive".to_string());
+                }
+                let page = self.device.geometry.page_bytes as u64;
+                if stripe_bytes % page != 0 {
+                    return Err(format!(
+                        "stripe_bytes ({stripe_bytes}) must be a multiple of the page size ({page})"
+                    ));
+                }
+                if matches!(self.layout, FleetLayout::Parity { .. }) && self.devices < 3 {
+                    return Err(format!(
+                        "parity layout needs at least 3 devices, got {}",
+                        self.devices
+                    ));
+                }
             }
-            let page = self.device.geometry.page_bytes as u64;
-            if stripe_bytes % page != 0 {
-                return Err(format!(
-                    "stripe_bytes ({stripe_bytes}) must be a multiple of the page size ({page})"
-                ));
-            }
+            FleetLayout::Replicated => {}
         }
         Ok(())
     }
@@ -180,9 +213,17 @@ mod tests {
         assert!(FleetConfig::striped(device.clone(), 2, 1000)
             .validate()
             .is_err());
-        let mut ok = FleetConfig::striped(device, 2, 8192);
+        let mut ok = FleetConfig::striped(device.clone(), 2, 8192);
         assert!(ok.validate().is_ok());
         ok.threads = 0;
         assert!(ok.validate().is_err());
+        // Parity needs ≥ 3 devices and a page-multiple stripe.
+        assert!(FleetConfig::parity(device.clone(), 2, 8192)
+            .validate()
+            .is_err());
+        assert!(FleetConfig::parity(device.clone(), 3, 1000)
+            .validate()
+            .is_err());
+        assert!(FleetConfig::parity(device, 3, 8192).validate().is_ok());
     }
 }

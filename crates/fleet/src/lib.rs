@@ -13,7 +13,14 @@
 //! * **replicated**: every write mirrored to all live replicas, reads
 //!   routed deterministically to one, survivable device failure with
 //!   online rebuild ([`Fleet::fail_device`] / [`Fleet::replace_device`] /
-//!   [`Fleet::rebuild_range`]).
+//!   [`Fleet::rebuild_range`]); or
+//! * **parity** (RAID-5): rotating XOR parity over `devices - 1` data
+//!   units per row ([`parity`]), `devices - 1` devices' worth of
+//!   capacity, and degraded-mode serving — a failed member's data is
+//!   reconstructed from the survivors online, uncorrectable reads on
+//!   live members are transparently repaired from parity, and rebuild
+//!   onto a replacement runs under a QoS governor ([`qos`]) that trades
+//!   copy-back bandwidth against survivor tail latency.
 //!
 //! ```text
 //!  initiators ─► HostQueues ─► global round-robin arbitration
@@ -40,10 +47,14 @@
 
 pub mod config;
 pub mod fleet;
+pub mod parity;
+pub mod qos;
 pub mod router;
 pub mod telemetry;
 
 pub use config::{FleetConfig, FleetLayout};
 pub use fleet::{Fleet, FleetSubCompletion};
+pub use parity::{DegradedView, ParityGeometry, ParityModel, ParityPlan, ScrubReport, SubOpKind};
+pub use qos::{RebuildGovernor, RebuildQos};
 pub use router::{split_striped, striped_capacity, DeviceSlice};
 pub use telemetry::{fleet_chrome_trace, FleetSample, FleetSeries};

@@ -23,8 +23,14 @@ pub struct FleetSample {
     /// Sub-commands fanned to each device in the most recent serve session
     /// (a per-device queue-depth signal).
     pub device_depth: Vec<u32>,
-    /// Cumulative bytes copied by replica rebuild so far.
+    /// Cumulative bytes copied onto rebuild targets so far.
     pub rebuilt_bytes: u64,
+    /// Cumulative host reads served by XOR reconstruction (parity fleets;
+    /// 0 otherwise).
+    pub degraded_reads: u64,
+    /// Cumulative uncorrectable sub-reads transparently repaired from
+    /// parity (parity fleets; 0 otherwise).
+    pub repaired_reads: u64,
 }
 
 /// An append-only series of [`FleetSample`]s with CSV export.
@@ -64,7 +70,9 @@ impl FleetSeries {
     /// cumulative-MB column per device.
     pub fn to_csv(&self) -> String {
         let devices = self.samples.first().map_or(0, |s| s.device_bytes.len());
-        let mut out = String::from("time_us,aggregate_mb_s,total_mb,rebuilt_mb");
+        let mut out = String::from(
+            "time_us,aggregate_mb_s,total_mb,rebuilt_mb,degraded_reads,repaired_reads",
+        );
         for d in 0..devices {
             out.push_str(&format!(",dev{d}_depth,dev{d}_mb"));
         }
@@ -82,10 +90,12 @@ impl FleetSeries {
                 0.0
             };
             out.push_str(&format!(
-                "{:.3},{bw_mb_s:.3},{:.3},{:.3}",
+                "{:.3},{bw_mb_s:.3},{:.3},{:.3},{},{}",
                 sample.at.as_nanos() as f64 / 1_000.0,
                 sample.host_bytes_total as f64 / (1024.0 * 1024.0),
                 sample.rebuilt_bytes as f64 / (1024.0 * 1024.0),
+                sample.degraded_reads,
+                sample.repaired_reads,
             ));
             for d in 0..devices {
                 out.push_str(&format!(
@@ -132,6 +142,8 @@ mod tests {
             device_bytes: per_dev,
             device_depth: vec![1, 2],
             rebuilt_bytes: rebuilt,
+            degraded_reads: 0,
+            repaired_reads: 0,
         }
     }
 
@@ -145,21 +157,25 @@ mod tests {
         let mut lines = csv.lines();
         assert_eq!(
             lines.next().unwrap(),
-            "time_us,aggregate_mb_s,total_mb,rebuilt_mb,dev0_depth,dev0_mb,dev1_depth,dev1_mb"
+            "time_us,aggregate_mb_s,total_mb,rebuilt_mb,degraded_reads,repaired_reads,\
+             dev0_depth,dev0_mb,dev1_depth,dev1_mb"
         );
         assert_eq!(
             lines.next().unwrap(),
-            "0.000,0.000,0.000,0.000,1,0.000,2,0.000"
+            "0.000,0.000,0.000,0.000,0,0,1,0.000,2,0.000"
         );
         assert_eq!(
             lines.next().unwrap(),
-            "1000000.000,2.000,2.000,1.000,1,1.000,2,1.000"
+            "1000000.000,2.000,2.000,1.000,0,0,1,1.000,2,1.000"
         );
     }
 
     #[test]
     fn empty_series_renders_header_only() {
         let csv = FleetSeries::new().to_csv();
-        assert_eq!(csv, "time_us,aggregate_mb_s,total_mb,rebuilt_mb\n");
+        assert_eq!(
+            csv,
+            "time_us,aggregate_mb_s,total_mb,rebuilt_mb,degraded_reads,repaired_reads\n"
+        );
     }
 }
